@@ -1,0 +1,360 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation as testing.B targets:
+//
+//	BenchmarkTable1Indexing    — Table 1: index build per dataset
+//	BenchmarkFigure6Cold/Warm  — Figure 6: per-system query latency
+//	BenchmarkFigure7a/b/c      — Figure 7: Sama scalability sweeps
+//	BenchmarkFigure8           — Figure 8: match counts (reported metric)
+//	BenchmarkFigure9           — Figure 9: precision/recall (reported)
+//	BenchmarkAlignerAblation   — greedy vs optimal aligner (DESIGN.md)
+//
+// Scales are kept benchmark-friendly; cmd/experiments runs the full
+// wall-clock protocol at larger sizes.
+package sama_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"sama/internal/align"
+	"sama/internal/datasets"
+	"sama/internal/eval"
+	"sama/internal/experiments"
+	"sama/internal/index"
+	"sama/internal/paths"
+	"sama/internal/rdf"
+	"sama/internal/workload"
+)
+
+const benchTriples = 10_000
+
+var (
+	benchOnce    sync.Once
+	benchSystems []experiments.System
+	benchSama    *experiments.SamaSystem
+	benchDir     string
+)
+
+// systems lazily builds the four systems over one shared LUBM graph.
+func systems(b *testing.B) ([]experiments.System, *experiments.SamaSystem) {
+	b.Helper()
+	benchOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "sama-bench-*")
+		if err != nil {
+			panic(err)
+		}
+		benchDir = dir
+		g := datasets.LUBM{}.Generate(benchTriples, 1)
+		ss, err := experiments.NewAllSystems(dir, g)
+		if err != nil {
+			panic(err)
+		}
+		benchSystems = ss
+		benchSama = ss[0].(*experiments.SamaSystem)
+	})
+	if benchSystems == nil {
+		b.Fatal("benchmark systems failed to build")
+	}
+	return benchSystems, benchSama
+}
+
+// BenchmarkTable1Indexing measures index construction per dataset
+// (Table 1's t column; bytes/op approximates allocation pressure, and
+// the reported metrics give |HV|, |HE| and disk size).
+func BenchmarkTable1Indexing(b *testing.B) {
+	for _, gen := range datasets.All() {
+		b.Run(gen.Name(), func(b *testing.B) {
+			g := gen.Generate(5_000, 1)
+			dir := b.TempDir()
+			b.ResetTimer()
+			var st experiments.Table1Row
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.RunTable1(dir, []experiments.Table1Scale{
+					{Dataset: gen.Name(), Triples: 5_000},
+				}, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st = rows[0]
+			}
+			b.ReportMetric(float64(st.HV), "HV")
+			b.ReportMetric(float64(st.HE), "HE")
+			b.ReportMetric(float64(st.DiskBytes), "disk-bytes")
+			_ = g
+		})
+	}
+}
+
+// figure6Queries is the latency subset: a small, a medium and a deep
+// query from the 12-query workload.
+func figure6Queries() []workload.Query {
+	qs := workload.LUBMQueries()
+	return []workload.Query{qs[1], qs[3], qs[9]} // Q2, Q4, Q10
+}
+
+// BenchmarkFigure6Cold measures per-system cold-cache latency.
+func BenchmarkFigure6Cold(b *testing.B) {
+	ss, _ := systems(b)
+	for _, sys := range ss {
+		for _, q := range figure6Queries() {
+			b.Run(sys.Name()+"/"+q.ID, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := sys.ColdStart(); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := sys.Run(q, experiments.TopK); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure6Warm measures per-system warm-cache latency.
+func BenchmarkFigure6Warm(b *testing.B) {
+	ss, _ := systems(b)
+	for _, sys := range ss {
+		for _, q := range figure6Queries() {
+			if _, err := sys.Run(q, experiments.TopK); err != nil {
+				b.Fatal(err)
+			}
+			b.Run(sys.Name()+"/"+q.ID, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := sys.Run(q, experiments.TopK); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure7a measures Sama latency as the data (and hence the
+// number of extracted paths I) grows.
+func BenchmarkFigure7a(b *testing.B) {
+	for _, triples := range []int{2_000, 4_000, 8_000} {
+		b.Run(itoa(triples), func(b *testing.B) {
+			dir := b.TempDir()
+			g := datasets.LUBM{}.Generate(triples, 1)
+			sys, err := experiments.NewSamaSystem(dir, g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			q := workload.LUBMQueries()[3]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.Run(q, experiments.TopK); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure7b measures Sama latency against query size (chain
+// hops; x of Figure 7b is nodes in Q).
+func BenchmarkFigure7b(b *testing.B) {
+	_, sama := systems(b)
+	for _, hops := range []int{1, 2, 4, 6, 8} {
+		q := workload.ChainQuery(hops)
+		b.Run("nodes-"+itoa(q.Nodes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sama.Run(q, experiments.TopK); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure7c measures Sama latency against the number of query
+// variables.
+func BenchmarkFigure7c(b *testing.B) {
+	_, sama := systems(b)
+	for v := 1; v <= 7; v += 2 {
+		q := workload.VarSweepQuery(v)
+		b.Run("vars-"+itoa(v), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sama.Run(q, experiments.TopK); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure8 runs the unlimited-k effectiveness pass and reports
+// the total matches each system identifies (Figure 8's bars).
+func BenchmarkFigure8(b *testing.B) {
+	ss, _ := systems(b)
+	queries := workload.LUBMQueries()[:6]
+	for _, sys := range ss {
+		b.Run(sys.Name(), func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				total = 0
+				for _, q := range queries {
+					graphs, err := sys.Run(q, experiments.Fig8Limit)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += len(graphs)
+				}
+			}
+			b.ReportMetric(float64(total), "matches")
+		})
+	}
+}
+
+// BenchmarkFigure9 runs the pooled precision/recall evaluation and
+// reports Sama's small-|Q| precision at recall 0.5 (a headline point of
+// Figure 9).
+func BenchmarkFigure9(b *testing.B) {
+	ss, sama := systems(b)
+	queries := workload.LUBMQueries()[:4]
+	var p05 float64
+	for i := 0; i < b.N; i++ {
+		curves, err := experiments.RunFigure9(ss, sama.Graph(), queries, experiments.Fig9Options{PoolDepth: 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range curves {
+			if c.Label == "Sama |Q| in [1,4]" {
+				p05 = c.Points[5].Precision
+			}
+		}
+	}
+	b.ReportMetric(p05, "precision@r0.5")
+}
+
+// BenchmarkAlignerAblation compares the linear greedy aligner against
+// the O(n·m) dynamic-programming oracle on identical inputs — the
+// ablation DESIGN.md calls out for the paper's linear-time claim.
+func BenchmarkAlignerAblation(b *testing.B) {
+	mk := func(n int) paths.Path {
+		var p paths.Path
+		for i := 0; i < n; i++ {
+			p.Nodes = append(p.Nodes, rdf.NewIRI("n"+itoa(i%7)))
+			if i < n-1 {
+				p.Edges = append(p.Edges, rdf.NewIRI("e"+itoa(i%3)))
+			}
+		}
+		return p
+	}
+	for _, size := range []int{8, 32, 128} {
+		p, q := mk(size), mk(size/2)
+		b.Run("greedy-"+itoa(size), func(b *testing.B) {
+			g := align.NewGreedy(align.DefaultParams)
+			for i := 0; i < b.N; i++ {
+				g.Align(p, q)
+			}
+		})
+		b.Run("optimal-"+itoa(size), func(b *testing.B) {
+			o := align.NewOptimal(align.DefaultParams)
+			for i := 0; i < b.N; i++ {
+				o.Align(p, q)
+			}
+		})
+	}
+}
+
+// BenchmarkCompressionAblation builds the same LUBM graph with and
+// without dictionary compression, reporting the disk footprint (the §7
+// compression extension).
+func BenchmarkCompressionAblation(b *testing.B) {
+	g := datasets.LUBM{}.Generate(5_000, 1)
+	for _, variant := range []struct {
+		name     string
+		compress bool
+	}{{"plain", false}, {"compressed", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			var disk int64
+			for i := 0; i < b.N; i++ {
+				idx, err := index.Build(b.TempDir()+"/ix", g, index.Options{Compress: variant.compress})
+				if err != nil {
+					b.Fatal(err)
+				}
+				disk = idx.Stats().DiskBytes
+				idx.Close()
+			}
+			b.ReportMetric(float64(disk), "disk-bytes")
+		})
+	}
+}
+
+// BenchmarkIncrementalInsert compares applying a small batch of new
+// triples incrementally against rebuilding the index (the §7 index
+// update extension).
+func BenchmarkIncrementalInsert(b *testing.B) {
+	ns := datasets.LUBMNamespace
+	batch := []rdf.Triple{
+		{S: rdf.NewIRI(ns + "NewStudent"),
+			P: rdf.NewIRI(ns + "vocab/memberOf"),
+			O: rdf.NewIRI(ns + "University0/Department0")},
+	}
+	b.Run("incremental", func(b *testing.B) {
+		g := datasets.LUBM{}.Generate(5_000, 1)
+		idx, err := index.Build(b.TempDir()+"/ix", g, index.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer idx.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := idx.InsertTriples(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-rebuild", func(b *testing.B) {
+		g := datasets.LUBM{}.Generate(5_000, 1)
+		for _, t := range batch {
+			g.AddTriple(t)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			idx, err := index.Build(b.TempDir()+"/ix", g, index.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			idx.Close()
+		}
+	})
+}
+
+// BenchmarkRR reports the mean reciprocal rank over the workload — the
+// §6.3 check as a regression guard.
+func BenchmarkRR(b *testing.B) {
+	_, sama := systems(b)
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunRR(sama, workload.LUBMQueries()[:6], 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range rows {
+			sum += r.RR
+		}
+		mean = sum / float64(len(rows))
+	}
+	b.ReportMetric(mean, "MRR")
+	_ = eval.ReciprocalRank
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

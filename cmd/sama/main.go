@@ -1,0 +1,169 @@
+// Command sama is the command-line front end of the approximate RDF
+// query engine:
+//
+//	sama index -data graph.nt -index /path/to/index
+//	sama query -index /path/to/index -sparql query.rq [-k 10]
+//	sama query -index /path/to/index -q 'SELECT ?x WHERE { ... }'
+//	sama stats -index /path/to/index
+//
+// The index subcommand builds the disk-resident path index from an
+// N-Triples file; query answers a SPARQL basic graph pattern with
+// ranked approximate answers; stats prints the Table 1-style index
+// measurements.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sama"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "index":
+		err = runIndex(os.Args[2:])
+	case "query":
+		err = runQuery(os.Args[2:])
+	case "stats":
+		err = runStats(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "sama: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sama:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  sama index -data <graph.nt> -index <base>     build the path index
+  sama query -index <base> (-q <sparql> | -sparql <file>) [-k 10] [-cold]
+  sama stats -index <base>                      print index statistics
+`)
+}
+
+func runIndex(args []string) error {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	data := fs.String("data", "", "N-Triples input file (required)")
+	base := fs.String("index", "", "index base path (required)")
+	maxLen := fs.Int("max-path-length", 12, "maximum nodes per indexed path")
+	maxPerRoot := fs.Int("max-paths-per-root", 4096, "path budget per source")
+	fs.Parse(args)
+	if *data == "" || *base == "" {
+		return fmt.Errorf("index: -data and -index are required")
+	}
+	start := time.Now()
+	g, err := sama.LoadGraphFile(*data) // .ttl/.turtle or N-Triples
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d triples (%d nodes) in %v\n",
+		g.EdgeCount(), g.NodeCount(), time.Since(start).Round(time.Millisecond))
+	db, err := sama.Create(*base, g,
+		sama.WithPathConfig(sama.PathConfig{MaxLength: *maxLen, MaxPerRoot: *maxPerRoot}),
+		sama.WithThesaurus(sama.BenchmarkThesaurus()),
+	)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	printStats(db.Stats())
+	return nil
+}
+
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	base := fs.String("index", "", "index base path (required)")
+	qtext := fs.String("q", "", "SPARQL query text")
+	qfile := fs.String("sparql", "", "file containing the SPARQL query")
+	k := fs.Int("k", 10, "number of answers")
+	cold := fs.Bool("cold", false, "drop the cache before running (cold-cache timing)")
+	fs.Parse(args)
+	if *base == "" {
+		return fmt.Errorf("query: -index is required")
+	}
+	src := *qtext
+	if src == "" {
+		if *qfile == "" {
+			return fmt.Errorf("query: provide -q or -sparql")
+		}
+		b, err := os.ReadFile(*qfile)
+		if err != nil {
+			return err
+		}
+		src = string(b)
+	}
+	db, err := sama.Open(*base, sama.WithThesaurus(sama.BenchmarkThesaurus()))
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	if *cold {
+		if err := db.DropCache(); err != nil {
+			return err
+		}
+	}
+	start := time.Now()
+	res, err := db.QuerySPARQL(src, *k)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d answers in %v\n\n", len(res.Answers), elapsed.Round(time.Microsecond))
+	for i, a := range res.Answers {
+		fmt.Printf("#%d score %.2f (Λ %.2f + Ψ %.2f)", i+1, a.Score, a.Lambda, a.Psi)
+		if a.Exact() {
+			fmt.Print("  [exact]")
+		}
+		fmt.Println()
+		for _, v := range res.Vars {
+			if t, ok := a.Subst[v]; ok {
+				fmt.Printf("  ?%s = %s\n", v, t)
+			}
+		}
+		for _, pr := range a.Pairs {
+			fmt.Printf("  %s\n", pr.Data)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	base := fs.String("index", "", "index base path (required)")
+	fs.Parse(args)
+	if *base == "" {
+		return fmt.Errorf("stats: -index is required")
+	}
+	db, err := sama.Open(*base)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	printStats(db.Stats())
+	return nil
+}
+
+func printStats(st sama.IndexStats) {
+	fmt.Printf("triples:     %d\n", st.Triples)
+	fmt.Printf("|HV|:        %d\n", st.HV)
+	fmt.Printf("|HE|:        %d (edges + path hyperedges)\n", st.HE)
+	fmt.Printf("paths:       %d\n", st.Paths)
+	fmt.Printf("build time:  %v\n", st.BuildTime.Round(time.Millisecond))
+	fmt.Printf("disk:        %.1f MB\n", float64(st.DiskBytes)/(1<<20))
+}

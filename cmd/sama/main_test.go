@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const testNT = `<CarlaBunes> <sponsor> <A0056> .
+<A0056> <aTo> <B1432> .
+<B1432> <subject> "Health Care" .
+<PierceDickes> <sponsor> <B1432> .
+<PierceDickes> <gender> "Male" .
+`
+
+func setupIndexed(t *testing.T) (dataFile, indexBase string) {
+	t.Helper()
+	dir := t.TempDir()
+	dataFile = filepath.Join(dir, "data.nt")
+	if err := os.WriteFile(dataFile, []byte(testNT), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	indexBase = filepath.Join(dir, "idx")
+	if err := runIndex([]string{"-data", dataFile, "-index", indexBase}); err != nil {
+		t.Fatal(err)
+	}
+	return dataFile, indexBase
+}
+
+func TestRunIndexAndStats(t *testing.T) {
+	_, base := setupIndexed(t)
+	if err := runStats([]string{"-index", base}); err != nil {
+		t.Errorf("stats: %v", err)
+	}
+}
+
+func TestRunQueryInline(t *testing.T) {
+	_, base := setupIndexed(t)
+	err := runQuery([]string{"-index", base,
+		"-q", `SELECT ?x WHERE { ?x <gender> "Male" }`, "-k", "3"})
+	if err != nil {
+		t.Errorf("query: %v", err)
+	}
+	// Cold-cache flag path.
+	err = runQuery([]string{"-index", base, "-cold",
+		"-q", `SELECT ?x WHERE { ?x <gender> "Male" }`})
+	if err != nil {
+		t.Errorf("cold query: %v", err)
+	}
+}
+
+func TestRunQueryFromFile(t *testing.T) {
+	dir := t.TempDir()
+	qf := filepath.Join(dir, "q.rq")
+	if err := os.WriteFile(qf, []byte(`SELECT * WHERE { ?s <sponsor> ?o }`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, base := setupIndexed(t)
+	if err := runQuery([]string{"-index", base, "-sparql", qf}); err != nil {
+		t.Errorf("query from file: %v", err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if err := runIndex([]string{}); err == nil {
+		t.Error("index without flags accepted")
+	}
+	if err := runIndex([]string{"-data", "/nonexistent.nt", "-index", t.TempDir() + "/x"}); err == nil {
+		t.Error("missing data file accepted")
+	}
+	if err := runQuery([]string{}); err == nil {
+		t.Error("query without index accepted")
+	}
+	if err := runQuery([]string{"-index", t.TempDir() + "/absent", "-q", "SELECT * WHERE { ?s <p> <o> }"}); err == nil {
+		t.Error("absent index accepted")
+	}
+	_, base := setupIndexed(t)
+	if err := runQuery([]string{"-index", base}); err == nil {
+		t.Error("query without -q/-sparql accepted")
+	}
+	if err := runQuery([]string{"-index", base, "-q", "not sparql"}); err == nil {
+		t.Error("bad SPARQL accepted")
+	}
+	if err := runStats([]string{}); err == nil {
+		t.Error("stats without index accepted")
+	}
+}

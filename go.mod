@@ -1,0 +1,3 @@
+module sama
+
+go 1.22

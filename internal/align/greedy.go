@@ -1,0 +1,208 @@
+package align
+
+import (
+	"sama/internal/paths"
+	"sama/internal/rdf"
+)
+
+// pair is one (edge, node) step of a path read backwards from the sink.
+// The path l1-e1-l2-…-e(k-1)-lk is viewed as the sink node lk followed by
+// the backward pairs (e(k-1), l(k-1)), …, (e1, l1). Aligning two paths
+// anchored at their sinks then reduces to aligning two pair sequences,
+// which keeps node↔node and edge↔edge pairings by construction.
+type pair struct {
+	edge, node rdf.Term
+}
+
+// backwardPairs returns the (edge, node) pairs of p from the sink toward
+// the source.
+func backwardPairs(p paths.Path) []pair {
+	k := len(p.Nodes)
+	out := make([]pair, 0, k-1)
+	for t := k - 2; t >= 0; t-- {
+		out = append(out, pair{edge: p.Edges[t], node: p.Nodes[t]})
+	}
+	return out
+}
+
+func pairCost(pp, qp pair, par Params) float64 {
+	return edgeStepCost(pp.edge, qp.edge, par) + nodeStepCost(pp.node, qp.node, par)
+}
+
+// GreedyAligner is the production aligner: a single backward scan with
+// one-pair lookahead. Its running time is O(|p| + |q|), matching the
+// complexity claim of §4.3. The scan starts at the sinks (“proceeding
+// with a scan contrary to the direction of the edges”) and resolves each
+// local disagreement by preferring, in order: a zero-cost pairing, an
+// insertion/deletion that re-synchronises the scan on the next pair, and
+// finally whichever of substitution or indel is cheaper under Params.
+type GreedyAligner struct {
+	Params Params
+}
+
+// NewGreedy returns a GreedyAligner with the given parameters.
+func NewGreedy(par Params) *GreedyAligner { return &GreedyAligner{Params: par} }
+
+// Align implements Aligner. The query may match any *window* of the
+// data path: the sink-to-sink scan of §4.3 is tried first, then every
+// interior anchor (query sink aligned at position t of p, the suffix
+// past t free context — the path merely gathered more labels). The
+// cheapest anchoring wins, so a query ending mid-path binds the nodes
+// the window actually covers instead of whatever the path ends at.
+// Each anchored scan is O(|p|+|q|) and p is bounded by the indexing
+// MaxLength, keeping Align linear in practice.
+func (g *GreedyAligner) Align(p, q paths.Path) *Alignment {
+	return alignBestWindow(g.alignAnchored, p, q, g.Params)
+}
+
+// alignAnchored is the sink-to-sink backward scan.
+func (g *GreedyAligner) alignAnchored(p, q paths.Path) *Alignment {
+	par := g.Params
+	al := &Alignment{Subst: rdf.Substitution{}}
+	if len(p.Nodes) == 0 || len(q.Nodes) == 0 {
+		// Degenerate: treat every element of the non-empty side as an
+		// insertion (p side) or deletion (q side).
+		for _, n := range p.Nodes {
+			al.record(OpNodeInsert, rdf.Term{}, n)
+		}
+		for _, e := range p.Edges {
+			al.record(OpEdgeInsert, rdf.Term{}, e)
+		}
+		for _, n := range q.Nodes {
+			al.record(OpNodeDelete, n, rdf.Term{})
+		}
+		for _, e := range q.Edges {
+			al.record(OpEdgeDelete, e, rdf.Term{})
+		}
+		al.addCost(par)
+		return al
+	}
+
+	// Anchor at the sinks.
+	al.record(nodeStep(p.Sink(), q.Sink()), q.Sink(), p.Sink())
+
+	pp := backwardPairs(p)
+	qp := backwardPairs(q)
+	i, j := 0, 0
+	indel := par.B + par.D // cost of inserting a (edge, node) pair into q
+	drop := par.A + par.C  // cost of deleting a (edge, node) pair from q
+	for i < len(pp) || j < len(qp) {
+		switch {
+		case i >= len(pp):
+			// p exhausted: the remaining query pairs are unmet.
+			al.record(OpEdgeDelete, qp[j].edge, rdf.Term{})
+			al.record(OpNodeDelete, qp[j].node, rdf.Term{})
+			j++
+		case j >= len(qp):
+			// q exhausted: the remaining data pairs lie before the
+			// query's source — free context, not insertions.
+			al.record(OpEdgeContext, rdf.Term{}, pp[i].edge)
+			al.record(OpNodeContext, rdf.Term{}, pp[i].node)
+			i++
+		default:
+			sub := pairCost(pp[i], qp[j], par)
+			if sub == 0 {
+				al.record(edgeStep(pp[i].edge, qp[j].edge), qp[j].edge, pp[i].edge)
+				al.record(nodeStep(pp[i].node, qp[j].node), qp[j].node, pp[i].node)
+				i++
+				j++
+				continue
+			}
+			// One-pair lookahead: compare the two-step cost of an indel
+			// plus its follow-up pairing against substituting here (the
+			// aTo-B1432 insertion of the paper's worked example wins
+			// exactly when the lookahead re-synchronises the scan more
+			// cheaply than the local mismatch).
+			surplus := (len(pp) - i) - (len(qp) - j)
+			insertWins := false
+			if surplus > 0 && i+1 < len(pp) {
+				insertWins = indel+pairCost(pp[i+1], qp[j], par) < sub
+			}
+			dropWins := false
+			if surplus < 0 && j+1 < len(qp) {
+				dropWins = drop+pairCost(pp[i], qp[j+1], par) < sub
+			}
+			switch {
+			case insertWins:
+				al.record(OpEdgeInsert, rdf.Term{}, pp[i].edge)
+				al.record(OpNodeInsert, rdf.Term{}, pp[i].node)
+				i++
+			case dropWins:
+				al.record(OpEdgeDelete, qp[j].edge, rdf.Term{})
+				al.record(OpNodeDelete, qp[j].node, rdf.Term{})
+				j++
+			default:
+				al.record(edgeStep(pp[i].edge, qp[j].edge), qp[j].edge, pp[i].edge)
+				al.record(nodeStep(pp[i].node, qp[j].node), qp[j].node, pp[i].node)
+				i++
+				j++
+			}
+		}
+	}
+	al.addCost(par)
+	return al
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// alignBestWindow tries the sink-to-sink anchoring and every interior
+// anchor (query sink at position t of p; p's suffix past t is free
+// context) and returns the cheapest alignment. Ties prefer the anchor
+// closest to p's sink, so the paper's examples keep their canonical
+// alignments. Anchors at t = 0 are skipped for multi-edge queries: a
+// one-node window cannot carry a structural match.
+func alignBestWindow(core func(p, q paths.Path) *Alignment, p, q paths.Path, par Params) *Alignment {
+	best := core(p, q)
+	if len(q.Nodes) == 0 || len(p.Nodes) < 2 {
+		return best
+	}
+	bestAffinity := -1 // computed lazily on the first tie
+	minT := 1
+	if len(q.Nodes) == 1 {
+		minT = 0
+	}
+	for t := len(p.Nodes) - 2; t >= minT; t-- {
+		if best.Cost == 0 {
+			break // a free alignment has no mismatches to improve
+		}
+		trimmed := paths.Path{Nodes: p.Nodes[:t+1], Edges: p.Edges[:t]}
+		alt := core(trimmed, q)
+		if alt.Cost > best.Cost {
+			continue
+		}
+		if alt.Cost == best.Cost {
+			// Equal price: prefer the window whose mismatches are
+			// token-related to the query (teaches ↔ teacherOf beats
+			// teaches ↔ type).
+			if bestAffinity < 0 {
+				bestAffinity = windowAffinity(best)
+			}
+			if windowAffinity(alt) <= bestAffinity {
+				continue
+			}
+		}
+		// The suffix p[t+1:] (and its edges) lies past the query's
+		// endpoint — free context.
+		for e := t; e < len(p.Edges); e++ {
+			alt.record(OpEdgeContext, rdf.Term{}, p.Edges[e])
+		}
+		for n := t + 1; n < len(p.Nodes); n++ {
+			alt.record(OpNodeContext, rdf.Term{}, p.Nodes[n])
+		}
+		alt.addCost(par)
+		bestAffinity = windowAffinity(alt)
+		best = alt
+	}
+	return best
+}
+
+// Lambda computes λ(p, q) with the greedy aligner: the quality of the
+// alignment of data path p against query path q (Equation 1).
+func Lambda(p, q paths.Path, par Params) float64 {
+	return NewGreedy(par).Align(p, q).Cost
+}

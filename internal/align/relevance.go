@@ -1,0 +1,226 @@
+package align
+
+import (
+	"math"
+	"sort"
+
+	"sama/internal/rdf"
+)
+
+// EditCost computes the relevance oracle of Definitions 3–4: the minimum
+// cost γ(τ) of a transformation τ such that τ(φ(Q)) equals the answer
+// graph, over all substitutions φ. It is an exact weighted graph edit
+// distance restricted to injective node mappings, computed by branch and
+// bound; both graphs must be small (queries and answers are, data graphs
+// are not — never call this on a full data set).
+//
+// The operation weights mirror λ's: a query node whose mapped answer
+// node has a different constant label costs A; an unmapped (deleted)
+// query node costs A; an answer node not covered by the mapping
+// (inserted) costs B; the corresponding edge operations cost C
+// (mismatch/deletion) and D (insertion). Variable labels bind for free.
+//
+// The paper writes γ(τ) = z·Σωᵢ; we read the leading z (the op count) as
+// a typo for a plain sum — with the multiplier, γ would not be additive
+// over disjoint edits and Theorem 1's proof step γ(τᵢ) = λ(p, Q) could
+// not hold.
+func EditCost(answer *rdf.Graph, q *rdf.QueryGraph, par Params) float64 {
+	n := q.NodeCount()
+	m := answer.NodeCount()
+
+	// Order query nodes by decreasing degree so that the branch and
+	// bound fails fast on highly-constrained nodes.
+	order := make([]rdf.NodeID, n)
+	for i := range order {
+		order[i] = rdf.NodeID(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di := q.OutDegree(order[i]) + q.InDegree(order[i])
+		dj := q.OutDegree(order[j]) + q.InDegree(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+
+	s := &gedSearch{
+		q: q, a: answer, par: par,
+		order:   order,
+		mapping: make([]rdf.NodeID, n),
+		used:    make([]bool, m),
+		best:    math.Inf(1),
+		budget:  500_000,
+	}
+	for i := range s.mapping {
+		s.mapping[i] = rdf.InvalidNode
+	}
+	// Seed the bound with a greedy complete mapping so the search always
+	// returns a finite cost even when the expansion budget cuts it off.
+	s.greedySeed()
+	s.search(0, 0)
+	return s.best
+}
+
+// greedySeed builds one complete mapping — each query node to the first
+// unused answer node with an equal term, else deleted — and records its
+// cost as the initial upper bound.
+func (s *gedSearch) greedySeed() {
+	for _, qn := range s.order {
+		qt := s.q.Term(qn)
+		s.mapping[qn] = rdf.InvalidNode
+		for an := 0; an < len(s.used); an++ {
+			if s.used[an] {
+				continue
+			}
+			// Constants want an equal term; variables take any node.
+			if qt.Kind != rdf.Var && s.a.Term(rdf.NodeID(an)) != qt {
+				continue
+			}
+			s.used[an] = true
+			s.mapping[qn] = rdf.NodeID(an)
+			break
+		}
+	}
+	var nodeCost float64
+	for _, qn := range s.order {
+		if s.mapping[qn] == rdf.InvalidNode {
+			nodeCost += s.par.A
+		}
+	}
+	s.best = nodeCost + s.edgeCost() + s.insertionCost()
+	// Reset state for the exact search.
+	for i := range s.mapping {
+		s.mapping[i] = rdf.InvalidNode
+	}
+	for i := range s.used {
+		s.used[i] = false
+	}
+}
+
+type gedSearch struct {
+	q       *rdf.QueryGraph
+	a       *rdf.Graph
+	par     Params
+	order   []rdf.NodeID
+	mapping []rdf.NodeID // query node -> answer node or InvalidNode
+	used    []bool
+	best    float64
+	budget  int // remaining search expansions; ≤ 0 stops exploring
+}
+
+// search extends the mapping for order[idx...], carrying the node-label
+// cost accumulated so far (edge costs are evaluated at the leaves; the
+// node cost is a valid lower bound, enabling pruning). The expansion
+// budget bounds the worst case; the greedy seed guarantees a finite
+// answer regardless.
+func (s *gedSearch) search(idx int, nodeCost float64) {
+	if nodeCost >= s.best || s.budget <= 0 {
+		return
+	}
+	s.budget--
+	if idx == len(s.order) {
+		total := nodeCost + s.edgeCost() + s.insertionCost()
+		if total < s.best {
+			s.best = total
+		}
+		return
+	}
+	qn := s.order[idx]
+	qt := s.q.Term(qn)
+	// Zero-cost candidates first (equal term, or any node for a
+	// variable): the search reaches good leaves early, tightening the
+	// bound before the expensive mismatch branches.
+	for pass := 0; pass < 2; pass++ {
+		for an := 0; an < len(s.used); an++ {
+			if s.used[an] {
+				continue
+			}
+			at := s.a.Term(rdf.NodeID(an))
+			exact := qt.Kind == rdf.Var || qt == at
+			if (pass == 0) != exact {
+				continue
+			}
+			var c float64
+			if !exact {
+				c = s.par.A // constant label mismatch
+			}
+			s.used[an] = true
+			s.mapping[qn] = rdf.NodeID(an)
+			s.search(idx+1, nodeCost+c)
+			s.used[an] = false
+			s.mapping[qn] = rdf.InvalidNode
+			if s.budget <= 0 {
+				return
+			}
+		}
+	}
+	// Or delete the query node.
+	s.search(idx+1, nodeCost+s.par.A)
+}
+
+// edgeCost prices every query edge under the current complete mapping:
+// an edge whose endpoints are both mapped is matched against the answer
+// edges between those endpoints (free on a label match or variable,
+// C otherwise); an edge with an unmapped endpoint is deleted (C).
+func (s *gedSearch) edgeCost() float64 {
+	var cost float64
+	s.q.Edges(func(e rdf.Edge) bool {
+		from, to := s.mapping[e.From], s.mapping[e.To]
+		if from == rdf.InvalidNode || to == rdf.InvalidNode {
+			cost += s.par.C
+			return true
+		}
+		bestEdge := s.par.C // deletion if nothing connects the endpoints
+		for _, aeid := range s.a.Out(from) {
+			ae := s.a.Edge(aeid)
+			if ae.To != to {
+				continue
+			}
+			if e.Label.Kind == rdf.Var || ae.Label == e.Label {
+				bestEdge = 0
+				break
+			}
+			bestEdge = minf(bestEdge, s.par.C) // label mismatch
+		}
+		cost += bestEdge
+		return true
+	})
+	return cost
+}
+
+// insertionCost prices the answer elements not covered by the mapping:
+// every unused answer node costs B and every answer edge not matched by
+// some query edge costs D.
+func (s *gedSearch) insertionCost() float64 {
+	var cost float64
+	for an, used := range s.used {
+		if !used {
+			cost += s.par.B
+			_ = an
+		}
+	}
+	// Count answer edges covered by query edges under the mapping.
+	covered := make(map[rdf.EdgeID]bool)
+	s.q.Edges(func(e rdf.Edge) bool {
+		from, to := s.mapping[e.From], s.mapping[e.To]
+		if from == rdf.InvalidNode || to == rdf.InvalidNode {
+			return true
+		}
+		for _, aeid := range s.a.Out(from) {
+			ae := s.a.Edge(aeid)
+			if ae.To == to && (e.Label.Kind == rdf.Var || ae.Label == e.Label) && !covered[aeid] {
+				covered[aeid] = true
+				break
+			}
+		}
+		return true
+	})
+	cost += float64(s.a.EdgeCount()-len(covered)) * s.par.D
+	return cost
+}
+
+// MoreRelevant reports whether answer a1 is more relevant than a2 for Q
+// under Definition 4: γ(τ1) < γ(τ2).
+func MoreRelevant(a1, a2 *rdf.Graph, q *rdf.QueryGraph, par Params) bool {
+	return EditCost(a1, q, par) < EditCost(a2, q, par)
+}

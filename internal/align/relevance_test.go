@@ -1,0 +1,138 @@
+package align
+
+import (
+	"testing"
+
+	"sama/internal/rdf"
+)
+
+func tripleIRI(s, p, o string) rdf.Triple {
+	return rdf.Triple{S: rdf.NewIRI(s), P: rdf.NewIRI(p), O: rdf.NewIRI(o)}
+}
+
+func smallQuery() *rdf.QueryGraph {
+	q := rdf.NewQueryGraph()
+	q.AddTriple(rdf.Triple{S: rdf.NewIRI("CB"), P: rdf.NewIRI("sponsor"), O: rdf.NewVar("v1")})
+	q.AddTriple(rdf.Triple{S: rdf.NewVar("v1"), P: rdf.NewIRI("aTo"), O: rdf.NewVar("v2")})
+	q.AddTriple(rdf.Triple{S: rdf.NewVar("v2"), P: rdf.NewIRI("subject"), O: rdf.NewLiteral("HC")})
+	return q
+}
+
+func TestEditCostExactAnswer(t *testing.T) {
+	a := rdf.NewGraph()
+	a.AddTriple(tripleIRI("CB", "sponsor", "A0056"))
+	a.AddTriple(tripleIRI("A0056", "aTo", "B1432"))
+	a.AddTriple(rdf.Triple{S: rdf.NewIRI("B1432"), P: rdf.NewIRI("subject"), O: rdf.NewLiteral("HC")})
+	if got := EditCost(a, smallQuery(), DefaultParams); got != 0 {
+		t.Errorf("exact answer edit cost = %v, want 0", got)
+	}
+}
+
+func TestEditCostLabelMismatch(t *testing.T) {
+	// JR in place of CB: one node mismatch, cost A = 1.
+	a := rdf.NewGraph()
+	a.AddTriple(tripleIRI("JR", "sponsor", "A0056"))
+	a.AddTriple(tripleIRI("A0056", "aTo", "B1432"))
+	a.AddTriple(rdf.Triple{S: rdf.NewIRI("B1432"), P: rdf.NewIRI("subject"), O: rdf.NewLiteral("HC")})
+	if got := EditCost(a, smallQuery(), DefaultParams); got != 1 {
+		t.Errorf("mismatched answer edit cost = %v, want 1", got)
+	}
+}
+
+func TestEditCostExtraElements(t *testing.T) {
+	// The answer has a surplus hop: one extra node (B) and edge (D).
+	a := rdf.NewGraph()
+	a.AddTriple(tripleIRI("CB", "sponsor", "A0056"))
+	a.AddTriple(tripleIRI("A0056", "aTo", "B1432"))
+	a.AddTriple(rdf.Triple{S: rdf.NewIRI("B1432"), P: rdf.NewIRI("subject"), O: rdf.NewLiteral("HC")})
+	a.AddTriple(tripleIRI("B1432", "aTo", "EXTRA"))
+	got := EditCost(a, smallQuery(), DefaultParams)
+	want := DefaultParams.B + DefaultParams.D // 1.5
+	if got != want {
+		t.Errorf("surplus answer edit cost = %v, want %v", got, want)
+	}
+}
+
+func TestEditCostMissingEdge(t *testing.T) {
+	// The answer is missing the final subject edge and the HC node.
+	a := rdf.NewGraph()
+	a.AddTriple(tripleIRI("CB", "sponsor", "A0056"))
+	a.AddTriple(tripleIRI("A0056", "aTo", "B1432"))
+	got := EditCost(a, smallQuery(), DefaultParams)
+	want := DefaultParams.A + DefaultParams.C // deleted node + edge
+	if got != want {
+		t.Errorf("missing-edge cost = %v, want %v", got, want)
+	}
+}
+
+func TestEditCostVariableEdge(t *testing.T) {
+	q := rdf.NewQueryGraph()
+	q.AddTriple(rdf.Triple{S: rdf.NewVar("s"), P: rdf.NewVar("p"), O: rdf.NewLiteral("HC")})
+	a := rdf.NewGraph()
+	a.AddTriple(rdf.Triple{S: rdf.NewIRI("B1"), P: rdf.NewIRI("anything"), O: rdf.NewLiteral("HC")})
+	if got := EditCost(a, q, DefaultParams); got != 0 {
+		t.Errorf("variable-edge query cost = %v, want 0", got)
+	}
+}
+
+func TestMoreRelevantOrdersAnswers(t *testing.T) {
+	exact := rdf.NewGraph()
+	exact.AddTriple(tripleIRI("CB", "sponsor", "A0056"))
+	exact.AddTriple(tripleIRI("A0056", "aTo", "B1432"))
+	exact.AddTriple(rdf.Triple{S: rdf.NewIRI("B1432"), P: rdf.NewIRI("subject"), O: rdf.NewLiteral("HC")})
+
+	off := rdf.NewGraph()
+	off.AddTriple(tripleIRI("JR", "sponsor", "A1589"))
+	off.AddTriple(tripleIRI("A1589", "aTo", "B0532"))
+	off.AddTriple(rdf.Triple{S: rdf.NewIRI("B0532"), P: rdf.NewIRI("subject"), O: rdf.NewLiteral("HC")})
+
+	q := smallQuery()
+	if !MoreRelevant(exact, off, q, DefaultParams) {
+		t.Error("exact answer should be more relevant than mismatched one")
+	}
+	if MoreRelevant(off, exact, q, DefaultParams) {
+		t.Error("relevance order inverted")
+	}
+}
+
+// TestScoreCoherentWithRelevance exercises Theorem 1's statement on a
+// family of progressively-degraded answers: as the oracle edit cost
+// grows strictly, the path-based score must not invert the order.
+func TestScoreCoherentWithRelevance(t *testing.T) {
+	q := smallQuery()
+	variants := []struct {
+		name    string
+		subject string // who sponsors (CB exact)
+		via     string // aTo target
+	}{
+		{"exact", "CB", "B1432"},
+		{"wrong-person", "JR", "B1432"},
+	}
+	type ranked struct {
+		name   string
+		oracle float64
+		score  float64
+	}
+	var rs []ranked
+	for _, v := range variants {
+		a := rdf.NewGraph()
+		a.AddTriple(tripleIRI(v.subject, "sponsor", "A0056"))
+		a.AddTriple(tripleIRI("A0056", "aTo", v.via))
+		a.AddTriple(rdf.Triple{S: rdf.NewIRI(v.via), P: rdf.NewIRI("subject"), O: rdf.NewLiteral("HC")})
+		// Path pairing: the single query path vs the single answer path.
+		qp := mkPath(v.subject[:0]+"CB", "sponsor", "?v1", "aTo", "?v2", "subject", `"HC`)
+		ap := mkPath(v.subject, "sponsor", "A0056", "aTo", v.via, "subject", `"HC`)
+		rs = append(rs, ranked{
+			name:   v.name,
+			oracle: EditCost(a, q, DefaultParams),
+			score:  Score([]PairedPath{{Query: qp, Data: ap}}, DefaultParams),
+		})
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i-1].oracle < rs[i].oracle && rs[i-1].score > rs[i].score {
+			t.Errorf("order inverted: %s (oracle %v, score %v) vs %s (oracle %v, score %v)",
+				rs[i-1].name, rs[i-1].oracle, rs[i-1].score,
+				rs[i].name, rs[i].oracle, rs[i].score)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package align
+
+import (
+	"sama/internal/paths"
+	"sama/internal/rdf"
+)
+
+// PairedPath associates one query path q with the data path p chosen for
+// it by an answer, i.e. p = τ(φ(q)) for the alignment of Definition 6.
+type PairedPath struct {
+	Query paths.Path
+	Data  paths.Path
+	// Alignment caches the alignment of Data against Query; Quality
+	// computes it with the greedy aligner when nil.
+	Alignment *Alignment
+}
+
+// Quality computes Λ(a, Q) = Σ_{q∈Q} λ(p_q, q): the total alignment
+// quality of an answer whose chosen paths are given by pairs.
+func Quality(pairs []PairedPath, par Params) float64 {
+	var sum float64
+	for i := range pairs {
+		if pairs[i].Alignment == nil {
+			pairs[i].Alignment = NewGreedy(par).Align(pairs[i].Data, pairs[i].Query)
+		}
+		sum += pairs[i].Alignment.Cost
+	}
+	return sum
+}
+
+// Psi computes ψ(qi, qj, pi, pj): the conformity of the pair of data
+// paths (pi, pj) to the pair of query paths (qi, qj) they align with.
+// With χ the node-intersection function:
+//
+//	ψ = e·|χ(qi,qj)| / |χ(pi,pj)|  when |χ(pi,pj)| > 0
+//	ψ = e·|χ(qi,qj)|               when |χ(pi,pj)| = 0
+//
+// A pair of query paths that share no node contributes 0 either way, so
+// only intersecting query pairs matter. Lower is better: an answer whose
+// paths intersect as richly as the query's contributes e per pair, and
+// the contribution grows as the answer's paths lose their common nodes.
+func Psi(qi, qj, pi, pj paths.Path, par Params) float64 {
+	chiQ := len(paths.CommonNodes(qi, qj))
+	if chiQ == 0 {
+		return 0
+	}
+	chiP := len(paths.CommonNodes(pi, pj))
+	if chiP > 0 {
+		return par.E * float64(chiQ) / float64(chiP)
+	}
+	return par.E * float64(chiQ)
+}
+
+// PsiDegree returns the conformity degree |χ(pi,pj)| / |χ(qi,qj)| — the
+// reciprocal view of ψ used by the paper's Figure 4 to label forest
+// edges (1 means the answer pair shares exactly the nodes the query pair
+// does; the (p7, p1) example is 0.5). Pairs of query paths with no
+// common node have degree 1 by convention (nothing to conform to).
+func PsiDegree(qi, qj, pi, pj paths.Path) float64 {
+	chiQ := len(paths.CommonNodes(qi, qj))
+	if chiQ == 0 {
+		return 1
+	}
+	chiP := len(paths.CommonNodes(pi, pj))
+	return float64(chiP) / float64(chiQ)
+}
+
+// ChiAligned counts the common nodes of (pi, pj) that *correspond* to
+// the common nodes of (qi, qj) under the substitutions recovered by the
+// alignments: a shared query variable corresponds when both alignments
+// bind it to the same constant; a shared query constant corresponds
+// when both data paths contain it.
+//
+// This is the χ the paper's Figure 4 labels actually realise: for
+// χ(q2,q1) = {?v2, HC}, the pair (p10, p1) shares both B1432 (= φ(?v2)
+// on both sides) and HC, giving degree 1, while (p7, p1) shares only HC
+// because φ binds ?v2 to B0045 on one side and B1432 on the other —
+// degree 0.5, the paper's dashed edge. Counting raw label overlap would
+// let incidentally-shared nodes (e.g. a class node both paths end at)
+// mask such binding disagreements.
+func ChiAligned(qi, qj paths.Path, si, sj rdf.Substitution, pi, pj paths.Path) int {
+	count := 0
+	for _, x := range paths.CommonNodes(qi, qj) {
+		if x.Kind == rdf.Var {
+			vi, oki := si[x.Value]
+			vj, okj := sj[x.Value]
+			if oki && okj && vi == vj {
+				count++
+			}
+			continue
+		}
+		if pi.ContainsNode(x) && pj.ContainsNode(x) {
+			count++
+		}
+	}
+	return count
+}
+
+// PsiAligned is ψ computed with the alignment-aware χ of ChiAligned:
+//
+//	ψ = e·|χ(qi,qj)| / χa  when χa > 0
+//	ψ = e·|χ(qi,qj)|       when χa = 0
+//
+// with χa = ChiAligned(...). This is the conformity the engine uses.
+func PsiAligned(qi, qj paths.Path, si, sj rdf.Substitution, pi, pj paths.Path, par Params) float64 {
+	chiQ := len(paths.CommonNodes(qi, qj))
+	if chiQ == 0 {
+		return 0
+	}
+	chiA := ChiAligned(qi, qj, si, sj, pi, pj)
+	if chiA > 0 {
+		return par.E * float64(chiQ) / float64(chiA)
+	}
+	return par.E * float64(chiQ)
+}
+
+// PsiDegreeAligned is the conformity degree χa / |χ(qi,qj)| under the
+// alignment-aware χ (the Figure 4 edge labels). Query pairs with no
+// common node have degree 1 by convention.
+func PsiDegreeAligned(qi, qj paths.Path, si, sj rdf.Substitution, pi, pj paths.Path) float64 {
+	chiQ := len(paths.CommonNodes(qi, qj))
+	if chiQ == 0 {
+		return 1
+	}
+	return float64(ChiAligned(qi, qj, si, sj, pi, pj)) / float64(chiQ)
+}
+
+// Conformity computes Ψ(a, Q) = Σ_{qi,qj∈Q} ψ(qi, qj, pi, pj) over the
+// unordered pairs of distinct query paths.
+func Conformity(pairs []PairedPath, par Params) float64 {
+	var sum float64
+	for i := 0; i < len(pairs); i++ {
+		for j := i + 1; j < len(pairs); j++ {
+			sum += Psi(pairs[i].Query, pairs[j].Query, pairs[i].Data, pairs[j].Data, par)
+		}
+	}
+	return sum
+}
+
+// Score computes score(a, Q) = Λ(a, Q) + Ψ(a, Q) for an answer given as
+// its query-path/data-path pairing. Lower scores rank answers as more
+// relevant (Theorem 1).
+func Score(pairs []PairedPath, par Params) float64 {
+	return Quality(pairs, par) + Conformity(pairs, par)
+}

@@ -1,0 +1,96 @@
+// Package baselines defines the common contract implemented by the
+// three comparator systems of the paper's evaluation (§6): DOGMA
+// (disk-oriented exact subgraph matching, Bröcheler et al. ISWC'09),
+// SAPPER (approximate subgraph matching with edge misses, Zhang et al.
+// PVLDB'10) and BOUNDED (bounded graph simulation, Fan et al. PVLDB'10).
+// Each is reimplemented from its paper's algorithmic core at the level
+// of fidelity the experiments need: who finds which matches, at what
+// asymptotic cost.
+package baselines
+
+import (
+	"sort"
+
+	"sama/internal/rdf"
+)
+
+// Match is one answer produced by a baseline matcher: a binding of the
+// query's nodes to data nodes plus the matched subgraph.
+type Match struct {
+	// Subst binds the query variables (node and edge variables alike).
+	Subst rdf.Substitution
+	// Graph is the matched data subgraph.
+	Graph *rdf.Graph
+	// Cost is the matcher-specific distance of the match from the query
+	// (0 for exact matches; SAPPER counts missed edges, BOUNDED counts
+	// stretched edges).
+	Cost float64
+}
+
+// Matcher is a query-answering system under comparison.
+type Matcher interface {
+	// Name identifies the system in experiment output.
+	Name() string
+	// Query returns up to k matches (k ≤ 0: all, within the matcher's
+	// internal budget), ordered by non-decreasing Cost.
+	Query(q *rdf.QueryGraph, k int) ([]Match, error)
+}
+
+// NodeCandidates builds the per-query-node candidate sets every matcher
+// starts from: a constant query node matches exactly the data node with
+// the same term (if any); a variable matches any data node (returned as
+// nil, meaning “unrestricted”).
+func NodeCandidates(g *rdf.Graph, q *rdf.QueryGraph) map[rdf.NodeID][]rdf.NodeID {
+	out := make(map[rdf.NodeID][]rdf.NodeID, q.NodeCount())
+	q.Nodes(func(qn rdf.NodeID) bool {
+		t := q.Term(qn)
+		if t.IsVar() {
+			out[qn] = nil
+			return true
+		}
+		if dn := g.NodeByTerm(t); dn != rdf.InvalidNode {
+			out[qn] = []rdf.NodeID{dn}
+		} else {
+			out[qn] = []rdf.NodeID{}
+		}
+		return true
+	})
+	return out
+}
+
+// SortMatches orders matches by cost, breaking ties by the textual form
+// of the bindings for determinism.
+func SortMatches(ms []Match) {
+	sort.SliceStable(ms, func(i, j int) bool {
+		if ms[i].Cost != ms[j].Cost {
+			return ms[i].Cost < ms[j].Cost
+		}
+		return SubstKey(ms[i].Subst) < SubstKey(ms[j].Subst)
+	})
+}
+
+// SubstKey renders a substitution as a canonical string, for dedup maps
+// and deterministic ordering.
+func SubstKey(s rdf.Substitution) string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b []byte
+	for _, k := range keys {
+		b = append(b, k...)
+		b = append(b, '=')
+		b = append(b, s[k].Label()...)
+		b = append(b, ';')
+	}
+	return string(b)
+}
+
+// Truncate returns the first k matches (k ≤ 0 returns all).
+func Truncate(ms []Match, k int) []Match {
+	if k > 0 && len(ms) > k {
+		return ms[:k]
+	}
+	return ms
+}

@@ -1,0 +1,60 @@
+package baselines
+
+import (
+	"testing"
+
+	"sama/internal/rdf"
+)
+
+func TestNodeCandidates(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddTriple(rdf.Triple{S: rdf.NewIRI("a"), P: rdf.NewIRI("p"), O: rdf.NewIRI("b")})
+	q := rdf.NewQueryGraph()
+	q.AddTriple(rdf.Triple{S: rdf.NewIRI("a"), P: rdf.NewIRI("p"), O: rdf.NewVar("x")})
+	q.AddTriple(rdf.Triple{S: rdf.NewVar("x"), P: rdf.NewIRI("p"), O: rdf.NewIRI("missing")})
+
+	c := NodeCandidates(g, q)
+	aq := q.NodeByTerm(rdf.NewIRI("a"))
+	if got := c[aq]; len(got) != 1 || g.Term(got[0]) != rdf.NewIRI("a") {
+		t.Errorf("constant candidates = %v", got)
+	}
+	xq := q.NodeByTerm(rdf.NewVar("x"))
+	if got := c[xq]; got != nil {
+		t.Errorf("variable candidates should be nil (unrestricted), got %v", got)
+	}
+	mq := q.NodeByTerm(rdf.NewIRI("missing"))
+	if got := c[mq]; got == nil || len(got) != 0 {
+		t.Errorf("absent constant should give empty non-nil set, got %v", got)
+	}
+}
+
+func TestSortAndTruncate(t *testing.T) {
+	ms := []Match{
+		{Cost: 2, Subst: rdf.Substitution{"x": rdf.NewIRI("b")}},
+		{Cost: 0, Subst: rdf.Substitution{"x": rdf.NewIRI("z")}},
+		{Cost: 0, Subst: rdf.Substitution{"x": rdf.NewIRI("a")}},
+	}
+	SortMatches(ms)
+	if ms[0].Cost != 0 || ms[1].Cost != 0 || ms[2].Cost != 2 {
+		t.Errorf("costs after sort: %v %v %v", ms[0].Cost, ms[1].Cost, ms[2].Cost)
+	}
+	if ms[0].Subst["x"].Value != "a" {
+		t.Errorf("tie-break by subst failed: %v", ms[0].Subst)
+	}
+	if got := Truncate(ms, 2); len(got) != 2 {
+		t.Errorf("Truncate(2) = %d", len(got))
+	}
+	if got := Truncate(ms, 0); len(got) != 3 {
+		t.Errorf("Truncate(0) = %d", len(got))
+	}
+}
+
+func TestSubstKeyDeterministic(t *testing.T) {
+	s := rdf.Substitution{"b": rdf.NewIRI("2"), "a": rdf.NewIRI("1")}
+	if SubstKey(s) != SubstKey(s.Clone()) {
+		t.Error("SubstKey not stable")
+	}
+	if SubstKey(s) != "a=1;b=2;" {
+		t.Errorf("SubstKey = %q", SubstKey(s))
+	}
+}

@@ -1,0 +1,308 @@
+// Package bounded reimplements the algorithmic core of bounded graph
+// simulation (Fan, Li, Ma, Tang, Wu, Wu: “Graph Pattern Matching: From
+// Intractable to Polynomial Time”, PVLDB 2010): each query edge is
+// interpreted as a bound on connectivity — a data node matches a query
+// node if, for every query edge leaving it, some matching neighbour is
+// reachable within a predefined number of hops.
+//
+// The match relation is computed by the cubic-time fixpoint of the
+// paper (repeatedly discard candidates with an unsatisfiable edge),
+// after which concrete answers are enumerated from the relation by
+// backtracking over bounded-reachability checks. The per-match Cost is
+// the total stretch: Σ over query edges of (hops used − 1), so an exact
+// one-hop match costs 0.
+package bounded
+
+import (
+	"fmt"
+	"sort"
+
+	"sama/internal/baselines"
+	"sama/internal/rdf"
+)
+
+// Options tunes the matcher.
+type Options struct {
+	// Hops is the connectivity bound per query edge (0 = 2, the small
+	// constant bound the paper's experiments use).
+	Hops int
+	// MaxResults bounds the number of matches enumerated (0 = 10000).
+	MaxResults int
+	// MaxSteps bounds the assignment enumeration (0 = 2,000,000); the
+	// simulation relation itself is cubic, but the number of concrete
+	// assignments drawn from it can be exponential.
+	MaxSteps int
+}
+
+func (o Options) maxSteps() int {
+	if o.MaxSteps <= 0 {
+		return 2_000_000
+	}
+	return o.MaxSteps
+}
+
+func (o Options) hops() int {
+	if o.Hops <= 0 {
+		return 2
+	}
+	return o.Hops
+}
+
+func (o Options) maxResults() int {
+	if o.MaxResults <= 0 {
+		return 10000
+	}
+	return o.MaxResults
+}
+
+// Matcher is a bounded-simulation instance over one data graph.
+type Matcher struct {
+	g    *rdf.Graph
+	opts Options
+}
+
+// New returns a matcher over g.
+func New(g *rdf.Graph, opts Options) *Matcher {
+	return &Matcher{g: g, opts: opts}
+}
+
+// Name implements baselines.Matcher.
+func (m *Matcher) Name() string { return "Bounded" }
+
+// Simulate computes the bounded simulation relation: for each query
+// node, the set of data nodes that can play its role. A nil entry means
+// "no candidates". This is the cubic fixpoint of Fan et al.
+func (m *Matcher) Simulate(q *rdf.QueryGraph) map[rdf.NodeID]map[rdf.NodeID]bool {
+	hops := m.opts.hops()
+	sim := make(map[rdf.NodeID]map[rdf.NodeID]bool, q.NodeCount())
+	// Initial candidates by label.
+	q.Nodes(func(qn rdf.NodeID) bool {
+		set := make(map[rdf.NodeID]bool)
+		t := q.Term(qn)
+		if t.IsVar() {
+			m.g.Nodes(func(dn rdf.NodeID) bool {
+				set[dn] = true
+				return true
+			})
+		} else if dn := m.g.NodeByTerm(t); dn != rdf.InvalidNode {
+			set[dn] = true
+		}
+		sim[qn] = set
+		return true
+	})
+	// Fixpoint: drop u from sim(qn) if some query edge qn→qm has no
+	// witness within `hops` labelled steps (the first step must match
+	// the edge label; bounded simulation relaxes the remaining hops).
+	changed := true
+	for changed {
+		changed = false
+		q.Nodes(func(qn rdf.NodeID) bool {
+			for _, qeid := range q.Out(qn) {
+				qe := q.Edge(qeid)
+				for u := range sim[qn] {
+					if !m.witness(u, qe.Label, sim[qe.To], hops) {
+						delete(sim[qn], u)
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return sim
+}
+
+// witness reports whether from reaches a node of targets within hops
+// steps, where the first step must match label (variables match any).
+func (m *Matcher) witness(from rdf.NodeID, label rdf.Term, targets map[rdf.NodeID]bool, hops int) bool {
+	ok, _ := m.reach(from, label, targets, hops)
+	return ok
+}
+
+// reach is witness plus the number of hops actually used (for Cost).
+func (m *Matcher) reach(from rdf.NodeID, label rdf.Term, targets map[rdf.NodeID]bool, hops int) (bool, int) {
+	type item struct {
+		node rdf.NodeID
+		dist int
+	}
+	// First step: labelled edge.
+	var frontier []item
+	for _, eid := range m.g.Out(from) {
+		e := m.g.Edge(eid)
+		if !label.IsVar() && e.Label != label {
+			continue
+		}
+		if targets[e.To] {
+			return true, 1
+		}
+		frontier = append(frontier, item{e.To, 1})
+	}
+	// Remaining steps: any label.
+	visited := make(map[rdf.NodeID]bool, len(frontier))
+	for _, it := range frontier {
+		visited[it.node] = true
+	}
+	for len(frontier) > 0 {
+		it := frontier[0]
+		frontier = frontier[1:]
+		if it.dist >= hops {
+			continue
+		}
+		for _, eid := range m.g.Out(it.node) {
+			to := m.g.Edge(eid).To
+			if visited[to] {
+				continue
+			}
+			if targets[to] {
+				return true, it.dist + 1
+			}
+			visited[to] = true
+			frontier = append(frontier, item{to, it.dist + 1})
+		}
+	}
+	return false, 0
+}
+
+// Query implements baselines.Matcher: concrete assignments drawn from
+// the simulation relation, each query edge realised by a bounded path.
+func (m *Matcher) Query(q *rdf.QueryGraph, k int) ([]baselines.Match, error) {
+	if q.EdgeCount() == 0 {
+		return nil, fmt.Errorf("bounded: empty query")
+	}
+	sim := m.Simulate(q)
+	// Any empty candidate set -> no match at all (simulation failed).
+	empty := false
+	q.Nodes(func(qn rdf.NodeID) bool {
+		if len(sim[qn]) == 0 {
+			empty = true
+			return false
+		}
+		return true
+	})
+	if empty {
+		return nil, nil
+	}
+	s := &enumerator{
+		m: m, q: q, sim: sim,
+		assign: make(map[rdf.NodeID]rdf.NodeID, q.NodeCount()),
+		limit:  m.opts.maxResults(),
+		steps:  m.opts.maxSteps(),
+		hops:   m.opts.hops(),
+	}
+	// Enumerate query nodes smallest candidate set first.
+	q.Nodes(func(qn rdf.NodeID) bool {
+		s.order = append(s.order, qn)
+		return true
+	})
+	for i := 1; i < len(s.order); i++ {
+		for j := i; j > 0 && len(sim[s.order[j]]) < len(sim[s.order[j-1]]); j-- {
+			s.order[j], s.order[j-1] = s.order[j-1], s.order[j]
+		}
+	}
+	s.enumerate(0, 0)
+	baselines.SortMatches(s.out)
+	return baselines.Truncate(s.out, k), nil
+}
+
+type enumerator struct {
+	m      *Matcher
+	q      *rdf.QueryGraph
+	sim    map[rdf.NodeID]map[rdf.NodeID]bool
+	order  []rdf.NodeID
+	assign map[rdf.NodeID]rdf.NodeID
+	out    []baselines.Match
+	limit  int
+	steps  int
+	hops   int
+}
+
+func (s *enumerator) enumerate(depth int, stretch int) {
+	if len(s.out) >= s.limit || s.steps <= 0 {
+		return
+	}
+	s.steps--
+	if depth == len(s.order) {
+		s.emit(stretch)
+		return
+	}
+	qn := s.order[depth]
+	cands := make([]rdf.NodeID, 0, len(s.sim[qn]))
+	for u := range s.sim[qn] {
+		cands = append(cands, u)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	for _, u := range cands {
+		s.assign[qn] = u
+		extra, ok := s.checkEdges(qn)
+		if ok {
+			s.enumerate(depth+1, stretch+extra)
+		}
+		delete(s.assign, qn)
+		if len(s.out) >= s.limit {
+			return
+		}
+	}
+}
+
+// checkEdges validates every query edge whose both endpoints are now
+// bound and involves qn, returning the added stretch.
+func (s *enumerator) checkEdges(qn rdf.NodeID) (int, bool) {
+	total := 0
+	check := func(qe rdf.Edge) bool {
+		from, okF := s.assign[qe.From]
+		to, okT := s.assign[qe.To]
+		if !okF || !okT {
+			return true
+		}
+		ok, dist := s.m.reach(from, qe.Label, map[rdf.NodeID]bool{to: true}, s.hops)
+		if !ok {
+			return false
+		}
+		total += dist - 1
+		return true
+	}
+	for _, eid := range s.q.Out(qn) {
+		if !check(s.q.Edge(eid)) {
+			return 0, false
+		}
+	}
+	for _, eid := range s.q.In(qn) {
+		qe := s.q.Edge(eid)
+		if qe.From == qn {
+			continue // self-loop already checked
+		}
+		if !check(qe) {
+			return 0, false
+		}
+	}
+	return total, true
+}
+
+func (s *enumerator) emit(stretch int) {
+	subst := rdf.Substitution{}
+	sub := rdf.NewGraph()
+	s.q.Edges(func(qe rdf.Edge) bool {
+		from := s.assign[qe.From]
+		to := s.assign[qe.To]
+		// Record the single-hop edge when it exists; multi-hop matches
+		// contribute their endpoints only (the bound is the semantics).
+		for _, eid := range s.m.g.Out(from) {
+			de := s.m.g.Edge(eid)
+			if de.To == to && (qe.Label.IsVar() || de.Label == qe.Label) {
+				sub.AddTriple(rdf.Triple{S: s.m.g.Term(from), P: de.Label, O: s.m.g.Term(to)})
+				if qe.Label.IsVar() {
+					subst[qe.Label.Value] = de.Label
+				}
+				break
+			}
+		}
+		return true
+	})
+	s.q.Nodes(func(qn rdf.NodeID) bool {
+		if t := s.q.Term(qn); t.IsVar() {
+			subst[t.Value] = s.m.g.Term(s.assign[qn])
+		}
+		return true
+	})
+	s.out = append(s.out, baselines.Match{Subst: subst, Graph: sub, Cost: float64(stretch)})
+}

@@ -1,0 +1,152 @@
+package bounded
+
+import (
+	"testing"
+
+	"sama/internal/baselines"
+	"sama/internal/rdf"
+)
+
+func TestBoundedFindsExactQ1(t *testing.T) {
+	g := baselines.Figure1Graph()
+	m := New(g, Options{})
+	matches, err := m.Query(baselines.FigureQ1(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no matches")
+	}
+	// The exact assignment must appear with cost 0.
+	foundExact := false
+	for _, ma := range matches {
+		if ma.Cost == 0 &&
+			ma.Subst["v1"].Value == "A0056" &&
+			ma.Subst["v2"].Value == "B1432" &&
+			ma.Subst["v3"].Value == "PierceDickes" {
+			foundExact = true
+		}
+	}
+	if !foundExact {
+		t.Error("exact assignment missing from bounded matches")
+	}
+	for i := 1; i < len(matches); i++ {
+		if matches[i].Cost < matches[i-1].Cost {
+			t.Error("matches out of cost order")
+		}
+	}
+}
+
+func TestBoundedStretchMatches(t *testing.T) {
+	// CarlaBunes --sponsor--> ?x --subject--> "Health Care": no direct
+	// 2-hop chain exists (A0056 has no subject edge), but within 2 hops
+	// the sponsor edge reaches B1432 which has one. Bounded semantics
+	// accepts it with stretch 1; exact matchers reject it.
+	g := baselines.Figure1Graph()
+	q := rdf.NewQueryGraph()
+	q.AddTriple(rdf.Triple{S: rdf.NewIRI("CarlaBunes"), P: rdf.NewIRI("sponsor"), O: rdf.NewVar("x")})
+	q.AddTriple(rdf.Triple{S: rdf.NewVar("x"), P: rdf.NewIRI("subject"), O: rdf.NewLiteral("Health Care")})
+
+	m := New(g, Options{Hops: 2})
+	matches, err := m.Query(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("bounded found nothing")
+	}
+	stretched := false
+	for _, ma := range matches {
+		if ma.Cost > 0 {
+			stretched = true
+		}
+	}
+	if !stretched {
+		t.Error("expected at least one stretched match")
+	}
+	// With 1 hop the simulation reduces to exact edges: x must be a
+	// bill with a subject edge directly sponsored by CarlaBunes — none.
+	m1 := New(g, Options{Hops: 1})
+	strict, err := m1.Query(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict) != 0 {
+		t.Errorf("1-hop bounded matched %d, want 0", len(strict))
+	}
+}
+
+func TestBoundedSimulationPrunes(t *testing.T) {
+	g := baselines.Figure1Graph()
+	m := New(g, Options{})
+	q := baselines.FigureQ1()
+	sim := m.Simulate(q)
+	// ?v3 candidates must all have gender Male reachable: CarlaBunes
+	// (Female) and AliceNimber (Female) must be pruned.
+	v3 := q.NodeByTerm(rdf.NewVar("v3"))
+	for dn := range sim[v3] {
+		name := g.Term(dn).Value
+		if name == "CarlaBunes" || name == "AliceNimber" {
+			t.Errorf("female node %s survived simulation for ?v3", name)
+		}
+	}
+	if len(sim[v3]) == 0 {
+		t.Error("?v3 has no candidates")
+	}
+}
+
+func TestBoundedNoMatch(t *testing.T) {
+	g := baselines.Figure1Graph()
+	m := New(g, Options{})
+	q := rdf.NewQueryGraph()
+	q.AddTriple(rdf.Triple{S: rdf.NewVar("x"), P: rdf.NewIRI("worksAt"), O: rdf.NewLiteral("Nowhere")})
+	matches, err := m.Query(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Errorf("impossible query matched %d", len(matches))
+	}
+}
+
+func TestBoundedLimitAndName(t *testing.T) {
+	g := baselines.Figure1Graph()
+	m := New(g, Options{})
+	if m.Name() != "Bounded" {
+		t.Error("name wrong")
+	}
+	q := rdf.NewQueryGraph()
+	q.AddTriple(rdf.Triple{S: rdf.NewVar("s"), P: rdf.NewIRI("gender"), O: rdf.NewLiteral("Male")})
+	matches, err := m.Query(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Errorf("limited = %d, want 2", len(matches))
+	}
+	if _, err := m.Query(rdf.NewQueryGraph(), 0); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+func TestBoundedDeterministic(t *testing.T) {
+	g := baselines.Figure1Graph()
+	m := New(g, Options{})
+	q := baselines.FigureQ1()
+	a, err := m.Query(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Query(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic result size: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if baselines.SubstKey(a[i].Subst) != baselines.SubstKey(b[i].Subst) {
+			t.Errorf("nondeterministic match %d", i)
+		}
+	}
+}

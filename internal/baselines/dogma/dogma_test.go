@@ -1,0 +1,135 @@
+package dogma
+
+import (
+	"testing"
+
+	"sama/internal/baselines"
+	"sama/internal/rdf"
+)
+
+func TestDogmaExactQ1(t *testing.T) {
+	g := baselines.Figure1Graph()
+	m := New(g, Options{})
+	matches, err := m.Query(baselines.FigureQ1(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q1 has exactly one exact homomorphism in Figure 1: v1=A0056,
+	// v2=B1432, v3=PierceDickes.
+	if len(matches) != 1 {
+		t.Fatalf("matches = %d, want 1", len(matches))
+	}
+	got := matches[0].Subst
+	want := map[string]string{"v1": "A0056", "v2": "B1432", "v3": "PierceDickes"}
+	for k, v := range want {
+		if got[k].Value != v {
+			t.Errorf("?%s = %v, want %s", k, got[k], v)
+		}
+	}
+	if matches[0].Cost != 0 {
+		t.Errorf("exact match cost = %v", matches[0].Cost)
+	}
+	if matches[0].Graph.EdgeCount() != 5 {
+		t.Errorf("match graph edges = %d, want 5", matches[0].Graph.EdgeCount())
+	}
+}
+
+func TestDogmaFindsNothingForQ2Shape(t *testing.T) {
+	// Q2 (gender + direct sponsor + any edge to Health Care) does have
+	// exact homomorphisms via the variable predicate: Dogma treats ?e1
+	// as wildcard; e.g. PierceDickes sponsors B1432 subject Health Care.
+	g := baselines.Figure1Graph()
+	m := New(g, Options{})
+	matches, err := m.Query(baselines.FigureQ2(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ma := range matches {
+		if ma.Cost != 0 {
+			t.Error("dogma must only return exact matches")
+		}
+	}
+}
+
+func TestDogmaMissingConstant(t *testing.T) {
+	g := baselines.Figure1Graph()
+	m := New(g, Options{})
+	q := rdf.NewQueryGraph()
+	q.AddTriple(rdf.Triple{S: rdf.NewIRI("Nobody"), P: rdf.NewIRI("sponsor"), O: rdf.NewVar("x")})
+	matches, err := m.Query(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Errorf("matches for absent constant = %d, want 0", len(matches))
+	}
+}
+
+func TestDogmaRelaxedQueryFails(t *testing.T) {
+	// A query asking for a female sponsor of an amendment to a bill on
+	// Health Care sponsored by a male — with a wrong edge label — has no
+	// exact match; Dogma must return nothing (this is the approximate
+	// gap Sama fills, Figures 8–9).
+	g := baselines.Figure1Graph()
+	m := New(g, Options{})
+	q := rdf.NewQueryGraph()
+	q.AddTriple(rdf.Triple{S: rdf.NewIRI("CarlaBunes"), P: rdf.NewIRI("proposes"), O: rdf.NewVar("v1")})
+	q.AddTriple(rdf.Triple{S: rdf.NewVar("v1"), P: rdf.NewIRI("aTo"), O: rdf.NewVar("v2")})
+	matches, err := m.Query(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Errorf("relaxed query matched %d times under exact semantics", len(matches))
+	}
+}
+
+func TestDogmaLimit(t *testing.T) {
+	g := baselines.Figure1Graph()
+	m := New(g, Options{})
+	q := rdf.NewQueryGraph()
+	q.AddTriple(rdf.Triple{S: rdf.NewVar("s"), P: rdf.NewIRI("sponsor"), O: rdf.NewVar("o")})
+	all, err := m.Query(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 10 { // 10 sponsor edges in Figure 1
+		t.Errorf("sponsor matches = %d, want 10", len(all))
+	}
+	two, err := m.Query(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 {
+		t.Errorf("limited matches = %d, want 2", len(two))
+	}
+}
+
+func TestDogmaPartitioning(t *testing.T) {
+	g := baselines.Figure1Graph()
+	m := New(g, Options{PartitionSize: 4})
+	if m.Partitions() < 2 {
+		t.Errorf("partitions = %d, want several with size 4", m.Partitions())
+	}
+	// Partitioning must not change the query result.
+	matches, err := m.Query(baselines.FigureQ1(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Errorf("matches with small partitions = %d, want 1", len(matches))
+	}
+}
+
+func TestDogmaEmptyQuery(t *testing.T) {
+	m := New(baselines.Figure1Graph(), Options{})
+	if _, err := m.Query(rdf.NewQueryGraph(), 0); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+func TestDogmaName(t *testing.T) {
+	if New(rdf.NewGraph(), Options{}).Name() != "Dogma" {
+		t.Error("name wrong")
+	}
+}

@@ -1,0 +1,276 @@
+// Package sapper reimplements the algorithmic core of SAPPER (Zhang,
+// Yang, Jin: “SAPPER: Subgraph Indexing and Approximate Matching in
+// Large Graphs”, PVLDB 2010): approximate subgraph matching that
+// tolerates up to Δ missing edges between the query and the match.
+//
+// Fidelity notes: SAPPER enumerates the connected spanning subgraphs of
+// the query with ≥ |E(q)| − Δ edges and matches each exactly, merging
+// the results; the edge-miss budget and the per-match cost (number of
+// missed edges) are preserved here, implemented as a single backtracking
+// search that may skip up to Δ query edges. SAPPER's hybrid
+// neighbourhood units are an in-memory filter; the equivalent role is
+// played by candidate filtering on node labels and adjacency. The
+// characteristic behaviour the evaluation depends on — SAPPER finds
+// approximate matches but “introduces noise in high values of recall”
+// (§6.3) — emerges from the miss budget: every subset of missed edges
+// yields matches, including weakly related ones.
+package sapper
+
+import (
+	"fmt"
+
+	"sama/internal/baselines"
+	"sama/internal/rdf"
+)
+
+// Options tunes the matcher.
+type Options struct {
+	// MaxMisses is Δ: the maximum number of query edges a match may
+	// miss (0 = 2, the setting used in SAPPER's own evaluation range).
+	MaxMisses int
+	// MaxResults bounds the number of matches enumerated (0 = 10000).
+	MaxResults int
+	// MaxSteps bounds the backtracking expansions (0 = 2,000,000); the
+	// miss budget makes the raw search tree exponential, so production
+	// use needs a hard ceiling.
+	MaxSteps int
+}
+
+func (o Options) maxSteps() int {
+	if o.MaxSteps <= 0 {
+		return 2_000_000
+	}
+	return o.MaxSteps
+}
+
+func (o Options) maxMisses() int {
+	if o.MaxMisses <= 0 {
+		return 2
+	}
+	return o.MaxMisses
+}
+
+func (o Options) maxResults() int {
+	if o.MaxResults <= 0 {
+		return 10000
+	}
+	return o.MaxResults
+}
+
+// Matcher is a SAPPER instance over one data graph.
+type Matcher struct {
+	g    *rdf.Graph
+	opts Options
+}
+
+// New builds a SAPPER matcher over g.
+func New(g *rdf.Graph, opts Options) *Matcher {
+	return &Matcher{g: g, opts: opts}
+}
+
+// Name implements baselines.Matcher.
+func (m *Matcher) Name() string { return "Sapper" }
+
+// Query implements baselines.Matcher: subgraph matches of q with up to
+// Δ missing edges, ordered by number of misses.
+func (m *Matcher) Query(q *rdf.QueryGraph, k int) ([]baselines.Match, error) {
+	if q.EdgeCount() == 0 {
+		return nil, fmt.Errorf("sapper: empty query")
+	}
+	maxMisses := m.opts.maxMisses()
+	if maxMisses >= q.EdgeCount() {
+		maxMisses = q.EdgeCount() - 1 // at least one edge must match
+	}
+	s := &search{
+		m: m, q: q,
+		assign:    make(map[rdf.NodeID]rdf.NodeID, q.NodeCount()),
+		order:     edgeOrder(q),
+		maxMisses: maxMisses,
+		limit:     m.opts.maxResults(),
+		steps:     m.opts.maxSteps(),
+		seen:      make(map[string]bool),
+	}
+	s.match(0, 0, nil)
+	baselines.SortMatches(s.out)
+	return baselines.Truncate(s.out, k), nil
+}
+
+// edgeOrder emits the query edges connectivity-first (same strategy as
+// the exact matchers: anchor on constants, then grow).
+func edgeOrder(q *rdf.QueryGraph) []rdf.Edge {
+	var order []rdf.Edge
+	seen := make(map[rdf.NodeID]bool)
+	used := make([]bool, q.EdgeCount())
+	for len(order) < q.EdgeCount() {
+		best := -1
+		for i := 0; i < q.EdgeCount(); i++ {
+			if used[i] {
+				continue
+			}
+			e := q.Edge(rdf.EdgeID(i))
+			connected := seen[e.From] || seen[e.To]
+			anchored := q.Term(e.From).IsConstant() || q.Term(e.To).IsConstant()
+			switch {
+			case len(order) == 0 && anchored:
+				best = i
+			case len(order) > 0 && connected:
+				best = i
+			case best < 0:
+				best = i
+			}
+			if best == i && (connected || (len(order) == 0 && anchored)) {
+				break
+			}
+		}
+		e := q.Edge(rdf.EdgeID(best))
+		used[best] = true
+		order = append(order, e)
+		seen[e.From] = true
+		seen[e.To] = true
+	}
+	return order
+}
+
+type search struct {
+	m         *Matcher
+	q         *rdf.QueryGraph
+	assign    map[rdf.NodeID]rdf.NodeID
+	order     []rdf.Edge
+	maxMisses int
+	limit     int
+	steps     int
+	out       []baselines.Match
+	seen      map[string]bool
+}
+
+// match extends the assignment edge by edge; each query edge may either
+// be matched against a data edge or counted as a miss (within budget).
+// missed accumulates the skipped edges for cost accounting.
+func (s *search) match(depth, misses int, missedEdges []rdf.EdgeID) {
+	if len(s.out) >= s.limit || s.steps <= 0 {
+		return
+	}
+	s.steps--
+	if depth == len(s.order) {
+		s.emit(misses)
+		return
+	}
+	qe := s.order[depth]
+	from, fromBound := s.assign[qe.From]
+	to, toBound := s.assign[qe.To]
+	switch {
+	case fromBound && toBound:
+		if s.edgeExists(from, to, qe.Label) {
+			s.match(depth+1, misses, missedEdges)
+		} else if misses < s.maxMisses {
+			s.match(depth+1, misses+1, append(missedEdges, qe.ID))
+		}
+		return
+	case fromBound:
+		for _, eid := range s.m.g.Out(from) {
+			de := s.m.g.Edge(eid)
+			if !labelOK(qe.Label, de.Label) || !s.nodeOK(qe.To, de.To) {
+				continue
+			}
+			s.assign[qe.To] = de.To
+			s.match(depth+1, misses, missedEdges)
+			delete(s.assign, qe.To)
+			if len(s.out) >= s.limit {
+				return
+			}
+		}
+	case toBound:
+		for _, eid := range s.m.g.In(to) {
+			de := s.m.g.Edge(eid)
+			if !labelOK(qe.Label, de.Label) || !s.nodeOK(qe.From, de.From) {
+				continue
+			}
+			s.assign[qe.From] = de.From
+			s.match(depth+1, misses, missedEdges)
+			delete(s.assign, qe.From)
+			if len(s.out) >= s.limit {
+				return
+			}
+		}
+	default:
+		s.m.g.Edges(func(de rdf.Edge) bool {
+			if !labelOK(qe.Label, de.Label) ||
+				!s.nodeOK(qe.From, de.From) || !s.nodeOK(qe.To, de.To) {
+				return true
+			}
+			s.assign[qe.From] = de.From
+			s.assign[qe.To] = de.To
+			s.match(depth+1, misses, missedEdges)
+			delete(s.assign, qe.From)
+			delete(s.assign, qe.To)
+			return len(s.out) < s.limit
+		})
+	}
+	// The edge may also be missed outright, leaving its endpoints to be
+	// bound by later edges (or left unbound: a partial match).
+	if misses < s.maxMisses {
+		s.match(depth+1, misses+1, append(missedEdges, qe.ID))
+	}
+}
+
+func labelOK(ql, dl rdf.Term) bool { return ql.IsVar() || ql == dl }
+
+func (s *search) nodeOK(qn rdf.NodeID, dn rdf.NodeID) bool {
+	t := s.q.Term(qn)
+	if t.IsVar() {
+		return true
+	}
+	return s.m.g.Term(dn) == t
+}
+
+func (s *search) edgeExists(from, to rdf.NodeID, label rdf.Term) bool {
+	for _, eid := range s.m.g.Out(from) {
+		de := s.m.g.Edge(eid)
+		if de.To == to && labelOK(label, de.Label) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *search) emit(misses int) {
+	subst := rdf.Substitution{}
+	sub := rdf.NewGraph()
+	matched := 0
+	for _, qe := range s.order {
+		from, okF := s.assign[qe.From]
+		to, okT := s.assign[qe.To]
+		if !okF || !okT {
+			continue
+		}
+		for _, eid := range s.m.g.Out(from) {
+			de := s.m.g.Edge(eid)
+			if de.To == to && labelOK(qe.Label, de.Label) {
+				sub.AddTriple(rdf.Triple{S: s.m.g.Term(from), P: de.Label, O: s.m.g.Term(to)})
+				if qe.Label.IsVar() {
+					subst[qe.Label.Value] = de.Label
+				}
+				matched++
+				break
+			}
+		}
+	}
+	if matched == 0 {
+		return // misses consumed everything; not a match
+	}
+	s.q.Nodes(func(qn rdf.NodeID) bool {
+		if t := s.q.Term(qn); t.IsVar() {
+			if dn, ok := s.assign[qn]; ok {
+				subst[t.Value] = s.m.g.Term(dn)
+			}
+		}
+		return true
+	})
+	// Deduplicate: different miss subsets can yield the same binding.
+	key := fmt.Sprintf("%d|%s", misses, baselines.SubstKey(subst))
+	if s.seen[key] {
+		return
+	}
+	s.seen[key] = true
+	s.out = append(s.out, baselines.Match{Subst: subst, Graph: sub, Cost: float64(misses)})
+}

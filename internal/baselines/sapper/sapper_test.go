@@ -1,0 +1,165 @@
+package sapper
+
+import (
+	"testing"
+
+	"sama/internal/baselines"
+	"sama/internal/rdf"
+)
+
+func TestSapperFindsExactFirst(t *testing.T) {
+	g := baselines.Figure1Graph()
+	m := New(g, Options{})
+	matches, err := m.Query(baselines.FigureQ1(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no matches")
+	}
+	if matches[0].Cost != 0 {
+		t.Errorf("best match cost = %v, want 0 (exact)", matches[0].Cost)
+	}
+	want := map[string]string{"v1": "A0056", "v2": "B1432", "v3": "PierceDickes"}
+	for k, v := range want {
+		if matches[0].Subst[k].Value != v {
+			t.Errorf("?%s = %v, want %s", k, matches[0].Subst[k], v)
+		}
+	}
+	// Ordered by misses.
+	for i := 1; i < len(matches); i++ {
+		if matches[i].Cost < matches[i-1].Cost {
+			t.Errorf("matches out of cost order at %d", i)
+		}
+	}
+}
+
+func TestSapperFindsMoreThanExact(t *testing.T) {
+	// With Δ > 0 SAPPER must return strictly more matches than the
+	// exact matcher on an approximate query (the Figure 8 behaviour).
+	g := baselines.Figure1Graph()
+	m := New(g, Options{MaxMisses: 1})
+	matches, err := m.Query(baselines.FigureQ1(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, approx := 0, 0
+	for _, ma := range matches {
+		if ma.Cost == 0 {
+			exact++
+		} else {
+			approx++
+		}
+	}
+	if exact != 1 {
+		t.Errorf("exact matches = %d, want 1", exact)
+	}
+	if approx == 0 {
+		t.Error("no approximate matches with Δ=1")
+	}
+}
+
+func TestSapperMissBudgetRespected(t *testing.T) {
+	g := baselines.Figure1Graph()
+	m := New(g, Options{MaxMisses: 2})
+	matches, err := m.Query(baselines.FigureQ1(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ma := range matches {
+		if ma.Cost > 2 {
+			t.Errorf("match exceeds miss budget: %v", ma.Cost)
+		}
+		if ma.Graph.EdgeCount() == 0 {
+			t.Error("match with no matched edge emitted")
+		}
+	}
+}
+
+func TestSapperNoExactAnswerStillMatches(t *testing.T) {
+	// A query with one unsatisfiable edge: SAPPER absorbs it as a miss.
+	g := baselines.Figure1Graph()
+	m := New(g, Options{MaxMisses: 1})
+	q := rdf.NewQueryGraph()
+	q.AddTriple(rdf.Triple{S: rdf.NewVar("v3"), P: rdf.NewIRI("gender"), O: rdf.NewLiteral("Male")})
+	q.AddTriple(rdf.Triple{S: rdf.NewVar("v3"), P: rdf.NewIRI("hasRole"), O: rdf.NewVar("r")})
+	matches, err := m.Query(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ma := range matches {
+		if ma.Cost == 1 {
+			found = true
+		}
+		if ma.Cost == 0 {
+			t.Errorf("impossible exact match: %v", ma.Subst)
+		}
+	}
+	if !found {
+		t.Error("no 1-miss matches for partially unsatisfiable query")
+	}
+}
+
+func TestSapperDeduplicates(t *testing.T) {
+	g := baselines.Figure1Graph()
+	m := New(g, Options{MaxMisses: 2})
+	matches, err := m.Query(baselines.FigureQ2(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, ma := range matches {
+		key := baselines.SubstKey(ma.Subst)
+		full := key + "|" + itoa(int(ma.Cost))
+		if seen[full] {
+			t.Errorf("duplicate match %s", full)
+		}
+		seen[full] = true
+	}
+}
+
+func itoa(n int) string { return string(rune('0' + n)) }
+
+func TestSapperLimit(t *testing.T) {
+	g := baselines.Figure1Graph()
+	m := New(g, Options{})
+	matches, err := m.Query(baselines.FigureQ1(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 3 {
+		t.Errorf("limited matches = %d, want 3", len(matches))
+	}
+}
+
+func TestSapperEmptyQuery(t *testing.T) {
+	m := New(baselines.Figure1Graph(), Options{})
+	if _, err := m.Query(rdf.NewQueryGraph(), 0); err == nil {
+		t.Error("empty query accepted")
+	}
+	if m.Name() != "Sapper" {
+		t.Error("name wrong")
+	}
+}
+
+func TestSapperSingleEdgeQueryNeverAllMissed(t *testing.T) {
+	// Δ ≥ |E(q)| would allow matching nothing at all; the matcher must
+	// clamp so at least one edge matches.
+	g := baselines.Figure1Graph()
+	m := New(g, Options{MaxMisses: 10})
+	q := rdf.NewQueryGraph()
+	q.AddTriple(rdf.Triple{S: rdf.NewVar("x"), P: rdf.NewIRI("gender"), O: rdf.NewLiteral("Male")})
+	matches, err := m.Query(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 4 {
+		t.Errorf("matches = %d, want the 4 male nodes", len(matches))
+	}
+	for _, ma := range matches {
+		if ma.Cost != 0 {
+			t.Errorf("single-edge match with misses: %v", ma.Cost)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package baselines
+
+import "sama/internal/rdf"
+
+// Figure1Graph builds the GovTrack data graph of the paper's Figure 1(a).
+// It lives here so every baseline package (and the experiment harness)
+// tests against the same fixture.
+func Figure1Graph() *rdf.Graph {
+	g := rdf.NewGraph()
+	iri := rdf.NewIRI
+	lit := rdf.NewLiteral
+	add := func(s, p, o rdf.Term) { g.AddTriple(rdf.Triple{S: s, P: p, O: o}) }
+	add(iri("CarlaBunes"), iri("sponsor"), iri("A0056"))
+	add(iri("JeffRyser"), iri("sponsor"), iri("A1589"))
+	add(iri("KeithFarmer"), iri("sponsor"), iri("A1232"))
+	add(iri("JohnMcRie"), iri("sponsor"), iri("A0772"))
+	add(iri("JohnMcRie"), iri("sponsor"), iri("A1232"))
+	add(iri("PierceDickes"), iri("sponsor"), iri("A0467"))
+	add(iri("A0056"), iri("aTo"), iri("B1432"))
+	add(iri("A1589"), iri("aTo"), iri("B0532"))
+	add(iri("A1232"), iri("aTo"), iri("B0045"))
+	add(iri("A0772"), iri("aTo"), iri("B0045"))
+	add(iri("A0467"), iri("aTo"), iri("B0532"))
+	add(iri("JeffRyser"), iri("sponsor"), iri("B0045"))
+	add(iri("PeterTraves"), iri("sponsor"), iri("B0532"))
+	add(iri("AliceNimber"), iri("sponsor"), iri("B1432"))
+	add(iri("PierceDickes"), iri("sponsor"), iri("B1432"))
+	add(iri("B1432"), iri("subject"), lit("Health Care"))
+	add(iri("B0532"), iri("subject"), lit("Health Care"))
+	add(iri("B0045"), iri("subject"), lit("Health Care"))
+	add(iri("JeffRyser"), iri("gender"), lit("Male"))
+	add(iri("KeithFarmer"), iri("gender"), lit("Male"))
+	add(iri("JohnMcRie"), iri("gender"), lit("Male"))
+	add(iri("PierceDickes"), iri("gender"), lit("Male"))
+	add(iri("CarlaBunes"), iri("gender"), lit("Female"))
+	add(iri("AliceNimber"), iri("gender"), lit("Female"))
+	return g
+}
+
+// FigureQ1 builds the paper's query Q1.
+func FigureQ1() *rdf.QueryGraph {
+	iri := rdf.NewIRI
+	lit := rdf.NewLiteral
+	vr := rdf.NewVar
+	q := rdf.NewQueryGraph()
+	q.AddTriple(rdf.Triple{S: iri("CarlaBunes"), P: iri("sponsor"), O: vr("v1")})
+	q.AddTriple(rdf.Triple{S: vr("v1"), P: iri("aTo"), O: vr("v2")})
+	q.AddTriple(rdf.Triple{S: vr("v2"), P: iri("subject"), O: lit("Health Care")})
+	q.AddTriple(rdf.Triple{S: vr("v3"), P: iri("sponsor"), O: vr("v2")})
+	q.AddTriple(rdf.Triple{S: vr("v3"), P: iri("gender"), O: lit("Male")})
+	return q
+}
+
+// FigureQ2 builds the paper's query Q2 (no exact answer exists).
+func FigureQ2() *rdf.QueryGraph {
+	iri := rdf.NewIRI
+	lit := rdf.NewLiteral
+	vr := rdf.NewVar
+	q := rdf.NewQueryGraph()
+	q.AddTriple(rdf.Triple{S: vr("v3"), P: iri("gender"), O: lit("Male")})
+	q.AddTriple(rdf.Triple{S: vr("v3"), P: iri("sponsor"), O: vr("v2")})
+	q.AddTriple(rdf.Triple{S: vr("v2"), P: vr("e1"), O: lit("Health Care")})
+	return q
+}

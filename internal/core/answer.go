@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"sama/internal/align"
+	"sama/internal/paths"
+	"sama/internal/rdf"
+)
+
+// Answer is one approximate answer: a combination of data paths, one per
+// matched query path, with its score decomposition.
+type Answer struct {
+	// Pairs maps each matched query path to its chosen data path and
+	// alignment, in cluster order.
+	Pairs []align.PairedPath
+	// Missing lists the query paths for which no candidate was found;
+	// their deletion penalty is folded into Lambda.
+	Missing []paths.Path
+	// Lambda is Λ(a, Q) including miss penalties; Psi is Ψ(a, Q);
+	// Score = Lambda + Psi. Lower is more relevant.
+	Lambda, Psi, Score float64
+	// Degree is the total conformity degree of the combination forest
+	// (Σ of align.PsiDegree over intersection-graph edges). It breaks
+	// score ties the way Figure 4 does: prefer solid edges (higher
+	// degree) over dashed ones.
+	Degree float64
+	// Subst is the merged substitution across the combination's
+	// alignments. Conflicting bindings keep the value from the
+	// best-aligned (earliest) pair.
+	Subst rdf.Substitution
+}
+
+// mergeSubstitutions folds the per-alignment bindings into Answer.Subst.
+func (a *Answer) mergeSubstitutions() {
+	a.Subst = rdf.Substitution{}
+	for _, pr := range a.Pairs {
+		if pr.Alignment == nil {
+			continue
+		}
+		for name, val := range pr.Alignment.Subst {
+			if _, ok := a.Subst[name]; !ok {
+				a.Subst[name] = val
+			}
+		}
+	}
+}
+
+// Exact reports whether the answer is an exact answer in the sense of
+// Definition 3 (τ empty): every alignment is perfect, no query path was
+// missed, and the per-path substitutions agree on every shared query
+// node (all forest edges solid) — so one substitution φ covers Q.
+func (a Answer) Exact() bool {
+	if len(a.Missing) > 0 {
+		return false
+	}
+	for _, pr := range a.Pairs {
+		if pr.Alignment == nil || !pr.Alignment.Perfect() {
+			return false
+		}
+	}
+	for _, fe := range a.Forest() {
+		if !fe.Solid() {
+			return false
+		}
+	}
+	return true
+}
+
+// Graph materialises the answer as a data graph: the union of its data
+// paths' statements.
+func (a Answer) Graph() *rdf.Graph {
+	g := rdf.NewGraph()
+	for _, pr := range a.Pairs {
+		for _, t := range pr.Data.Triples() {
+			if t.Valid() == nil {
+				g.AddTriple(t)
+			}
+		}
+	}
+	return g
+}
+
+// String renders a compact human-readable summary.
+func (a Answer) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "answer{score %.2f = Λ %.2f + Ψ %.2f", a.Score, a.Lambda, a.Psi)
+	if a.Exact() {
+		b.WriteString(", exact")
+	}
+	b.WriteString("}\n")
+	for _, pr := range a.Pairs {
+		fmt.Fprintf(&b, "  %s  ⇐  %s  [%.2f]\n", pr.Query, pr.Data, pr.Alignment.Cost)
+	}
+	for _, m := range a.Missing {
+		fmt.Fprintf(&b, "  %s  ⇐  (no match)\n", m)
+	}
+	return b.String()
+}
+
+// ForestEdge is one edge of the combination forest of Figure 4: the two
+// answer pairs it connects, the intersection-graph edge they realise,
+// and the conformity degree labelling it (1 = solid edge, < 1 = dashed).
+type ForestEdge struct {
+	// From and To index Answer.Pairs.
+	From, To int
+	// Degree is align.PsiDegree of the pair: |χ(pi,pj)| / |χ(qi,qj)|.
+	Degree float64
+}
+
+// Solid reports whether the edge is drawn solid in the paper's figure
+// (perfect conformity).
+func (fe ForestEdge) Solid() bool { return fe.Degree == 1 }
+
+// Forest returns the combination forest edges of the answer: one edge
+// per pair of chosen data paths whose query paths intersect, labelled
+// with the alignment-aware conformity degree.
+func (a Answer) Forest() []ForestEdge {
+	var out []ForestEdge
+	for i := 0; i < len(a.Pairs); i++ {
+		for j := i + 1; j < len(a.Pairs); j++ {
+			if len(paths.CommonNodes(a.Pairs[i].Query, a.Pairs[j].Query)) == 0 {
+				continue
+			}
+			var si, sj rdf.Substitution
+			if a.Pairs[i].Alignment != nil {
+				si = a.Pairs[i].Alignment.Subst
+			}
+			if a.Pairs[j].Alignment != nil {
+				sj = a.Pairs[j].Alignment.Subst
+			}
+			out = append(out, ForestEdge{
+				From: i,
+				To:   j,
+				Degree: align.PsiDegreeAligned(a.Pairs[i].Query, a.Pairs[j].Query,
+					si, sj, a.Pairs[i].Data, a.Pairs[j].Data),
+			})
+		}
+	}
+	return out
+}
+
+// Bindings projects the answer's substitution onto the given variable
+// names (a SPARQL SELECT projection). Unbound variables are omitted.
+func (a Answer) Bindings(vars []string) map[string]rdf.Term {
+	out := make(map[string]rdf.Term, len(vars))
+	for _, v := range vars {
+		if t, ok := a.Subst[v]; ok {
+			out[v] = t
+		}
+	}
+	return out
+}

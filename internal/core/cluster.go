@@ -1,0 +1,193 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"sama/internal/align"
+	"sama/internal/index"
+	"sama/internal/paths"
+)
+
+// ClusterItem is one candidate data path inside a cluster, with its
+// alignment against the cluster's query path. Items are ordered by
+// non-decreasing cost (the paper orders “according to their score with
+// the greater coming first” — scores there are displayed as penalties;
+// the ranking intent, best alignment first, is the same).
+type ClusterItem struct {
+	ID        index.PathID
+	Path      paths.Path
+	Alignment *align.Alignment
+}
+
+// Cost returns λ(p, q) for this item.
+func (ci ClusterItem) Cost() float64 { return ci.Alignment.Cost }
+
+// Cluster groups the candidate data paths for one query path (§5,
+// Clustering).
+type Cluster struct {
+	// QueryIndex is the position of the query path in Preprocessed.Paths.
+	QueryIndex int
+	// Query is the query path this cluster serves.
+	Query paths.Path
+	// Items are the ranked candidates, best (lowest λ) first.
+	Items []ClusterItem
+	// Retrieved is the number of candidate paths the index returned for
+	// this cluster before capping — the per-cluster contribution to the
+	// I of Figure 7(a).
+	Retrieved int
+}
+
+// Cluster retrieves and ranks the candidate data paths for every query
+// path. Retrieval follows §5: candidates share the query path's sink;
+// when the sink is a variable, the first constant value occurring in q
+// scanning from the end is used instead, matching any path containing
+// that label. Query paths with no constants fall back to a bounded scan.
+// Clusters are built concurrently, one goroutine per query path — the
+// index is read-only at query time, which is the parallelism §6.1 calls
+// out (“supporting parallel implementations”).
+func (e *Engine) Cluster(pre *Preprocessed) ([]Cluster, error) {
+	clusters := make([]Cluster, len(pre.Paths))
+	errs := make([]error, len(pre.Paths))
+	var wg sync.WaitGroup
+	for qi := range pre.Paths {
+		wg.Add(1)
+		go func(qi int) {
+			defer wg.Done()
+			clusters[qi], errs[qi] = e.buildCluster(qi, pre.Paths[qi])
+		}(qi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return clusters, nil
+}
+
+// buildCluster retrieves, aligns and ranks the candidates for one query
+// path.
+func (e *Engine) buildCluster(qi int, q paths.Path) (Cluster, error) {
+	ids := e.retrieve(q)
+	if len(ids) == 0 {
+		return Cluster{QueryIndex: qi, Query: q}, nil
+	}
+	retrieved := len(ids)
+	ids = e.preRank(ids, q)
+	items := make([]ClusterItem, 0, len(ids))
+	var shorter []ClusterItem
+	aligner := align.NewGreedy(e.par)
+	for _, id := range ids {
+		p, err := e.idx.Path(id)
+		if err != nil {
+			return Cluster{}, err
+		}
+		item := ClusterItem{ID: id, Path: p, Alignment: aligner.Align(p, q)}
+		// Figure 3 clusters only paths at least as long as the query
+		// path (insertions into q are allowed, deletions are not):
+		// cl1 holds the six 4-node paths only, while cl2 also keeps
+		// them next to its 3-node exact matches. Shorter paths are
+		// kept as a fallback so a cluster never comes back empty
+		// when the data offers only truncated matches.
+		if p.Length() < q.Length() {
+			shorter = append(shorter, item)
+			continue
+		}
+		items = append(items, item)
+	}
+	if len(items) == 0 {
+		items = shorter
+	}
+	sort.SliceStable(items, func(i, j int) bool {
+		if items[i].Alignment.Cost != items[j].Alignment.Cost {
+			return items[i].Alignment.Cost < items[j].Alignment.Cost
+		}
+		return items[i].ID < items[j].ID
+	})
+	if max := e.opts.maxCandidates(); len(items) > max {
+		items = items[:max]
+	}
+	return Cluster{
+		QueryIndex: qi,
+		Query:      q,
+		Items:      items,
+		Retrieved:  retrieved,
+	}, nil
+}
+
+// preRank bounds the candidates that get materialised and aligned. When
+// the index returns far more paths than the cluster will keep, only the
+// most promising are worth a disk read. Promise is estimated from the
+// in-memory tables only: primarily how many of the query path's
+// constant labels the candidate contains (each absent label forces a
+// mismatch or deletion), secondarily the length deficit (paths shorter
+// than the query pay deletions; surplus length is free context). The
+// frontier is cut at twice the cluster cap.
+func (e *Engine) preRank(ids []index.PathID, q paths.Path) []index.PathID {
+	budget := 2 * e.opts.maxCandidates()
+	if len(ids) <= budget {
+		return ids
+	}
+	var constants []string
+	for _, n := range q.Nodes {
+		if n.IsConstant() {
+			constants = append(constants, n.Label())
+		}
+	}
+	for _, eLbl := range q.Edges {
+		if eLbl.IsConstant() {
+			constants = append(constants, eLbl.Label())
+		}
+	}
+	qlen := q.Length()
+	keys := make(map[index.PathID]int, len(ids))
+	for _, id := range ids {
+		missing := 0
+		for _, c := range constants {
+			if !e.idx.ContainsLabel(id, c) {
+				missing++
+			}
+		}
+		deficit := 0
+		if plen := e.idx.PathLength(id); plen < qlen {
+			deficit = qlen - plen
+		}
+		keys[id] = missing*64 + deficit
+	}
+	sort.SliceStable(ids, func(i, j int) bool { return keys[ids[i]] < keys[ids[j]] })
+	return ids[:budget]
+}
+
+// retrieve returns the candidate path IDs for one query path.
+func (e *Engine) retrieve(q paths.Path) []index.PathID {
+	sink := q.Sink()
+	if sink.IsConstant() {
+		if ids := e.idx.PathsBySink(sink.Label()); len(ids) > 0 {
+			return ids
+		}
+		// No path ends at a matching sink: degrade to containment so the
+		// approximate search still has material to work with.
+		return e.idx.PathsByLabel(sink.Label())
+	}
+	if v, ok := q.FirstConstantFromEnd(); ok {
+		return e.idx.PathsByLabel(v.Label())
+	}
+	// All-variable query path: try constant edge labels, then give up
+	// with a bounded scan of the index.
+	for i := len(q.Edges) - 1; i >= 0; i-- {
+		if q.Edges[i].IsConstant() {
+			if ids := e.idx.PathsByLabel(q.Edges[i].Label()); len(ids) > 0 {
+				return ids
+			}
+		}
+	}
+	max := e.opts.maxFallback()
+	ids := make([]index.PathID, 0, max)
+	for i := 0; i < e.idx.NumPaths() && len(ids) < max; i++ {
+		if e.idx.Live(index.PathID(i)) {
+			ids = append(ids, index.PathID(i))
+		}
+	}
+	return ids
+}

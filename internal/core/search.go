@@ -1,0 +1,448 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+
+	"sama/internal/align"
+	"sama/internal/paths"
+	"sama/internal/rdf"
+)
+
+// Search combines the clustered paths into the top-k answers (§5,
+// Search). Combinations are expanded from the per-cluster rankings in
+// non-decreasing Λ order through a priority queue (one path per
+// cluster, starting from the all-best combination and relaxing one
+// cluster at a time); each visited combination is scored with the full
+// score = Λ + Ψ.
+//
+// Early termination is sound: under the alignment-aware χ, χa ≤ |χ(qi,
+// qj)|, so every matched intersection-graph pair contributes ψ ≥ e.
+// Once the frontier's Λ plus that Ψ lower bound exceeds the k-th best
+// total, no unseen combination can improve the result set. k ≤ 0
+// returns every combination visited (within the MaxCombinations
+// budget).
+func (e *Engine) Search(pre *Preprocessed, clusters []Cluster, k int) []Answer {
+	// Split effective clusters (with candidates) from missed query
+	// paths, which contribute a fixed deletion penalty to Λ and a fixed
+	// non-conformity penalty to Ψ.
+	var eff []Cluster
+	var missing []paths.Path
+	missed := make(map[int]bool)
+	for _, cl := range clusters {
+		if len(cl.Items) == 0 {
+			missing = append(missing, cl.Query)
+			missed[cl.QueryIndex] = true
+			continue
+		}
+		eff = append(eff, cl)
+	}
+	basePenalty := e.missPenalty(pre, missing, missed)
+	if len(eff) == 0 {
+		return nil // nothing matched at all
+	}
+
+	sc := newComboScorer(e, pre, eff)
+	psiMin := e.par.E * float64(len(sc.pairs))
+
+	frontier := &comboHeap{}
+	start := combo{idx: make([]int, len(eff))}
+	start.lambda = e.comboLambda(eff, start.idx) + basePenalty
+	heap.Push(frontier, start)
+	seen := map[string]bool{start.key(): true}
+
+	type scored struct {
+		idx         []int
+		lambda      float64
+		psi, degree float64
+		score       float64
+	}
+	var results []scored
+	worst := func() float64 { // k-th best total so far
+		if k <= 0 || len(results) < k {
+			return -1
+		}
+		return results[k-1].score
+	}
+
+	visited := 0
+	tieVisits := 0
+	maxVisits := e.opts.maxCombinations()
+	maxTies := e.opts.maxTieVisits()
+	for frontier.Len() > 0 && visited < maxVisits {
+		c := heap.Pop(frontier).(combo)
+		if w := worst(); w >= 0 {
+			lb := c.lambda + psiMin
+			if lb > w {
+				// No unseen combination can reach the top k.
+				break
+			}
+			if lb == w {
+				// Ties can still win on the conformity-degree
+				// tie-break; explore a bounded number of them.
+				tieVisits++
+				if tieVisits > maxTies {
+					break
+				}
+			}
+		}
+		visited++
+		psi, degree := sc.score(c.idx)
+		s := scored{
+			idx:    c.idx,
+			lambda: c.lambda,
+			psi:    psi,
+			degree: degree,
+			score:  c.lambda + psi,
+		}
+		// Insert sorted by (score asc, degree desc).
+		pos := sort.Search(len(results), func(i int) bool {
+			if results[i].score != s.score {
+				return results[i].score > s.score
+			}
+			return results[i].degree < s.degree
+		})
+		results = append(results, scored{})
+		copy(results[pos+1:], results[pos:])
+		results[pos] = s
+		if k > 0 && len(results) > k {
+			results = results[:k]
+		}
+
+		// Expand successors: advance one cluster's candidate index.
+		for ci := range c.idx {
+			if c.idx[ci]+1 >= len(eff[ci].Items) {
+				continue
+			}
+			next := combo{idx: append([]int(nil), c.idx...)}
+			next.idx[ci]++
+			key := next.key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			next.lambda = e.comboLambda(eff, next.idx) + basePenalty
+			heap.Push(frontier, next)
+		}
+	}
+
+	// Join pass: the heap explores combinations in Λ order, which can
+	// leave binding-consistent combinations (the ones with solid forest
+	// edges) beyond the tie-visit horizon when clusters are large.
+	// Construct them directly — a greedy hash-join on the shared query
+	// variables — and let them compete in the ranking.
+	for _, idx := range e.joinCombos(eff, sc) {
+		key := combo{idx: idx}.key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		lambda := e.comboLambda(eff, idx) + basePenalty
+		psi, degree := sc.score(idx)
+		s := scored{idx: idx, lambda: lambda, psi: psi, degree: degree, score: lambda + psi}
+		pos := sort.Search(len(results), func(i int) bool {
+			if results[i].score != s.score {
+				return results[i].score > s.score
+			}
+			return results[i].degree < s.degree
+		})
+		results = append(results, scored{})
+		copy(results[pos+1:], results[pos:])
+		results[pos] = s
+		if k > 0 && len(results) > k {
+			results = results[:k]
+		}
+	}
+
+	// Materialise only the surviving combinations.
+	answers := make([]Answer, len(results))
+	for i, s := range results {
+		answers[i] = e.buildAnswer(eff, s.idx, missing, s.lambda, s.psi, s.degree)
+	}
+	return answers
+}
+
+// joinCombos builds combinations whose per-path substitutions agree on
+// the shared query variables: a hash-join over each intersection-graph
+// pair (probe one cluster's shared-variable bindings into the other's),
+// with each match greedily extended to the remaining clusters.
+func (e *Engine) joinCombos(eff []Cluster, sc *comboScorer) [][]int {
+	const (
+		maxSeedsPerPair = 48
+		maxTotalSeeds   = 192
+		maxChecksPerCol = 512
+	)
+	if len(eff) < 2 || len(sc.pairs) == 0 {
+		return nil
+	}
+	compatible := func(bound map[string]rdf.Term, item ClusterItem) bool {
+		for name, val := range item.Alignment.Subst {
+			if prev, ok := bound[name]; ok && prev != val {
+				return false
+			}
+		}
+		return true
+	}
+	// extend completes a partial combo over the remaining clusters.
+	extend := func(idx []int, have map[int]bool, bound map[string]rdf.Term) bool {
+		for ci := range eff {
+			if have[ci] {
+				continue
+			}
+			found := -1
+			checks := len(eff[ci].Items)
+			if checks > maxChecksPerCol {
+				checks = maxChecksPerCol
+			}
+			for ii := 0; ii < checks; ii++ {
+				if compatible(bound, eff[ci].Items[ii]) {
+					found = ii
+					break
+				}
+			}
+			if found < 0 {
+				return false
+			}
+			idx[ci] = found
+			for name, val := range eff[ci].Items[found].Alignment.Subst {
+				if _, dup := bound[name]; !dup {
+					bound[name] = val
+				}
+			}
+		}
+		return true
+	}
+
+	var out [][]int
+	for _, pr := range sc.pairs {
+		if len(out) >= maxTotalSeeds {
+			break
+		}
+		// Shared variables of this query-path pair.
+		var shared []string
+		for _, x := range paths.CommonNodes(pr.qi, pr.qj) {
+			if x.Kind == rdf.Var {
+				shared = append(shared, x.Value)
+			}
+		}
+		if len(shared) == 0 {
+			continue
+		}
+		bindingKey := func(item ClusterItem) (string, bool) {
+			var b []byte
+			for _, v := range shared {
+				val, ok := item.Alignment.Subst[v]
+				if !ok {
+					return "", false
+				}
+				b = append(b, val.Label()...)
+				b = append(b, 0x1f)
+			}
+			return string(b), true
+		}
+		// Build side: the smaller cluster of the pair.
+		build, probe := pr.ci, pr.cj
+		if len(eff[probe].Items) < len(eff[build].Items) {
+			build, probe = probe, build
+		}
+		index := make(map[string]int, len(eff[build].Items))
+		for ii, item := range eff[build].Items {
+			if key, ok := bindingKey(item); ok {
+				if _, dup := index[key]; !dup {
+					index[key] = ii // best-cost item wins (items sorted)
+				}
+			}
+		}
+		seeds := 0
+		for ii, item := range eff[probe].Items {
+			if seeds >= maxSeedsPerPair || len(out) >= maxTotalSeeds {
+				break
+			}
+			key, ok := bindingKey(item)
+			if !ok {
+				continue
+			}
+			jj, hit := index[key]
+			if !hit {
+				continue
+			}
+			idx := make([]int, len(eff))
+			idx[probe], idx[build] = ii, jj
+			bound := make(map[string]rdf.Term, 8)
+			for name, val := range item.Alignment.Subst {
+				bound[name] = val
+			}
+			for name, val := range eff[build].Items[jj].Alignment.Subst {
+				if _, dup := bound[name]; !dup {
+					bound[name] = val
+				}
+			}
+			if extend(idx, map[int]bool{probe: true, build: true}, bound) {
+				out = append(out, idx)
+				seeds++
+			}
+		}
+	}
+	return out
+}
+
+// comboScorer memoises the pairwise ψ/degree contributions: the same
+// (cluster, item) pair recurs across thousands of combinations, but its
+// conformity only depends on the two chosen items.
+type comboScorer struct {
+	e   *Engine
+	eff []Cluster
+	// pairs are the intersection-graph edges whose two endpoints both
+	// have an effective cluster, as (effective-cluster index, query
+	// path) pairs.
+	pairs []scorerPair
+	memo  map[uint64][2]float64
+}
+
+type scorerPair struct {
+	ci, cj int
+	qi, qj paths.Path
+}
+
+func newComboScorer(e *Engine, pre *Preprocessed, eff []Cluster) *comboScorer {
+	byQueryIndex := make(map[int]int, len(eff))
+	for i, cl := range eff {
+		byQueryIndex[cl.QueryIndex] = i
+	}
+	sc := &comboScorer{e: e, eff: eff, memo: make(map[uint64][2]float64)}
+	for qi, edges := range pre.IG {
+		ci, ok := byQueryIndex[qi]
+		if !ok {
+			continue
+		}
+		for _, edge := range edges {
+			if edge.To < qi {
+				continue
+			}
+			cj, ok := byQueryIndex[edge.To]
+			if !ok {
+				continue
+			}
+			sc.pairs = append(sc.pairs, scorerPair{
+				ci: ci, cj: cj,
+				qi: pre.Paths[qi], qj: pre.Paths[edge.To],
+			})
+		}
+	}
+	return sc
+}
+
+// score returns (Ψ, degree) for the combination.
+func (sc *comboScorer) score(idx []int) (float64, float64) {
+	var psi, degree float64
+	for pi, pr := range sc.pairs {
+		ii, jj := idx[pr.ci], idx[pr.cj]
+		key := uint64(pi)<<40 | uint64(ii)<<20 | uint64(jj)
+		if v, ok := sc.memo[key]; ok {
+			psi += v[0]
+			degree += v[1]
+			continue
+		}
+		a := sc.eff[pr.ci].Items[ii]
+		b := sc.eff[pr.cj].Items[jj]
+		var p, d float64
+		if sc.e.opts.RawChi {
+			p = align.Psi(pr.qi, pr.qj, a.Path, b.Path, sc.e.par)
+			d = align.PsiDegree(pr.qi, pr.qj, a.Path, b.Path)
+		} else {
+			p = align.PsiAligned(pr.qi, pr.qj, a.Alignment.Subst, b.Alignment.Subst,
+				a.Path, b.Path, sc.e.par)
+			d = align.PsiDegreeAligned(pr.qi, pr.qj, a.Alignment.Subst, b.Alignment.Subst,
+				a.Path, b.Path)
+		}
+		sc.memo[key] = [2]float64{p, d}
+		psi += p
+		degree += d
+	}
+	return psi, degree
+}
+
+// missPenalty prices the query paths with empty clusters: each costs its
+// full deletion (A per node, C per edge) plus the worst-case ψ for every
+// intersection-graph edge touching it.
+func (e *Engine) missPenalty(pre *Preprocessed, missing []paths.Path, missed map[int]bool) float64 {
+	var pen float64
+	for _, q := range missing {
+		pen += e.par.A*float64(len(q.Nodes)) + e.par.C*float64(len(q.Edges))
+	}
+	for qi, edges := range pre.IG {
+		for _, edge := range edges {
+			if edge.To < qi {
+				continue // count each undirected edge once
+			}
+			if missed[qi] || missed[edge.To] {
+				pen += e.par.E * float64(edge.Chi)
+			}
+		}
+	}
+	return pen
+}
+
+// comboLambda sums the alignment costs of the selected items.
+func (e *Engine) comboLambda(eff []Cluster, idx []int) float64 {
+	var sum float64
+	for ci, ii := range idx {
+		sum += eff[ci].Items[ii].Cost()
+	}
+	return sum
+}
+
+// buildAnswer materialises one scored combination.
+func (e *Engine) buildAnswer(eff []Cluster, idx []int, missing []paths.Path, lambda, psi, degree float64) Answer {
+	pairs := make([]align.PairedPath, len(eff))
+	for ci, ii := range idx {
+		item := eff[ci].Items[ii]
+		pairs[ci] = align.PairedPath{
+			Query:     eff[ci].Query,
+			Data:      item.Path,
+			Alignment: item.Alignment,
+		}
+	}
+	ans := Answer{
+		Pairs:   pairs,
+		Missing: missing,
+		Lambda:  lambda,
+		Psi:     psi,
+		Degree:  degree,
+	}
+	ans.Score = ans.Lambda + ans.Psi
+	ans.mergeSubstitutions()
+	return ans
+}
+
+// combo is one combination of per-cluster candidate indices.
+type combo struct {
+	idx    []int
+	lambda float64
+}
+
+func (c combo) key() string {
+	b := make([]byte, 0, len(c.idx)*3)
+	for _, i := range c.idx {
+		for i > 0x7f {
+			b = append(b, byte(i&0x7f)|0x80)
+			i >>= 7
+		}
+		b = append(b, byte(i), 0xff)
+	}
+	return string(b)
+}
+
+type comboHeap []combo
+
+func (h comboHeap) Len() int           { return len(h) }
+func (h comboHeap) Less(i, j int) bool { return h[i].lambda < h[j].lambda }
+func (h comboHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *comboHeap) Push(x any)        { *h = append(*h, x.(combo)) }
+func (h *comboHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

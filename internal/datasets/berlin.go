@@ -1,0 +1,115 @@
+package datasets
+
+import "sama/internal/rdf"
+
+// Berlin generates graphs shaped like the Berlin SPARQL Benchmark
+// (Bizer, Schultz, IJSWIS 2009): an e-commerce schema of producers,
+// products with features, vendors, offers and reviews by reviewers,
+// with BSBM's characteristic ratios (≈10 offers and ≈5 reviews per
+// product family).
+type Berlin struct{}
+
+// BerlinNamespace is the IRI prefix of every generated resource.
+const BerlinNamespace = "http://berlin.example.org/"
+
+// Name implements Generator.
+func (Berlin) Name() string { return "Berlin" }
+
+// triplesPerProduct approximates the yield of one product with its
+// offers and reviews.
+const triplesPerProduct = 38
+
+// Generate implements Generator.
+func (Berlin) Generate(targetTriples int, seed int64) *rdf.Graph {
+	b := newBuilder(BerlinNamespace, seed)
+	products := targetTriples / triplesPerProduct
+	if products < 1 {
+		products = 1
+	}
+	producers := products/20 + 1
+	vendors := products/25 + 2
+	reviewers := products/2 + 2
+
+	var (
+		productClass  = b.iri("class/Product")
+		producerClass = b.iri("class/Producer")
+		vendorClass   = b.iri("class/Vendor")
+		offerClass    = b.iri("class/Offer")
+		reviewClass   = b.iri("class/Review")
+		personClass   = b.iri("class/Person")
+		featureClass  = b.iri("class/ProductFeature")
+
+		producerPred = b.iri("vocab/producer")
+		featurePred  = b.iri("vocab/productFeature")
+		labelPred    = b.iri("vocab/label")
+		offerFor     = b.iri("vocab/product")
+		vendorPred   = b.iri("vocab/vendor")
+		pricePred    = b.iri("vocab/price")
+		reviewFor    = b.iri("vocab/reviewFor")
+		reviewer     = b.iri("vocab/reviewer")
+		ratingPred   = b.iri("vocab/rating")
+		countryPred  = b.iri("vocab/country")
+	)
+	countries := []string{"DE", "US", "GB", "JP", "FR", "CN"}
+	adjectives := []string{"durable", "compact", "premium", "budget",
+		"wireless", "ergonomic", "industrial", "portable"}
+	nouns := []string{"drill", "keyboard", "monitor", "battery",
+		"amplifier", "sensor", "router", "printer"}
+
+	// Features: a fixed vocabulary pool.
+	features := make([]rdf.Term, 40)
+	for i := range features {
+		features[i] = b.iri("feature/Feature%d", i)
+		b.add(features[i], typePred, featureClass)
+	}
+	// Producers.
+	prod := make([]rdf.Term, producers)
+	for i := range prod {
+		prod[i] = b.iri("producer/Producer%d", i)
+		b.add(prod[i], typePred, producerClass)
+		b.add(prod[i], countryPred, rdf.NewLiteral(pick(b, countries)))
+	}
+	// Vendors.
+	vend := make([]rdf.Term, vendors)
+	for i := range vend {
+		vend[i] = b.iri("vendor/Vendor%d", i)
+		b.add(vend[i], typePred, vendorClass)
+		b.add(vend[i], countryPred, rdf.NewLiteral(pick(b, countries)))
+	}
+	// Reviewers.
+	rev := make([]rdf.Term, reviewers)
+	for i := range rev {
+		rev[i] = b.iri("person/Reviewer%d", i)
+		b.add(rev[i], typePred, personClass)
+	}
+	// Products with offers and reviews.
+	offerSeq, reviewSeq := 0, 0
+	for i := 0; i < products; i++ {
+		p := b.iri("product/Product%d", i)
+		b.add(p, typePred, productClass)
+		b.add(p, producerPred, pick(b, prod))
+		b.add(p, labelPred, rdf.NewLiteral(pick(b, adjectives)+" "+pick(b, nouns)))
+		for f := 0; f < b.rangeInt(3, 6); f++ {
+			b.add(p, featurePred, pick(b, features))
+		}
+		for o := 0; o < b.rangeInt(4, 8); o++ {
+			offer := b.iri("offer/Offer%d", offerSeq)
+			offerSeq++
+			b.add(offer, typePred, offerClass)
+			b.add(offer, offerFor, p)
+			b.add(offer, vendorPred, pick(b, vend))
+			b.add(offer, pricePred, rdf.NewTypedLiteral(
+				itoa(b.rangeInt(5, 2000)), "http://www.w3.org/2001/XMLSchema#integer"))
+		}
+		for r := 0; r < b.rangeInt(2, 5); r++ {
+			review := b.iri("review/Review%d", reviewSeq)
+			reviewSeq++
+			b.add(review, typePred, reviewClass)
+			b.add(review, reviewFor, p)
+			b.add(review, reviewer, pick(b, rev))
+			b.add(review, ratingPred, rdf.NewTypedLiteral(
+				itoa(b.rangeInt(1, 10)), "http://www.w3.org/2001/XMLSchema#integer"))
+		}
+	}
+	return b.g
+}

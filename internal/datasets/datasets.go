@@ -1,0 +1,87 @@
+// Package datasets provides seeded, deterministic generators for the
+// benchmark data graphs of the paper's evaluation (§6.1, Table 1): LUBM
+// (the primary target of Figures 6–9), GovTrack (the running example's
+// domain), Berlin/BSBM, and PBlog. The real datasets and the original
+// Java generators are not redistributable or runnable here; these
+// generators reproduce each dataset's *shape* — vocabulary, entity
+// ratios and degree profile — which is what the experiments depend on.
+//
+// Every generator is a pure function of its configuration (including
+// the seed): the same Config always yields the identical graph.
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sama/internal/rdf"
+)
+
+// Generator is a named dataset generator producing a graph of roughly
+// the requested number of triples.
+type Generator interface {
+	// Name is the dataset name as it appears in Table 1.
+	Name() string
+	// Generate builds a graph with approximately targetTriples triples
+	// using the given seed.
+	Generate(targetTriples int, seed int64) *rdf.Graph
+}
+
+// All returns every registered generator in Table 1 order.
+func All() []Generator {
+	return []Generator{PBlog{}, GovTrack{}, Berlin{}, LUBM{}}
+}
+
+// ByName returns the generator with the given (case-sensitive) name.
+func ByName(name string) (Generator, error) {
+	for _, g := range All() {
+		if g.Name() == name {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("datasets: unknown dataset %q", name)
+}
+
+// builder accumulates triples with convenience constructors shared by
+// the generators.
+type builder struct {
+	g   *rdf.Graph
+	rng *rand.Rand
+	ns  string
+}
+
+func newBuilder(ns string, seed int64) *builder {
+	return &builder{
+		g:   rdf.NewGraph(),
+		rng: rand.New(rand.NewSource(seed)),
+		ns:  ns,
+	}
+}
+
+func (b *builder) iri(format string, args ...any) rdf.Term {
+	return rdf.NewIRI(b.ns + fmt.Sprintf(format, args...))
+}
+
+func (b *builder) add(s, p, o rdf.Term) {
+	b.g.AddTriple(rdf.Triple{S: s, P: p, O: o})
+}
+
+func (b *builder) triples() int { return b.g.EdgeCount() }
+
+// rangeInt returns a uniform integer in [lo, hi].
+func (b *builder) rangeInt(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + b.rng.Intn(hi-lo+1)
+}
+
+// pick returns a uniformly random element of xs.
+func pick[T any](b *builder, xs []T) T {
+	return xs[b.rng.Intn(len(xs))]
+}
+
+// RDFType is the rdf:type predicate IRI shared by the generators.
+const RDFType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+var typePred = rdf.NewIRI(RDFType)

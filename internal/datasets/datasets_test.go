@@ -1,0 +1,229 @@
+package datasets
+
+import (
+	"strings"
+	"testing"
+
+	"sama/internal/rdf"
+)
+
+func TestAllAndByName(t *testing.T) {
+	gens := All()
+	if len(gens) != 4 {
+		t.Fatalf("generators = %d, want 4", len(gens))
+	}
+	for _, g := range gens {
+		got, err := ByName(g.Name())
+		if err != nil {
+			t.Errorf("ByName(%s): %v", g.Name(), err)
+		}
+		if got.Name() != g.Name() {
+			t.Errorf("ByName(%s) returned %s", g.Name(), got.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, gen := range All() {
+		t.Run(gen.Name(), func(t *testing.T) {
+			a := gen.Generate(2000, 42)
+			b := gen.Generate(2000, 42)
+			if a.EdgeCount() != b.EdgeCount() || a.NodeCount() != b.NodeCount() {
+				t.Fatalf("same seed differs: %v vs %v", a, b)
+			}
+			ta, tb := a.Triples(), b.Triples()
+			for i := range ta {
+				if ta[i] != tb[i] {
+					t.Fatalf("triple %d differs: %v vs %v", i, ta[i], tb[i])
+				}
+			}
+			c := gen.Generate(2000, 43)
+			same := c.EdgeCount() == a.EdgeCount()
+			if same {
+				tc := c.Triples()
+				identical := true
+				for i := range ta {
+					if ta[i] != tc[i] {
+						identical = false
+						break
+					}
+				}
+				if identical {
+					t.Error("different seeds produced identical graphs")
+				}
+			}
+		})
+	}
+}
+
+func TestGeneratorsHitTargetSize(t *testing.T) {
+	for _, gen := range All() {
+		for _, target := range []int{1000, 10000} {
+			g := gen.Generate(target, 7)
+			got := g.EdgeCount()
+			if got < target/2 || got > target*2 {
+				t.Errorf("%s(%d) produced %d triples (outside ±2x)", gen.Name(), target, got)
+			}
+		}
+	}
+}
+
+func TestGeneratorsValidTriples(t *testing.T) {
+	for _, gen := range All() {
+		g := gen.Generate(1500, 1)
+		for i, tr := range g.Triples() {
+			if err := tr.Valid(); err != nil {
+				t.Fatalf("%s triple %d invalid: %v", gen.Name(), i, err)
+			}
+		}
+	}
+}
+
+func TestGeneratorsHaveSourcesAndSinks(t *testing.T) {
+	// The path index needs roots and sinks; every generated graph must
+	// provide path roots (sources, or hubs as fallback) and sinks.
+	for _, gen := range All() {
+		g := gen.Generate(2000, 3)
+		if len(g.PathRoots()) == 0 {
+			t.Errorf("%s graph has no path roots", gen.Name())
+		}
+		if len(g.Sinks()) == 0 {
+			t.Errorf("%s graph has no sinks", gen.Name())
+		}
+	}
+}
+
+func TestLUBMSchemaShape(t *testing.T) {
+	g := LUBM{}.Generate(3000, 11)
+	pred := func(local string) rdf.Term { return rdf.NewIRI(LUBMNamespace + "vocab/" + local) }
+	counts := map[string]int{}
+	g.Edges(func(e rdf.Edge) bool {
+		counts[e.Label.Value] = counts[e.Label.Value] + 1
+		return true
+	})
+	for _, p := range []string{"takesCourse", "worksFor", "advisor", "teacherOf", "publicationAuthor", "memberOf"} {
+		if counts[pred(p).Value] == 0 {
+			t.Errorf("LUBM lacks %s edges", p)
+		}
+	}
+	// Students outnumber faculty: takesCourse should dominate teacherOf.
+	if counts[pred("takesCourse").Value] <= counts[pred("teacherOf").Value] {
+		t.Error("takesCourse should dominate teacherOf")
+	}
+	// Types present.
+	if n := g.NodeByTerm(rdf.NewIRI(LUBMNamespace + "class/FullProfessor")); n == rdf.InvalidNode {
+		t.Error("FullProfessor class missing")
+	}
+}
+
+func TestGovTrackSchemaShape(t *testing.T) {
+	g := GovTrack{}.Generate(3000, 5)
+	// The Figure 1 chain must exist: someone sponsors an amendment,
+	// which amends a bill with a subject.
+	sponsor := rdf.NewIRI(GovTrackNamespace + "vocab/sponsor")
+	aTo := rdf.NewIRI(GovTrackNamespace + "vocab/aTo")
+	subject := rdf.NewIRI(GovTrackNamespace + "vocab/subject")
+	var hasChain bool
+	g.Edges(func(e rdf.Edge) bool {
+		if e.Label != sponsor {
+			return true
+		}
+		for _, eid2 := range g.Out(e.To) {
+			e2 := g.Edge(eid2)
+			if e2.Label != aTo {
+				continue
+			}
+			for _, eid3 := range g.Out(e2.To) {
+				if g.Edge(eid3).Label == subject {
+					hasChain = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if !hasChain {
+		t.Error("GovTrack lacks the sponsor→aTo→subject chain of Figure 1")
+	}
+	// Genders are literals.
+	gender := rdf.NewIRI(GovTrackNamespace + "vocab/gender")
+	g.Edges(func(e rdf.Edge) bool {
+		if e.Label == gender {
+			if o := g.Term(e.To); o.Kind != rdf.Literal {
+				t.Errorf("gender object %v not a literal", o)
+			}
+		}
+		return true
+	})
+}
+
+func TestBerlinSchemaShape(t *testing.T) {
+	g := Berlin{}.Generate(3000, 9)
+	offerFor := rdf.NewIRI(BerlinNamespace + "vocab/product")
+	reviewFor := rdf.NewIRI(BerlinNamespace + "vocab/reviewFor")
+	offers, reviews := 0, 0
+	g.Edges(func(e rdf.Edge) bool {
+		switch e.Label {
+		case offerFor:
+			offers++
+		case reviewFor:
+			reviews++
+		}
+		return true
+	})
+	if offers == 0 || reviews == 0 {
+		t.Fatalf("offers = %d, reviews = %d; want both > 0", offers, reviews)
+	}
+	if offers <= reviews {
+		t.Error("BSBM profile has more offers than reviews")
+	}
+}
+
+func TestPBlogPowerLaw(t *testing.T) {
+	g := PBlog{}.Generate(6000, 13)
+	linksTo := rdf.NewIRI(PBlogNamespace + "vocab/linksTo")
+	indeg := map[rdf.NodeID]int{}
+	g.Edges(func(e rdf.Edge) bool {
+		if e.Label == linksTo {
+			indeg[e.To]++
+		}
+		return true
+	})
+	if len(indeg) == 0 {
+		t.Fatal("no links generated")
+	}
+	max, total := 0, 0
+	for _, d := range indeg {
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	mean := float64(total) / float64(len(indeg))
+	// Preferential attachment: the hub's in-degree far exceeds the mean.
+	if float64(max) < 5*mean {
+		t.Errorf("max in-degree %d not heavy-tailed (mean %.1f)", max, mean)
+	}
+}
+
+func TestNamespacesDistinct(t *testing.T) {
+	ns := []string{LUBMNamespace, GovTrackNamespace, BerlinNamespace, PBlogNamespace}
+	for i := range ns {
+		for j := i + 1; j < len(ns); j++ {
+			if strings.HasPrefix(ns[i], ns[j]) || strings.HasPrefix(ns[j], ns[i]) {
+				t.Errorf("namespaces overlap: %s vs %s", ns[i], ns[j])
+			}
+		}
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for n, want := range map[int]string{0: "0", 7: "7", 42: "42", 1234: "1234"} {
+		if got := itoa(n); got != want {
+			t.Errorf("itoa(%d) = %q", n, got)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package datasets
+
+import "sama/internal/rdf"
+
+// GovTrack generates graphs shaped like the paper's Figure 1 excerpt of
+// the GovTrack database: legislators with gender, roles and offices,
+// bills with subjects, and amendments connecting sponsors to bills via
+// the sponsor / aTo / subject vocabulary of the running example.
+type GovTrack struct{}
+
+// GovTrackNamespace is the IRI prefix of every generated resource.
+const GovTrackNamespace = "http://govtrack.example.org/"
+
+// Name implements Generator.
+func (GovTrack) Name() string { return "GOV" }
+
+// triplesPerLegislator approximates the yield of one legislator with
+// their share of bills and amendments: ≈6 person/role triples, ≈1.8
+// bill triples and ≈6 amendment triples.
+const triplesPerLegislator = 14
+
+// Generate implements Generator.
+func (GovTrack) Generate(targetTriples int, seed int64) *rdf.Graph {
+	b := newBuilder(GovTrackNamespace, seed)
+	legislators := targetTriples / triplesPerLegislator
+	if legislators < 4 {
+		legislators = 4
+	}
+
+	var (
+		personClass    = b.iri("class/Person")
+		billClass      = b.iri("class/Bill")
+		amendmentClass = b.iri("class/Amendment")
+		termClass      = b.iri("class/Term")
+
+		sponsor   = b.iri("vocab/sponsor")
+		aTo       = b.iri("vocab/aTo")
+		subject   = b.iri("vocab/subject")
+		gender    = b.iri("vocab/gender")
+		hasRole   = b.iri("vocab/hasRole")
+		forOffice = b.iri("vocab/forOffice")
+		name      = b.iri("vocab/name")
+	)
+	subjects := []string{"Health Care", "Education", "Defense", "Energy",
+		"Agriculture", "Transportation", "Taxation", "Civil Rights",
+		"Immigration", "Environment"}
+	states := []string{"NY", "CA", "TX", "WA", "FL", "IL", "MA", "OH"}
+	firstNames := []string{"Carla", "Jeff", "Keith", "John", "Pierce",
+		"Alice", "Peter", "Diane", "Marco", "Ruth"}
+	lastNames := []string{"Bunes", "Ryser", "Farmer", "McRie", "Dickes",
+		"Nimber", "Traves", "Olsen", "Vidal", "Katz"}
+
+	// Legislators.
+	people := make([]rdf.Term, legislators)
+	for i := range people {
+		p := b.iri("person/P%04d", i)
+		people[i] = p
+		b.add(p, typePred, personClass)
+		b.add(p, name, rdf.NewLiteral(pick(b, firstNames)+" "+pick(b, lastNames)+" "+itoa(i)))
+		g := "Male"
+		if b.rng.Intn(100) < 30 {
+			g = "Female"
+		}
+		b.add(p, gender, rdf.NewLiteral(g))
+		// A role with an office, like the Figure 1 Term/Senate fragment.
+		role := b.iri("term/T%04d", i)
+		b.add(role, typePred, termClass)
+		b.add(p, hasRole, role)
+		b.add(role, forOffice, b.iri("office/Senate_%s", pick(b, states)))
+	}
+
+	// Bills: one for every two legislators, each with 1–2 subjects and
+	// a sponsoring legislator.
+	bills := make([]rdf.Term, legislators/2+1)
+	for i := range bills {
+		bl := b.iri("bill/B%05d", i)
+		bills[i] = bl
+		b.add(bl, typePred, billClass)
+		for s := 0; s < b.rangeInt(1, 2); s++ {
+			b.add(bl, subject, rdf.NewLiteral(pick(b, subjects)))
+		}
+		b.add(pick(b, people), sponsor, bl)
+	}
+
+	// Amendments: two per legislator on average; each sponsored by a
+	// person and amending a bill (the Figure 1 chain person —sponsor→
+	// amendment —aTo→ bill —subject→ topic).
+	amendments := legislators * 2
+	for i := 0; i < amendments; i++ {
+		am := b.iri("amendment/A%05d", i)
+		b.add(am, typePred, amendmentClass)
+		b.add(pick(b, people), sponsor, am)
+		b.add(am, aTo, pick(b, bills))
+	}
+	return b.g
+}

@@ -1,0 +1,185 @@
+package datasets
+
+import "sama/internal/rdf"
+
+// LUBM generates graphs shaped like the Lehigh University Benchmark
+// (Guo, Pan, Heflin, J. Web Sem. 2005): universities containing
+// departments, faculty of three ranks, graduate and undergraduate
+// students, courses and publications, connected by the standard LUBM
+// predicate vocabulary. Entity ratios follow the original generator's
+// profile (≈15 departments per university, ≈10 faculty per rank per
+// department, undergraduates outnumbering graduates ≈3:1, students
+// taking 2–4 courses).
+type LUBM struct{}
+
+// LUBMNamespace is the IRI prefix of every generated LUBM resource.
+const LUBMNamespace = "http://lubm.example.org/"
+
+// Name implements Generator.
+func (LUBM) Name() string { return "LUBM" }
+
+// triplesPerDepartment is the approximate triple yield of one generated
+// department, used to size the graph to a target.
+const triplesPerDepartment = 980
+
+// Generate implements Generator.
+func (LUBM) Generate(targetTriples int, seed int64) *rdf.Graph {
+	b := newBuilder(LUBMNamespace, seed)
+	departments := targetTriples / triplesPerDepartment
+	if departments < 1 {
+		departments = 1
+	}
+	deptsPerUniv := 15
+	universities := (departments + deptsPerUniv - 1) / deptsPerUniv
+
+	var (
+		university       = b.iri("class/University")
+		department       = b.iri("class/Department")
+		fullProfessor    = b.iri("class/FullProfessor")
+		associateProf    = b.iri("class/AssociateProfessor")
+		assistantProf    = b.iri("class/AssistantProfessor")
+		lecturerClass    = b.iri("class/Lecturer")
+		gradStudent      = b.iri("class/GraduateStudent")
+		underStudent     = b.iri("class/UndergraduateStudent")
+		courseClass      = b.iri("class/Course")
+		gradCourseClass  = b.iri("class/GraduateCourse")
+		publicationClass = b.iri("class/Publication")
+		researchGroup    = b.iri("class/ResearchGroup")
+
+		subOrganizationOf = b.iri("vocab/subOrganizationOf")
+		worksFor          = b.iri("vocab/worksFor")
+		memberOf          = b.iri("vocab/memberOf")
+		advisor           = b.iri("vocab/advisor")
+		takesCourse       = b.iri("vocab/takesCourse")
+		teacherOf         = b.iri("vocab/teacherOf")
+		teachingAssistant = b.iri("vocab/teachingAssistantOf")
+		publicationAuthor = b.iri("vocab/publicationAuthor")
+		headOf            = b.iri("vocab/headOf")
+		undergradFrom     = b.iri("vocab/undergraduateDegreeFrom")
+		doctoralFrom      = b.iri("vocab/doctoralDegreeFrom")
+		name              = b.iri("vocab/name")
+		emailAddress      = b.iri("vocab/emailAddress")
+		researchInterest  = b.iri("vocab/researchInterest")
+	)
+	interests := []string{"Ontologies", "Databases", "Networking",
+		"Graphics", "Compilers", "AI", "Systems", "TheoryOfComputation"}
+
+	deptSeq := 0
+	for u := 0; u < universities && deptSeq < departments; u++ {
+		univ := b.iri("University%d", u)
+		b.add(univ, typePred, university)
+		b.add(univ, name, rdf.NewLiteral(b.ns+"University"+itoa(u)))
+		for d := 0; d < deptsPerUniv && deptSeq < departments; d++ {
+			deptSeq++
+			dept := b.iri("University%d/Department%d", u, d)
+			b.add(dept, typePred, department)
+			b.add(dept, subOrganizationOf, univ)
+
+			group := b.iri("University%d/Department%d/ResearchGroup0", u, d)
+			b.add(group, typePred, researchGroup)
+			b.add(group, subOrganizationOf, dept)
+
+			// Faculty.
+			type facultySpec struct {
+				class  rdf.Term
+				prefix string
+				count  int
+			}
+			specs := []facultySpec{
+				{fullProfessor, "FullProfessor", b.rangeInt(7, 10)},
+				{associateProf, "AssociateProfessor", b.rangeInt(10, 14)},
+				{assistantProf, "AssistantProfessor", b.rangeInt(8, 11)},
+				{lecturerClass, "Lecturer", b.rangeInt(5, 7)},
+			}
+			var faculty []rdf.Term
+			var courses []rdf.Term
+			courseSeq := 0
+			for _, spec := range specs {
+				for i := 0; i < spec.count; i++ {
+					f := b.iri("University%d/Department%d/%s%d", u, d, spec.prefix, i)
+					b.add(f, typePred, spec.class)
+					b.add(f, worksFor, dept)
+					b.add(f, name, rdf.NewLiteral(spec.prefix+itoa(i)))
+					b.add(f, emailAddress, rdf.NewLiteral(spec.prefix+itoa(i)+"@u"+itoa(u)+".edu"))
+					b.add(f, undergradFrom, b.iri("University%d", b.rng.Intn(universities)))
+					if spec.prefix != "Lecturer" {
+						b.add(f, doctoralFrom, b.iri("University%d", b.rng.Intn(universities)))
+						b.add(f, researchInterest, rdf.NewLiteral(pick(b, interests)))
+					}
+					// Each faculty member teaches 1–2 courses.
+					for c := 0; c < b.rangeInt(1, 2); c++ {
+						course := b.iri("University%d/Department%d/Course%d", u, d, courseSeq)
+						class := courseClass
+						if courseSeq%4 == 3 {
+							class = gradCourseClass
+						}
+						courseSeq++
+						b.add(course, typePred, class)
+						b.add(f, teacherOf, course)
+						courses = append(courses, course)
+					}
+					faculty = append(faculty, f)
+				}
+			}
+			// The first full professor heads the department.
+			b.add(faculty[0], headOf, dept)
+
+			// Publications: 3–7 per faculty member.
+			pubSeq := 0
+			for _, f := range faculty {
+				for p := 0; p < b.rangeInt(3, 7); p++ {
+					pub := b.iri("University%d/Department%d/Publication%d", u, d, pubSeq)
+					pubSeq++
+					b.add(pub, typePred, publicationClass)
+					b.add(pub, publicationAuthor, f)
+				}
+			}
+
+			// Graduate students.
+			var grads []rdf.Term
+			for i := 0; i < b.rangeInt(12, 18); i++ {
+				s := b.iri("University%d/Department%d/GraduateStudent%d", u, d, i)
+				b.add(s, typePred, gradStudent)
+				b.add(s, memberOf, dept)
+				b.add(s, advisor, pick(b, faculty))
+				b.add(s, undergradFrom, b.iri("University%d", b.rng.Intn(universities)))
+				for c := 0; c < b.rangeInt(2, 3); c++ {
+					b.add(s, takesCourse, pick(b, courses))
+				}
+				grads = append(grads, s)
+			}
+			// Some graduate students TA a course.
+			for i := 0; i < len(grads)/3; i++ {
+				b.add(grads[i], teachingAssistant, pick(b, courses))
+			}
+
+			// Undergraduates, ≈3× the graduate count.
+			for i := 0; i < b.rangeInt(36, 54); i++ {
+				s := b.iri("University%d/Department%d/UndergraduateStudent%d", u, d, i)
+				b.add(s, typePred, underStudent)
+				b.add(s, memberOf, dept)
+				for c := 0; c < b.rangeInt(2, 4); c++ {
+					b.add(s, takesCourse, pick(b, courses))
+				}
+				if b.rng.Intn(5) == 0 {
+					b.add(s, advisor, pick(b, faculty))
+				}
+			}
+		}
+	}
+	return b.g
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

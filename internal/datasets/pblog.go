@@ -1,0 +1,78 @@
+package datasets
+
+import "sama/internal/rdf"
+
+// PBlog generates graphs shaped like the political-blogosphere network
+// used in the paper (Adamic & Glance's polblogs, distributed from the
+// UMich network data collection the paper cites): a directed power-law
+// link network between blogs, each annotated with a political leaning
+// and a handful of labelled posts. The link structure follows
+// preferential attachment, giving the heavy-tailed in-degree
+// distribution that distinguishes social graphs from the tree-ish
+// benchmark schemas.
+type PBlog struct{}
+
+// PBlogNamespace is the IRI prefix of every generated resource.
+const PBlogNamespace = "http://pblog.example.org/"
+
+// Name implements Generator.
+func (PBlog) Name() string { return "PBlog" }
+
+// triplesPerBlog approximates the yield of one blog: links, leaning,
+// posts and topics.
+const triplesPerBlog = 14
+
+// Generate implements Generator.
+func (PBlog) Generate(targetTriples int, seed int64) *rdf.Graph {
+	b := newBuilder(PBlogNamespace, seed)
+	blogs := targetTriples / triplesPerBlog
+	if blogs < 3 {
+		blogs = 3
+	}
+
+	var (
+		blogClass = b.iri("class/Blog")
+		postClass = b.iri("class/Post")
+
+		linksTo = b.iri("vocab/linksTo")
+		leaning = b.iri("vocab/leaning")
+		hasPost = b.iri("vocab/hasPost")
+		topic   = b.iri("vocab/topic")
+	)
+	leanings := []string{"liberal", "conservative"}
+	topics := []string{"elections", "economy", "foreign policy",
+		"media", "healthcare", "environment"}
+
+	nodes := make([]rdf.Term, blogs)
+	// Preferential attachment: track one slot per received link so that
+	// popular blogs attract more links.
+	var attachment []int
+	for i := 0; i < blogs; i++ {
+		blog := b.iri("blog/Blog%d", i)
+		nodes[i] = blog
+		b.add(blog, typePred, blogClass)
+		b.add(blog, leaning, rdf.NewLiteral(pick(b, leanings)))
+		// Outgoing links: 1–6, preferentially to already-linked blogs.
+		if i > 0 {
+			links := b.rangeInt(1, 6)
+			for l := 0; l < links; l++ {
+				var target int
+				if len(attachment) > 0 && b.rng.Intn(100) < 70 {
+					target = attachment[b.rng.Intn(len(attachment))]
+				} else {
+					target = b.rng.Intn(i)
+				}
+				b.add(blog, linksTo, nodes[target])
+				attachment = append(attachment, target)
+			}
+		}
+		// Posts with topics.
+		for p := 0; p < b.rangeInt(2, 4); p++ {
+			post := b.iri("post/Blog%d_Post%d", i, p)
+			b.add(post, typePred, postClass)
+			b.add(blog, hasPost, post)
+			b.add(post, topic, rdf.NewLiteral(pick(b, topics)))
+		}
+	}
+	return b.g
+}

@@ -1,0 +1,260 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"sama/internal/align"
+	"sama/internal/rdf"
+)
+
+func TestReciprocalRank(t *testing.T) {
+	cases := []struct {
+		in   []bool
+		want float64
+	}{
+		{[]bool{true, false}, 1},
+		{[]bool{false, true}, 0.5},
+		{[]bool{false, false, false, true}, 0.25},
+		{[]bool{false, false}, 0},
+		{nil, 0},
+	}
+	for _, c := range cases {
+		if got := ReciprocalRank(c.in); got != c.want {
+			t.Errorf("RR(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPrecisionAt(t *testing.T) {
+	rel := []bool{true, false, true, true}
+	if got := PrecisionAt(rel, 1); got != 1 {
+		t.Errorf("P@1 = %v", got)
+	}
+	if got := PrecisionAt(rel, 2); got != 0.5 {
+		t.Errorf("P@2 = %v", got)
+	}
+	if got := PrecisionAt(rel, 4); got != 0.75 {
+		t.Errorf("P@4 = %v", got)
+	}
+	if got := PrecisionAt(rel, 10); got != 0.75 {
+		t.Errorf("P@10 (clamped) = %v", got)
+	}
+	if got := PrecisionAt(rel, 0); got != 0 {
+		t.Errorf("P@0 = %v", got)
+	}
+}
+
+func TestInterpolatedPR(t *testing.T) {
+	// 3 relevant in the collection; ranked list hits at 1, 3, 5.
+	rel := []bool{true, false, true, false, true}
+	pts := InterpolatedPR(rel, 3)
+	if len(pts) != 11 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// At recall 0: max precision anywhere = 1.
+	if pts[0].Precision != 1 {
+		t.Errorf("P(0) = %v, want 1", pts[0].Precision)
+	}
+	// At recall 1.0 (all 3 found at rank 5): precision 3/5.
+	if pts[10].Precision != 0.6 {
+		t.Errorf("P(1.0) = %v, want 0.6", pts[10].Precision)
+	}
+	// Monotone non-increasing.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Precision > pts[i-1].Precision {
+			t.Errorf("interpolated precision increases at %d", i)
+		}
+	}
+	// Unreached recall → 0 precision beyond the last hit.
+	pts2 := InterpolatedPR([]bool{true}, 5)
+	if pts2[10].Precision != 0 {
+		t.Errorf("P(1.0) with recall ceiling 0.2 = %v, want 0", pts2[10].Precision)
+	}
+	// No relevant answers at all.
+	pts3 := InterpolatedPR([]bool{false, false}, 0)
+	for _, p := range pts3 {
+		if p.Precision != 0 {
+			t.Errorf("P with no relevant = %v", p.Precision)
+		}
+	}
+}
+
+func TestJudge(t *testing.T) {
+	q := rdf.NewQueryGraph()
+	q.AddTriple(rdf.Triple{S: rdf.NewVar("x"), P: rdf.NewIRI("gender"), O: rdf.NewLiteral("Male")})
+
+	exact := rdf.NewGraph()
+	exact.AddTriple(rdf.Triple{S: rdf.NewIRI("JR"), P: rdf.NewIRI("gender"), O: rdf.NewLiteral("Male")})
+
+	off := rdf.NewGraph()
+	off.AddTriple(rdf.Triple{S: rdf.NewIRI("JR"), P: rdf.NewIRI("gender"), O: rdf.NewLiteral("Female")})
+
+	j := NewJudge(q, align.DefaultParams, 0.5)
+	if !j.Relevant(exact) {
+		t.Error("exact answer judged irrelevant")
+	}
+	if j.Relevant(off) {
+		t.Error("wrong-label answer judged relevant at threshold 0.5")
+	}
+	// Memoisation returns consistent results.
+	if !j.Relevant(exact) {
+		t.Error("memoised judgment flipped")
+	}
+	if j.Threshold() != 0.5 {
+		t.Error("Threshold accessor wrong")
+	}
+	// A looser judge accepts the off-by-one-label answer.
+	loose := NewJudge(q, align.DefaultParams, 1.0)
+	if !loose.Relevant(off) {
+		t.Error("loose judge rejected 1-cost answer")
+	}
+}
+
+func TestBindingJudge(t *testing.T) {
+	data := rdf.NewGraph()
+	iri := rdf.NewIRI
+	data.AddTriple(rdf.Triple{S: iri("CB"), P: iri("sponsor"), O: iri("A1")})
+	data.AddTriple(rdf.Triple{S: iri("A1"), P: iri("aTo"), O: iri("B1")})
+	data.AddTriple(rdf.Triple{S: iri("CB"), P: iri("likes"), O: iri("B9")})
+
+	q := rdf.NewQueryGraph()
+	q.AddTriple(rdf.Triple{S: iri("CB"), P: iri("sponsor"), O: rdf.NewVar("a")})
+	q.AddTriple(rdf.Triple{S: rdf.NewVar("a"), P: iri("aTo"), O: rdf.NewVar("b")})
+
+	j := NewBindingJudge(data, q, align.DefaultParams, 2.0)
+	if j.Threshold() != 2.0 {
+		t.Error("Threshold accessor wrong")
+	}
+	// Correct bindings verify at cost 0.
+	good := rdf.Substitution{"a": iri("A1"), "b": iri("B1")}
+	if c := j.Cost(good); c != 0 {
+		t.Errorf("good binding cost = %v, want 0", c)
+	}
+	if !j.Relevant(good) {
+		t.Error("good binding judged irrelevant")
+	}
+	// Wrong target: A1 does not aTo B9 and nothing else connects them.
+	bad := rdf.Substitution{"a": iri("A1"), "b": iri("B9")}
+	if j.Relevant(bad) {
+		t.Errorf("bad binding judged relevant (cost %v)", j.Cost(bad))
+	}
+	// Unbound variable: penalised per missing edge.
+	partial := rdf.Substitution{"a": iri("A1")}
+	if c := j.Cost(partial); c != align.DefaultParams.A+align.DefaultParams.C {
+		t.Errorf("partial binding cost = %v", c)
+	}
+	// Unknown entity.
+	ghost := rdf.Substitution{"a": iri("NOPE"), "b": iri("B1")}
+	if j.Relevant(ghost) {
+		t.Error("binding to unknown entity judged relevant")
+	}
+	// Re-labelled relationship costs C only.
+	q2 := rdf.NewQueryGraph()
+	q2.AddTriple(rdf.Triple{S: iri("CB"), P: iri("endorses"), O: rdf.NewVar("x")})
+	j2 := NewBindingJudge(data, q2, align.DefaultParams, 2.0)
+	relabel := rdf.Substitution{"x": iri("B9")} // CB --likes--> B9 exists
+	if c := j2.Cost(relabel); c != align.DefaultParams.C {
+		t.Errorf("relabelled edge cost = %v, want C", c)
+	}
+	// Variable predicate matches any label.
+	q3 := rdf.NewQueryGraph()
+	q3.AddTriple(rdf.Triple{S: iri("CB"), P: rdf.NewVar("p"), O: rdf.NewVar("x")})
+	j3 := NewBindingJudge(data, q3, align.DefaultParams, 0)
+	if !j3.Relevant(rdf.Substitution{"x": iri("B9")}) {
+		t.Error("variable predicate did not match")
+	}
+}
+
+func TestGraphKeyCanonical(t *testing.T) {
+	g1 := rdf.NewGraph()
+	g1.AddTriple(rdf.Triple{S: rdf.NewIRI("a"), P: rdf.NewIRI("p"), O: rdf.NewIRI("b")})
+	g1.AddTriple(rdf.Triple{S: rdf.NewIRI("c"), P: rdf.NewIRI("p"), O: rdf.NewIRI("d")})
+	g2 := rdf.NewGraph()
+	g2.AddTriple(rdf.Triple{S: rdf.NewIRI("c"), P: rdf.NewIRI("p"), O: rdf.NewIRI("d")})
+	g2.AddTriple(rdf.Triple{S: rdf.NewIRI("a"), P: rdf.NewIRI("p"), O: rdf.NewIRI("b")})
+	if GraphKey(g1) != GraphKey(g2) {
+		t.Error("insertion order changed the key")
+	}
+	g3 := rdf.NewGraph()
+	g3.AddTriple(rdf.Triple{S: rdf.NewIRI("a"), P: rdf.NewIRI("p"), O: rdf.NewIRI("x")})
+	if GraphKey(g1) == GraphKey(g3) {
+		t.Error("different graphs share a key")
+	}
+}
+
+func TestPolyFitQuadratic(t *testing.T) {
+	// Exact quadratic y = 2x² - 3x + 1.
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2*x*x - 3*x + 1
+	}
+	c, err := PolyFit(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, -3, 2}
+	for i := range want {
+		if math.Abs(c[i]-want[i]) > 1e-9 {
+			t.Errorf("coeff %d = %v, want %v", i, c[i], want[i])
+		}
+	}
+	if r2 := RSquared(c, xs, ys); math.Abs(r2-1) > 1e-12 {
+		t.Errorf("R² = %v, want 1", r2)
+	}
+	if got := PolyEval(c, 10); math.Abs(got-171) > 1e-9 {
+		t.Errorf("PolyEval(10) = %v, want 171", got)
+	}
+}
+
+func TestPolyFitLinearWithNoise(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := []float64{2.1, 3.9, 6.2, 7.8, 10.1, 11.9}
+	c, err := PolyFit(xs, ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c[1]-2) > 0.1 {
+		t.Errorf("slope = %v, want ≈2", c[1])
+	}
+	if r2 := RSquared(c, xs, ys); r2 < 0.99 {
+		t.Errorf("R² = %v, want > 0.99", r2)
+	}
+}
+
+func TestPolyFitErrors(t *testing.T) {
+	if _, err := PolyFit([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := PolyFit([]float64{1, 2}, []float64{1, 2}, 2); err == nil {
+		t.Error("underdetermined fit accepted")
+	}
+	// Degenerate: all x identical → singular.
+	if _, err := PolyFit([]float64{3, 3, 3}, []float64{1, 2, 3}, 2); err == nil {
+		t.Error("singular system accepted")
+	}
+}
+
+func TestFormatTrendline(t *testing.T) {
+	s := FormatTrendline([]float64{173.19, 0.0113, -6e-8})
+	if s == "" || s[0] != 'y' {
+		t.Errorf("trendline = %q", s)
+	}
+	if FormatTrendline([]float64{1, 2}) == "" {
+		t.Error("linear format empty")
+	}
+	if FormatTrendline([]float64{1}) == "" {
+		t.Error("fallback format empty")
+	}
+}
+
+func TestRSquaredEdgeCases(t *testing.T) {
+	if RSquared(nil, nil, nil) != 0 {
+		t.Error("empty RSquared should be 0")
+	}
+	// Constant ys perfectly fit by constant polynomial.
+	if r := RSquared([]float64{5}, []float64{1, 2}, []float64{5, 5}); r != 1 {
+		t.Errorf("constant fit R² = %v", r)
+	}
+}

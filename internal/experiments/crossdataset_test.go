@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCrossDataset(t *testing.T) {
+	rows, err := RunCrossDataset(t.TempDir(), 3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 datasets", len(rows))
+	}
+	for _, r := range rows {
+		if r.MRR < 0 || r.MRR > 1 {
+			t.Errorf("%s: MRR = %v out of range", r.Dataset, r.MRR)
+		}
+		// The §6.3 trend: Sama answers the approximate queries on every
+		// dataset; the exact matcher cannot.
+		if r.ApproxMatches["Sama"] == 0 {
+			t.Errorf("%s: Sama found no approximate matches", r.Dataset)
+		}
+		if r.ApproxMatches["Sama"] <= r.ApproxMatches["Dogma"] {
+			t.Errorf("%s: Sama (%d) should exceed Dogma (%d) on approximate queries",
+				r.Dataset, r.ApproxMatches["Sama"], r.ApproxMatches["Dogma"])
+		}
+	}
+	out := FormatCrossDataset(rows)
+	for _, ds := range []string{"LUBM", "GOV", "Berlin", "PBlog"} {
+		if !strings.Contains(out, ds) {
+			t.Errorf("format missing %s:\n%s", ds, out)
+		}
+	}
+}

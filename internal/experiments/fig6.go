@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sama/internal/workload"
+)
+
+// Fig6Cell is the average response time of one system on one query.
+type Fig6Cell struct {
+	System string
+	Query  string
+	Avg    time.Duration
+}
+
+// Fig6Result holds both panels of Figure 6.
+type Fig6Result struct {
+	Cold []Fig6Cell
+	Warm []Fig6Cell
+}
+
+// TopK is the answer budget of the timing experiments: the paper
+// measures “the time for computing the top-10 answers, including any
+// preprocessing, execution and traversal” (§6.2).
+const TopK = 10
+
+// RunFigure6 measures the average response time of each system on each
+// query, cold-cache and warm-cache, over the given number of runs
+// (the paper uses 10).
+func RunFigure6(systems []System, queries []workload.Query, runs int) (*Fig6Result, error) {
+	if runs <= 0 {
+		runs = 10
+	}
+	res := &Fig6Result{}
+	for _, sys := range systems {
+		for _, q := range queries {
+			cold, err := timeRuns(sys, q, runs, true)
+			if err != nil {
+				return nil, fmt.Errorf("fig6: %s cold %s: %w", sys.Name(), q.ID, err)
+			}
+			warm, err := timeRuns(sys, q, runs, false)
+			if err != nil {
+				return nil, fmt.Errorf("fig6: %s warm %s: %w", sys.Name(), q.ID, err)
+			}
+			res.Cold = append(res.Cold, Fig6Cell{System: sys.Name(), Query: q.ID, Avg: cold})
+			res.Warm = append(res.Warm, Fig6Cell{System: sys.Name(), Query: q.ID, Avg: warm})
+		}
+	}
+	return res, nil
+}
+
+func timeRuns(sys System, q workload.Query, runs int, cold bool) (time.Duration, error) {
+	if !cold {
+		// Heat the cache with one unmeasured run.
+		if _, err := sys.Run(q, TopK); err != nil {
+			return 0, err
+		}
+	}
+	var total time.Duration
+	for i := 0; i < runs; i++ {
+		if cold {
+			if err := sys.ColdStart(); err != nil {
+				return 0, err
+			}
+		}
+		start := time.Now()
+		if _, err := sys.Run(q, TopK); err != nil {
+			return 0, err
+		}
+		total += time.Since(start)
+	}
+	return total / time.Duration(runs), nil
+}
+
+// FormatFigure6 renders one panel as the per-query series of the bar
+// chart (times in ms, as the paper's log-scale axis reports).
+func FormatFigure6(cells []Fig6Cell, title string) string {
+	systems := orderedSystems(cells)
+	queries := orderedQueries(cells)
+	byKey := map[string]time.Duration{}
+	for _, c := range cells {
+		byKey[c.System+"/"+c.Query] = c.Avg
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (avg response time, ms)\n", title)
+	fmt.Fprintf(&b, "%-6s", "query")
+	for _, s := range systems {
+		fmt.Fprintf(&b, " %10s", s)
+	}
+	b.WriteByte('\n')
+	for _, q := range queries {
+		fmt.Fprintf(&b, "%-6s", q)
+		for _, s := range systems {
+			fmt.Fprintf(&b, " %10.2f", float64(byKey[s+"/"+q].Microseconds())/1000)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func orderedSystems(cells []Fig6Cell) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if !seen[c.System] {
+			seen[c.System] = true
+			out = append(out, c.System)
+		}
+	}
+	return out
+}
+
+func orderedQueries(cells []Fig6Cell) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if !seen[c.Query] {
+			seen[c.Query] = true
+			out = append(out, c.Query)
+		}
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sama/internal/core"
+	"sama/internal/datasets"
+	"sama/internal/eval"
+	"sama/internal/rdf"
+	"sama/internal/workload"
+)
+
+// Fig7Point is one measurement of a scalability sweep: the swept value
+// x and the response time.
+type Fig7Point struct {
+	X  float64
+	Ms float64
+}
+
+// Fig7Series is one panel of Figure 7: the points, the fitted quadratic
+// trendline (as displayed in the paper's diagrams) and its R².
+type Fig7Series struct {
+	Label    string
+	Points   []Fig7Point
+	Trend    []float64
+	R2       float64
+	TrendEqn string
+}
+
+func finishSeries(label string, pts []Fig7Point) Fig7Series {
+	s := Fig7Series{Label: label, Points: pts}
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i], ys[i] = p.X, p.Ms
+	}
+	if coeffs, err := eval.PolyFit(xs, ys, 2); err == nil {
+		s.Trend = coeffs
+		s.R2 = eval.RSquared(coeffs, xs, ys)
+		s.TrendEqn = eval.FormatTrendline(coeffs)
+	}
+	return s
+}
+
+// timedQuery runs one Sama query and returns the average wall time and
+// the number of candidate paths I the index handed to the clusters.
+func timedQuery(engine *core.Engine, q *rdf.QueryGraph, runs int) (time.Duration, int, error) {
+	if runs <= 0 {
+		runs = 3
+	}
+	var total time.Duration
+	var extracted int
+	for i := 0; i < runs; i++ {
+		_, st, err := engine.QueryWithStats(q, TopK)
+		if err != nil {
+			return 0, 0, err
+		}
+		total += st.Elapsed
+		if i == 0 {
+			extracted = st.Extracted
+		}
+	}
+	return total / time.Duration(runs), extracted, nil
+}
+
+// RunFigure7a sweeps the data size: for each triple scale a fresh LUBM
+// index is built and a fixed mid-size query is timed; x is the number I
+// of extracted paths.
+func RunFigure7a(dir string, scales []int, seed int64, runs int) (Fig7Series, error) {
+	q := workload.LUBMQueries()[3] // Q4: professor → department → university
+	var pts []Fig7Point
+	for i, triples := range scales {
+		g := datasets.LUBM{}.Generate(triples, seed)
+		sub := filepath.Join(dir, fmt.Sprintf("f7a-%d", i))
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return Fig7Series{}, err
+		}
+		sys, err := NewSamaSystem(sub, g)
+		if err != nil {
+			return Fig7Series{}, err
+		}
+		avg, extracted, err := timedQuery(sys.Engine(), q.Pattern, runs)
+		sys.Close()
+		if err != nil {
+			return Fig7Series{}, err
+		}
+		pts = append(pts, Fig7Point{X: float64(extracted), Ms: ms(avg)})
+	}
+	return finishSeries("time vs I (extracted paths)", pts), nil
+}
+
+// RunFigure7b sweeps the query size on a fixed graph: chain queries of
+// 1…maxHops hops; x is the number of nodes in Q.
+func RunFigure7b(sys *SamaSystem, maxHops, runs int) (Fig7Series, error) {
+	if maxHops <= 0 {
+		maxHops = 8
+	}
+	var pts []Fig7Point
+	for h := 1; h <= maxHops; h++ {
+		q := workload.ChainQuery(h)
+		avg, _, err := timedQuery(sys.Engine(), q.Pattern, runs)
+		if err != nil {
+			return Fig7Series{}, err
+		}
+		pts = append(pts, Fig7Point{X: float64(q.Nodes), Ms: ms(avg)})
+	}
+	return finishSeries("time vs #nodes in Q", pts), nil
+}
+
+// RunFigure7c sweeps the variable count on a fixed graph: 1…maxVars
+// variables; x is the number of variables in Q.
+func RunFigure7c(sys *SamaSystem, maxVars, runs int) (Fig7Series, error) {
+	if maxVars <= 0 || maxVars > 7 {
+		maxVars = 7
+	}
+	var pts []Fig7Point
+	for v := 1; v <= maxVars; v++ {
+		q := workload.VarSweepQuery(v)
+		avg, _, err := timedQuery(sys.Engine(), q.Pattern, runs)
+		if err != nil {
+			return Fig7Series{}, err
+		}
+		pts = append(pts, Fig7Point{X: float64(v), Ms: ms(avg)})
+	}
+	return finishSeries("time vs #variables in Q", pts), nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// FormatFigure7 renders a sweep panel with its trendline equation.
+func FormatFigure7(s Fig7Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Label)
+	fmt.Fprintf(&b, "%12s %12s\n", "x", "msec")
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%12.4g %12.3f\n", p.X, p.Ms)
+	}
+	if s.TrendEqn != "" {
+		fmt.Fprintf(&b, "trendline: %s  (R² = %.3f)\n", s.TrendEqn, s.R2)
+	}
+	return b.String()
+}

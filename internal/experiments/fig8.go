@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sama/internal/workload"
+)
+
+// Fig8Cell is the number of matches one system returned for one query
+// when no answer budget k is imposed (§6.3, Figure 8).
+type Fig8Cell struct {
+	System  string
+	Query   string
+	Matches int
+}
+
+// Fig8Limit bounds the per-query enumeration: the matchers cap their
+// own output (BaselineBudget) and Sama's combination search is bounded
+// by its MaxCombinations; the relative counts — Sama and Sapper finding
+// more meaningful matches than Bounded and Dogma — are what the figure
+// shows.
+const Fig8Limit = BaselineBudget
+
+// RunFigure8 counts the matches each system identifies for each query.
+func RunFigure8(systems []System, queries []workload.Query) ([]Fig8Cell, error) {
+	var out []Fig8Cell
+	for _, sys := range systems {
+		for _, q := range queries {
+			graphs, err := sys.Run(q, Fig8Limit)
+			if err != nil {
+				return nil, fmt.Errorf("fig8: %s %s: %w", sys.Name(), q.ID, err)
+			}
+			out = append(out, Fig8Cell{System: sys.Name(), Query: q.ID, Matches: len(graphs)})
+		}
+	}
+	return out, nil
+}
+
+// FormatFigure8 renders the match counts per query and system.
+func FormatFigure8(cells []Fig8Cell) string {
+	systems := map[string]bool{}
+	queries := map[string]bool{}
+	var sysOrder, qOrder []string
+	byKey := map[string]int{}
+	for _, c := range cells {
+		if !systems[c.System] {
+			systems[c.System] = true
+			sysOrder = append(sysOrder, c.System)
+		}
+		if !queries[c.Query] {
+			queries[c.Query] = true
+			qOrder = append(qOrder, c.Query)
+		}
+		byKey[c.System+"/"+c.Query] = c.Matches
+	}
+	var b strings.Builder
+	b.WriteString("# of matches (no k imposed)\n")
+	fmt.Fprintf(&b, "%-6s", "query")
+	for _, s := range sysOrder {
+		fmt.Fprintf(&b, " %8s", s)
+	}
+	b.WriteByte('\n')
+	for _, q := range qOrder {
+		fmt.Fprintf(&b, "%-6s", q)
+		for _, s := range sysOrder {
+			fmt.Fprintf(&b, " %8d", byKey[s+"/"+q])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sama/internal/align"
+	"sama/internal/baselines"
+	"sama/internal/eval"
+	"sama/internal/rdf"
+	"sama/internal/workload"
+)
+
+// Fig9Curve is one interpolated precision/recall curve of Figure 9.
+type Fig9Curve struct {
+	Label  string
+	Points []eval.PRPoint
+}
+
+// Fig9Options tunes the effectiveness experiment.
+type Fig9Options struct {
+	// PoolDepth is the ranking depth pooled per system per query
+	// (0 = 200).
+	PoolDepth int
+	// ThresholdSlack is added to the per-query relevance threshold
+	// (0.5·|edges| + slack); 0 selects 1.0. The threshold realises the
+	// paper's expert judgment through the binding-verification oracle.
+	ThresholdSlack float64
+}
+
+func (o Fig9Options) poolDepth() int {
+	if o.PoolDepth <= 0 {
+		return 200
+	}
+	return o.PoolDepth
+}
+
+func (o Fig9Options) slack() float64 {
+	if o.ThresholdSlack == 0 {
+		return 1.0
+	}
+	return o.ThresholdSlack
+}
+
+// samaBuckets are the |Q| ranges the paper plots Sama under.
+var samaBuckets = []struct {
+	label    string
+	min, max int
+}{
+	{"Sama |Q| in [1,4]", 1, 4},
+	{"Sama |Q| in [5,10]", 5, 10},
+	{"Sama |Q| in [11,17]", 11, 17},
+}
+
+// RunFigure9 computes the interpolated precision/recall curves: Sama
+// split by query size bucket, each baseline averaged over all queries.
+// Ground truth is pooled: every distinct binding any system returns is
+// judged by verifying it against the data graph, and the relevant pool
+// defines recall.
+func RunFigure9(systems []System, data *rdf.Graph, queries []workload.Query, opts Fig9Options) ([]Fig9Curve, error) {
+	depth := opts.poolDepth()
+	perQuery := make([]judged9, len(queries))
+
+	for qi, q := range queries {
+		threshold := 0.5*float64(q.Edges) + opts.slack()
+		judge := eval.NewBindingJudge(data, q.Pattern, align.DefaultParams, threshold)
+		pool := map[string]bool{} // binding key -> relevant
+		rankings := map[string][]rdf.Substitution{}
+		for _, sys := range systems {
+			results, err := sys.Run(q, depth)
+			if err != nil {
+				return nil, fmt.Errorf("fig9: %s %s: %w", sys.Name(), q.ID, err)
+			}
+			substs := make([]rdf.Substitution, len(results))
+			for i, r := range results {
+				substs[i] = r.Subst
+				key := baselines.SubstKey(r.Subst)
+				if _, seen := pool[key]; !seen {
+					pool[key] = judge.Relevant(r.Subst)
+				}
+			}
+			rankings[sys.Name()] = substs
+		}
+		total := 0
+		for _, rel := range pool {
+			if rel {
+				total++
+			}
+		}
+		j := judged9{relevant: map[string][]bool{}, total: total}
+		for name, substs := range rankings {
+			rels := make([]bool, len(substs))
+			seen := map[string]bool{}
+			for i, s := range substs {
+				key := baselines.SubstKey(s)
+				if seen[key] {
+					continue // duplicate answers don't earn extra recall
+				}
+				seen[key] = true
+				rels[i] = pool[key]
+			}
+			j.relevant[name] = rels
+		}
+		perQuery[qi] = j
+	}
+
+	var curves []Fig9Curve
+	// Sama bucketed by |Q| (number of query nodes, the paper's |Q|).
+	for _, bucket := range samaBuckets {
+		var members []int
+		for qi, q := range queries {
+			if q.Nodes >= bucket.min && q.Nodes <= bucket.max {
+				members = append(members, qi)
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		curves = append(curves, Fig9Curve{
+			Label:  bucket.label,
+			Points: averageCurves(perQuery, members, "Sama"),
+		})
+	}
+	// Baselines over all queries.
+	for _, sys := range systems {
+		if sys.Name() == "Sama" {
+			continue
+		}
+		all := make([]int, len(queries))
+		for i := range all {
+			all[i] = i
+		}
+		curves = append(curves, Fig9Curve{
+			Label:  sys.Name(),
+			Points: averageCurves(perQuery, all, sys.Name()),
+		})
+	}
+	return curves, nil
+}
+
+// averageCurves interpolates each member query's PR curve and averages
+// pointwise (macro average).
+func averageCurves(perQuery []judged9, members []int, system string) []eval.PRPoint {
+	acc := make([]eval.PRPoint, 11)
+	for i := range acc {
+		acc[i].Recall = float64(i) / 10
+	}
+	n := 0
+	for _, qi := range members {
+		j := perQuery[qi]
+		rels, ok := j.relevant[system]
+		if !ok {
+			continue
+		}
+		pts := eval.InterpolatedPR(rels, j.total)
+		for i := range acc {
+			acc[i].Precision += pts[i].Precision
+		}
+		n++
+	}
+	if n > 0 {
+		for i := range acc {
+			acc[i].Precision /= float64(n)
+		}
+	}
+	return acc
+}
+
+// judged9 is the per-query judgment record: each system's ranked
+// relevance judgments plus the pooled relevant-answer count.
+type judged9 struct {
+	relevant map[string][]bool
+	total    int
+}
+
+// FormatFigure9 renders the curves as recall → precision tables.
+func FormatFigure9(curves []Fig9Curve) string {
+	var b strings.Builder
+	b.WriteString("interpolated precision at recall levels\n")
+	fmt.Fprintf(&b, "%-22s", "series")
+	for r := 0; r <= 10; r++ {
+		fmt.Fprintf(&b, " %5.1f", float64(r)/10)
+	}
+	b.WriteByte('\n')
+	for _, c := range curves {
+		fmt.Fprintf(&b, "%-22s", c.Label)
+		for _, p := range c.Points {
+			fmt.Fprintf(&b, " %5.2f", p.Precision)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sama/internal/align"
+	"sama/internal/eval"
+	"sama/internal/workload"
+)
+
+// RRRow is one query's reciprocal rank for Sama.
+type RRRow struct {
+	Query string
+	RR    float64
+	// AnyRelevant reports whether a relevant answer exists at all
+	// within the judged depth (RR is 0 when none does).
+	AnyRelevant bool
+}
+
+// rrThreshold is the relevance threshold used by the reciprocal-rank
+// and precision/recall experiments: half the per-edge mismatch slack
+// plus one, scaled to the query size.
+func rrThreshold(q workload.Query) float64 {
+	return 0.5*float64(q.Edges) + 1.0
+}
+
+// RunRR computes the reciprocal rank of the first correct answer per
+// query (§6.3 reports RR = 1 on every dataset and query: the top
+// answer is always correct when a correct answer exists — a direct
+// consequence of the score's monotone emission order). Answers are
+// judged by verifying their bindings against the data graph.
+func RunRR(sys *SamaSystem, queries []workload.Query, depth int) ([]RRRow, error) {
+	if depth <= 0 {
+		depth = 20
+	}
+	data := sys.Graph()
+	rows := make([]RRRow, 0, len(queries))
+	for _, q := range queries {
+		judge := eval.NewBindingJudge(data, q.Pattern, align.DefaultParams, rrThreshold(q))
+		results, err := sys.Run(q, depth)
+		if err != nil {
+			return nil, fmt.Errorf("rr: %s: %w", q.ID, err)
+		}
+		rels := make([]bool, len(results))
+		any := false
+		for i, r := range results {
+			rels[i] = judge.Relevant(r.Subst)
+			any = any || rels[i]
+		}
+		rows = append(rows, RRRow{Query: q.ID, RR: eval.ReciprocalRank(rels), AnyRelevant: any})
+	}
+	return rows, nil
+}
+
+// FormatRR renders the reciprocal ranks.
+func FormatRR(rows []RRRow) string {
+	var b strings.Builder
+	b.WriteString("reciprocal rank of first correct answer (Sama)\n")
+	for _, r := range rows {
+		note := ""
+		if !r.AnyRelevant {
+			note = "  (no relevant answer within judged depth)"
+		}
+		fmt.Fprintf(&b, "%-6s RR = %.3f%s\n", r.Query, r.RR, note)
+	}
+	return b.String()
+}

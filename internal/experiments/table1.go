@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sama/internal/datasets"
+	"sama/internal/index"
+	"sama/internal/paths"
+	"sama/internal/textindex"
+)
+
+// Table1Row is one dataset's indexing measurements, mirroring the
+// columns of Table 1: triples, hypergraph vertices |HV|, hyperedges
+// |HE|, build time and on-disk space.
+type Table1Row struct {
+	Dataset   string
+	Triples   int
+	HV        int
+	HE        int
+	BuildTime time.Duration
+	DiskBytes int64
+}
+
+// Table1Scale pairs a dataset generator with a target triple count and
+// an optional per-dataset path enumeration budget.
+type Table1Scale struct {
+	Dataset string
+	Triples int
+	// Paths overrides the enumeration budget (zero value: index
+	// default). Power-law graphs need tighter budgets: their deep link
+	// chains produce exponentially many source-to-sink paths, where the
+	// paper's Table 1 reports |HE| ≈ 2× triples for PBlog.
+	Paths paths.Config
+}
+
+// DefaultTable1Scales scales the paper's Table 1 datasets down to
+// laptop-runnable sizes while preserving their ordering by size
+// (PBlog 50k → LUBM largest).
+var DefaultTable1Scales = []Table1Scale{
+	{Dataset: "PBlog", Triples: 50_000,
+		Paths: paths.Config{MaxLength: 6, MaxPerRoot: 64}},
+	{Dataset: "GOV", Triples: 100_000},
+	{Dataset: "Berlin", Triples: 150_000},
+	{Dataset: "LUBM", Triples: 250_000},
+}
+
+// RunTable1 builds an index for each configured dataset under dir and
+// reports the Table 1 measurements.
+func RunTable1(dir string, scales []Table1Scale, seed int64) ([]Table1Row, error) {
+	rows := make([]Table1Row, 0, len(scales))
+	for _, sc := range scales {
+		gen, err := datasets.ByName(sc.Dataset)
+		if err != nil {
+			return nil, err
+		}
+		g := gen.Generate(sc.Triples, seed)
+		idx, err := index.Build(filepath.Join(dir, "t1-"+sc.Dataset), g, index.Options{
+			Paths:     sc.Paths,
+			Thesaurus: textindex.BenchmarkThesaurus(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table1: index %s: %w", sc.Dataset, err)
+		}
+		st := idx.Stats()
+		rows = append(rows, Table1Row{
+			Dataset:   sc.Dataset,
+			Triples:   st.Triples,
+			HV:        st.HV,
+			HE:        st.HE,
+			BuildTime: st.BuildTime,
+			DiskBytes: st.DiskBytes,
+		})
+		if err := idx.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders the rows in the layout of the paper's Table 1.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %10s %10s %10s %12s %10s\n",
+		"DG", "#Triples", "|HV|", "|HE|", "t", "Space")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %10s %10s %10s %12s %10s\n",
+			r.Dataset, humanCount(r.Triples), humanCount(r.HV),
+			humanCount(r.HE), r.BuildTime.Round(time.Millisecond),
+			humanBytes(r.DiskBytes))
+	}
+	return b.String()
+}
+
+func humanCount(n int) string {
+	switch {
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.1fK", float64(n)/1e3)
+	default:
+		return fmt.Sprint(n)
+	}
+}
+
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,93 @@
+package index
+
+import (
+	"fmt"
+	"os"
+
+	"sama/internal/storage"
+	"sama/internal/textindex"
+)
+
+// Compact rewrites the index files keeping only live paths, reclaiming
+// the space held by tombstoned records (the record store is append-only,
+// so InsertTriples can only grow the files). The index must be the sole
+// user of its files during compaction. On success the index serves from
+// the compacted files; on failure the original files remain intact and
+// the index stays usable.
+func (ix *Index) Compact() error {
+	tmpBase := ix.base + ".compact"
+	fail := func(file *storage.PageFile, err error) error {
+		if file != nil {
+			file.Close()
+		}
+		os.Remove(pagesPath(tmpBase))
+		os.Remove(metaPath(tmpBase))
+		return err
+	}
+	file, err := storage.CreatePageFile(pagesPath(tmpBase))
+	if err != nil {
+		return err
+	}
+	next := &Index{
+		base:    tmpBase,
+		file:    file,
+		pool:    storage.NewBufferPool(file, 0),
+		sinks:   textindex.New(ix.thes),
+		labels:  textindex.New(ix.thes),
+		sources: textindex.New(nil),
+		graph:   ix.graph,
+		pathCfg: ix.pathCfg,
+	}
+	if ix.dict != nil {
+		next.dict = NewDictionary()
+	}
+	next.store = storage.NewRecordStore(next.pool)
+
+	for id := 0; id < ix.NumPaths(); id++ {
+		if !ix.Live(PathID(id)) {
+			continue
+		}
+		p, err := ix.Path(PathID(id))
+		if err != nil {
+			return fail(file, fmt.Errorf("index: compact: read path %d: %w", id, err))
+		}
+		if err := next.addPath(p); err != nil {
+			return fail(file, fmt.Errorf("index: compact: rewrite path %d: %w", id, err))
+		}
+	}
+	next.stats = ix.stats
+	next.stats.Paths = len(next.rids)
+	next.stats.HE = next.stats.Triples + next.stats.Paths
+	if err := next.pool.Flush(); err != nil {
+		return fail(file, err)
+	}
+	if err := next.writeMeta(); err != nil {
+		return fail(file, err)
+	}
+	if err := file.Close(); err != nil {
+		return fail(nil, err)
+	}
+
+	// Swap the files under the live index.
+	if err := ix.pool.Close(); err != nil {
+		return err
+	}
+	if err := ix.file.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(pagesPath(tmpBase), pagesPath(ix.base)); err != nil {
+		return fmt.Errorf("index: compact: swap pages: %w", err)
+	}
+	if err := os.Rename(metaPath(tmpBase), metaPath(ix.base)); err != nil {
+		return fmt.Errorf("index: compact: swap meta: %w", err)
+	}
+	reopened, err := Open(ix.base, Options{Paths: ix.pathCfg, Thesaurus: ix.thes})
+	if err != nil {
+		return fmt.Errorf("index: compact: reopen: %w", err)
+	}
+	graph := ix.graph
+	*ix = *reopened
+	ix.graph = graph
+	ix.stats.DiskBytes = ix.diskBytes()
+	return nil
+}

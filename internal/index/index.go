@@ -1,0 +1,478 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"sama/internal/paths"
+	"sama/internal/rdf"
+	"sama/internal/storage"
+	"sama/internal/textindex"
+)
+
+// PathID densely identifies one indexed path.
+type PathID uint32
+
+// Options configures index construction and opening.
+type Options struct {
+	// Paths bounds the path enumeration (zero value: paths.DefaultConfig).
+	Paths paths.Config
+	// PoolPages is the buffer pool capacity in pages (0: storage default).
+	PoolPages int
+	// Thesaurus enables semantic label expansion (nil: exact + token
+	// matching only).
+	Thesaurus *textindex.Thesaurus
+	// Compress stores paths as dictionary-interned varint ID sequences
+	// instead of inline strings (the §7 compression mechanism). The
+	// dictionary is persisted in the metadata file.
+	Compress bool
+}
+
+func (o Options) pathConfig() paths.Config {
+	if o.Paths == (paths.Config{}) {
+		return paths.DefaultConfig
+	}
+	return o.Paths
+}
+
+// Stats describes a built index; the Table 1 experiment reports these
+// per dataset.
+type Stats struct {
+	// Triples is the number of statements in the source graph.
+	Triples int
+	// HV is the number of hypergraph vertices: the data graph's nodes.
+	HV int
+	// HE is the number of hyperedges: the graph's binary edges plus one
+	// hyperedge per stored path (Figure 5's representation).
+	HE int
+	// Paths is the number of indexed source-to-sink paths.
+	Paths int
+	// BuildTime is the wall-clock indexing duration.
+	BuildTime time.Duration
+	// DiskBytes is the on-disk footprint (pages file + metadata file).
+	DiskBytes int64
+}
+
+// Index is the opened, queryable path index.
+type Index struct {
+	base  string
+	file  *storage.PageFile
+	pool  *storage.BufferPool
+	store *storage.RecordStore
+	rids  []storage.RID
+	// lens caches each path's node count so the engine can pre-rank
+	// candidates without touching disk.
+	lens []uint16
+	// sinks matches query sinks against path sinks; labels matches any
+	// constant label against the paths containing it; sources matches
+	// path source labels (used by incremental updates to find the paths
+	// a mutation invalidates).
+	sinks   *textindex.Index
+	labels  *textindex.Index
+	sources *textindex.Index
+	// deleted tombstones paths invalidated by incremental updates; the
+	// record store is append-only, so their bytes stay until a rebuild.
+	deleted []bool
+	// dict interns terms when the index is compressed; nil otherwise.
+	dict *Dictionary
+	// graph is the indexed data graph, retained by Build (and by
+	// AttachGraph after Open) so InsertTriples can re-enumerate the
+	// affected paths.
+	graph   *rdf.Graph
+	pathCfg paths.Config
+	thes    *textindex.Thesaurus
+	stats   Stats
+}
+
+func pagesPath(base string) string { return base + ".pages" }
+func metaPath(base string) string  { return base + ".meta" }
+
+// Build indexes the data graph g into files at base (base.pages and
+// base.meta), returning the opened index. An existing index at base is
+// overwritten.
+func Build(base string, g *rdf.Graph, opts Options) (*Index, error) {
+	start := time.Now()
+	file, err := storage.CreatePageFile(pagesPath(base))
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		base:    base,
+		file:    file,
+		pool:    storage.NewBufferPool(file, opts.PoolPages),
+		sinks:   textindex.New(opts.Thesaurus),
+		labels:  textindex.New(opts.Thesaurus),
+		sources: textindex.New(nil),
+		graph:   g,
+		pathCfg: opts.pathConfig(),
+		thes:    opts.Thesaurus,
+	}
+	if opts.Compress {
+		ix.dict = NewDictionary()
+	}
+	ix.store = storage.NewRecordStore(ix.pool)
+
+	ps := paths.Enumerate(g, ix.pathCfg)
+	for _, p := range ps {
+		if err := ix.addPath(p); err != nil {
+			file.Close()
+			return nil, err
+		}
+	}
+	ix.stats = Stats{
+		Triples:   g.EdgeCount(),
+		HV:        g.NodeCount(),
+		HE:        g.EdgeCount() + len(ps),
+		Paths:     len(ps),
+		BuildTime: time.Since(start),
+	}
+	if err := ix.pool.Flush(); err != nil {
+		file.Close()
+		return nil, err
+	}
+	if err := ix.writeMeta(); err != nil {
+		file.Close()
+		return nil, err
+	}
+	ix.stats.DiskBytes = ix.diskBytes()
+	return ix, nil
+}
+
+func (ix *Index) addPath(p paths.Path) error {
+	var data []byte
+	if ix.dict != nil {
+		data = EncodePathDict(dictPath{nodes: p.Nodes, edges: p.Edges}, ix.dict)
+	} else {
+		data = EncodePath(p)
+	}
+	rid, err := ix.store.Append(data)
+	if err != nil {
+		return err
+	}
+	id := PathID(len(ix.rids))
+	ix.rids = append(ix.rids, rid)
+	ix.deleted = append(ix.deleted, false)
+	n := len(p.Nodes)
+	if n > 0xffff {
+		n = 0xffff
+	}
+	ix.lens = append(ix.lens, uint16(n))
+	ix.sinks.Add(p.Sink().Label(), uint32(id))
+	ix.sources.Add(p.Source().Label(), uint32(id))
+	for _, n := range p.Nodes {
+		ix.labels.Add(n.Label(), uint32(id))
+	}
+	for _, e := range p.Edges {
+		ix.labels.Add(e.Label(), uint32(id))
+	}
+	return nil
+}
+
+// Open loads an index previously written by Build. The pages stay on
+// disk (reads go through a fresh, cold buffer pool); the lookup tables
+// are loaded into memory.
+func Open(base string, opts Options) (*Index, error) {
+	file, err := storage.OpenPageFile(pagesPath(base))
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		base:    base,
+		file:    file,
+		pool:    storage.NewBufferPool(file, opts.PoolPages),
+		pathCfg: opts.pathConfig(),
+		thes:    opts.Thesaurus,
+	}
+	ix.store = storage.NewRecordStore(ix.pool)
+	if err := ix.readMeta(opts.Thesaurus); err != nil {
+		file.Close()
+		return nil, fmt.Errorf("index: open %s: %w", base, err)
+	}
+	ix.stats.DiskBytes = ix.diskBytes()
+	return ix, nil
+}
+
+var metaMagic = [8]byte{'S', 'A', 'M', 'A', 'I', 'D', 'X', '3'}
+
+const metaFlagCompressed = 1
+
+func (ix *Index) writeMeta() error {
+	f, err := os.Create(metaPath(ix.base))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if _, err := w.Write(metaMagic[:]); err != nil {
+		return err
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	wu := func(v uint64) error {
+		_, err := w.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+		return err
+	}
+	var flags uint64
+	if ix.dict != nil {
+		flags |= metaFlagCompressed
+	}
+	if err := wu(flags); err != nil {
+		return err
+	}
+	for _, v := range []uint64{
+		uint64(ix.stats.Triples), uint64(ix.stats.HV), uint64(ix.stats.HE),
+		uint64(ix.stats.Paths), uint64(ix.stats.BuildTime),
+	} {
+		if err := wu(v); err != nil {
+			return err
+		}
+	}
+	if err := wu(uint64(len(ix.rids))); err != nil {
+		return err
+	}
+	for _, rid := range ix.rids {
+		if err := wu(rid.Pack()); err != nil {
+			return err
+		}
+	}
+	for _, l := range ix.lens {
+		if err := wu(uint64(l)); err != nil {
+			return err
+		}
+	}
+	// Tombstone bitmap, one byte per 8 paths.
+	bitmap := make([]byte, (len(ix.deleted)+7)/8)
+	for i, del := range ix.deleted {
+		if del {
+			bitmap[i/8] |= 1 << (i % 8)
+		}
+	}
+	if _, err := w.Write(bitmap); err != nil {
+		return err
+	}
+	if _, err := ix.sinks.WriteTo(w); err != nil {
+		return err
+	}
+	if _, err := ix.labels.WriteTo(w); err != nil {
+		return err
+	}
+	if _, err := ix.sources.WriteTo(w); err != nil {
+		return err
+	}
+	if ix.dict != nil {
+		if _, err := ix.dict.WriteTo(w); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func (ix *Index) readMeta(thes *textindex.Thesaurus) error {
+	f, err := os.Open(metaPath(ix.base))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return err
+	}
+	if magic != metaMagic {
+		return fmt.Errorf("bad meta magic %q", magic)
+	}
+	ru := func() (uint64, error) { return binary.ReadUvarint(r) }
+	flags, err := ru()
+	if err != nil {
+		return err
+	}
+	vals := make([]uint64, 5)
+	for i := range vals {
+		if vals[i], err = ru(); err != nil {
+			return err
+		}
+	}
+	ix.stats = Stats{
+		Triples:   int(vals[0]),
+		HV:        int(vals[1]),
+		HE:        int(vals[2]),
+		Paths:     int(vals[3]),
+		BuildTime: time.Duration(vals[4]),
+	}
+	n, err := ru()
+	if err != nil {
+		return err
+	}
+	ix.rids = make([]storage.RID, n)
+	for i := range ix.rids {
+		v, err := ru()
+		if err != nil {
+			return err
+		}
+		ix.rids[i] = storage.UnpackRID(v)
+	}
+	ix.lens = make([]uint16, n)
+	for i := range ix.lens {
+		v, err := ru()
+		if err != nil {
+			return err
+		}
+		ix.lens[i] = uint16(v)
+	}
+	bitmap := make([]byte, (n+7)/8)
+	if _, err := io.ReadFull(r, bitmap); err != nil {
+		return err
+	}
+	ix.deleted = make([]bool, n)
+	for i := range ix.deleted {
+		ix.deleted[i] = bitmap[i/8]&(1<<(i%8)) != 0
+	}
+	if ix.sinks, err = textindex.ReadFrom(r, thes); err != nil {
+		return err
+	}
+	if ix.labels, err = textindex.ReadFrom(r, thes); err != nil {
+		return err
+	}
+	if ix.sources, err = textindex.ReadFrom(r, nil); err != nil {
+		return err
+	}
+	if flags&metaFlagCompressed != 0 {
+		if ix.dict, err = ReadDictionary(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ix *Index) diskBytes() int64 {
+	total := ix.file.Size()
+	if fi, err := os.Stat(metaPath(ix.base)); err == nil {
+		total += fi.Size()
+	}
+	return total
+}
+
+// NumPaths returns the number of indexed paths, tombstoned included
+// (IDs run from 0 to NumPaths-1; check Live before reading).
+func (ix *Index) NumPaths() int { return len(ix.rids) }
+
+// Live reports whether the path ID refers to a non-tombstoned path.
+func (ix *Index) Live(id PathID) bool {
+	return int(id) < len(ix.deleted) && !ix.deleted[id]
+}
+
+// PathLength returns the number of nodes of the path, from the
+// in-memory length table (no disk access).
+func (ix *Index) PathLength(id PathID) int { return int(ix.lens[id]) }
+
+// ContainsLabel reports whether the path contains an element whose
+// label normalises exactly to the given label, answered from the
+// in-memory postings (no disk access).
+func (ix *Index) ContainsLabel(id PathID, label string) bool {
+	ps := ix.labels.LookupExact(label)
+	lo, hi := 0, len(ps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ps[mid] < uint32(id) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(ps) && ps[lo] == uint32(id)
+}
+
+// Stats returns the build statistics.
+func (ix *Index) Stats() Stats { return ix.stats }
+
+// Path reads the path with the given ID from disk (through the buffer
+// pool).
+func (ix *Index) Path(id PathID) (paths.Path, error) {
+	if int(id) >= len(ix.rids) {
+		return paths.Path{}, fmt.Errorf("index: path %d out of range (%d paths)", id, len(ix.rids))
+	}
+	if ix.deleted[id] {
+		return paths.Path{}, fmt.Errorf("index: path %d was invalidated by an update", id)
+	}
+	data, err := ix.store.Read(ix.rids[id])
+	if err != nil {
+		return paths.Path{}, err
+	}
+	if ix.dict != nil {
+		nodes, edges, err := DecodePathDict(data, ix.dict)
+		if err != nil {
+			return paths.Path{}, err
+		}
+		return paths.Path{Nodes: nodes, Edges: edges}, nil
+	}
+	return DecodePath(data)
+}
+
+// PathsBySink returns the IDs of the live paths whose sink matches the
+// label (exact, token, and thesaurus expansion).
+func (ix *Index) PathsBySink(label string) []PathID {
+	return ix.toPathIDs(ix.sinks.Lookup(label))
+}
+
+// PathsBySinkExact returns the IDs of the live paths whose sink label
+// normalises to the given label.
+func (ix *Index) PathsBySinkExact(label string) []PathID {
+	return ix.toPathIDs(ix.sinks.LookupExact(label))
+}
+
+// PathsByLabel returns the IDs of the live paths containing an element
+// whose label matches (exact, token, and thesaurus expansion).
+func (ix *Index) PathsByLabel(label string) []PathID {
+	return ix.toPathIDs(ix.labels.Lookup(label))
+}
+
+// toPathIDs converts postings, filtering tombstoned paths.
+func (ix *Index) toPathIDs(ps []uint32) []PathID {
+	out := make([]PathID, 0, len(ps))
+	for _, p := range ps {
+		if !ix.deleted[p] {
+			out = append(out, PathID(p))
+		}
+	}
+	return out
+}
+
+// ReadPaths materialises the given path IDs from disk.
+func (ix *Index) ReadPaths(ids []PathID) ([]paths.Path, error) {
+	out := make([]paths.Path, len(ids))
+	for i, id := range ids {
+		p, err := ix.Path(id)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// DropCache empties the buffer pool, returning the index to the
+// cold-cache state of the Figure 6 protocol.
+func (ix *Index) DropCache() error { return ix.pool.DropCache() }
+
+// PoolStats exposes the buffer pool counters.
+func (ix *Index) PoolStats() storage.PoolStats { return ix.pool.Stats() }
+
+// Close flushes the pages and metadata and closes the index files.
+func (ix *Index) Close() error {
+	if err := ix.writeMeta(); err != nil {
+		ix.pool.Close()
+		ix.file.Close()
+		return err
+	}
+	if err := ix.pool.Close(); err != nil {
+		ix.file.Close()
+		return err
+	}
+	return ix.file.Close()
+}

@@ -1,0 +1,153 @@
+package index
+
+import (
+	"fmt"
+
+	"sama/internal/paths"
+	"sama/internal/rdf"
+)
+
+// AttachGraph hands a reopened index its data graph so InsertTriples
+// can re-enumerate paths. Build retains the graph automatically; Open
+// cannot, because the graph is not persisted with the index.
+func (ix *Index) AttachGraph(g *rdf.Graph) { ix.graph = g }
+
+// Graph returns the attached data graph, or nil.
+func (ix *Index) Graph() *rdf.Graph { return ix.graph }
+
+// LivePaths returns the number of paths not tombstoned by updates.
+func (ix *Index) LivePaths() int {
+	n := 0
+	for _, del := range ix.deleted {
+		if !del {
+			n++
+		}
+	}
+	return n
+}
+
+// InsertTriples applies new statements to the index incrementally — the
+// update mechanism the paper lists as future work (§7). Only the paths
+// a new edge can appear on change: a triple (s, p, o) adds an out-edge
+// to s, so exactly the paths whose root reaches s are affected. The
+// procedure:
+//
+//  1. add the triples to the attached graph;
+//  2. compute the reverse closure of the new subjects — every node that
+//     can reach one of them — and intersect it with the graph's path
+//     roots, adding roots created by the new triples themselves;
+//  3. tombstone every indexed path starting at an affected root (the
+//     record store is append-only; the bytes remain until a rebuild);
+//  4. re-enumerate and index the paths from the affected roots.
+//
+// Sourceless (hub-rooted) graphs fall back to a full re-enumeration:
+// hub promotion is a global property, so any edge can move the roots.
+// The metadata file is rewritten on Flush or Close.
+func (ix *Index) InsertTriples(ts []rdf.Triple) error {
+	if ix.graph == nil {
+		return fmt.Errorf("index: no graph attached (Build retains it; after Open call AttachGraph)")
+	}
+	if len(ts) == 0 {
+		return nil
+	}
+	g := ix.graph
+	hadSources := len(g.Sources()) > 0
+	preNodes := g.NodeCount()
+
+	subjects := make(map[rdf.NodeID]struct{})
+	for i, t := range ts {
+		if err := t.Valid(); err != nil {
+			return fmt.Errorf("index: triple %d: %w", i, err)
+		}
+		g.AddTriple(t)
+		subjects[g.NodeByTerm(t.S)] = struct{}{}
+	}
+
+	var roots []rdf.NodeID
+	if !hadSources || len(g.Sources()) == 0 {
+		// Hub-rooted before or after: recompute everything.
+		roots = g.PathRoots()
+		for id := range ix.deleted {
+			ix.deleted[id] = true
+		}
+	} else {
+		affected := reverseClosure(g, subjects)
+		for _, r := range g.PathRoots() {
+			_, hit := affected[r]
+			if hit || int(r) >= preNodes {
+				roots = append(roots, r)
+			}
+		}
+		ix.tombstoneByRoots(g, roots)
+	}
+
+	added := 0
+	for _, root := range roots {
+		for _, p := range paths.EnumerateFrom(g, root, ix.pathCfg) {
+			if err := ix.addPath(p); err != nil {
+				return err
+			}
+			added++
+		}
+	}
+	ix.stats.Triples = g.EdgeCount()
+	ix.stats.HV = g.NodeCount()
+	ix.stats.Paths = ix.LivePaths()
+	ix.stats.HE = g.EdgeCount() + ix.stats.Paths
+	return nil
+}
+
+// reverseClosure returns every node that can reach one of the seeds
+// (including the seeds), following edges backwards.
+func reverseClosure(g *rdf.Graph, seeds map[rdf.NodeID]struct{}) map[rdf.NodeID]struct{} {
+	out := make(map[rdf.NodeID]struct{}, len(seeds))
+	var queue []rdf.NodeID
+	for s := range seeds {
+		out[s] = struct{}{}
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, eid := range g.In(n) {
+			from := g.Edge(eid).From
+			if _, seen := out[from]; !seen {
+				out[from] = struct{}{}
+				queue = append(queue, from)
+			}
+		}
+	}
+	return out
+}
+
+// tombstoneByRoots marks every live path whose source term matches one
+// of the roots.
+func (ix *Index) tombstoneByRoots(g *rdf.Graph, roots []rdf.NodeID) {
+	for _, root := range roots {
+		term := g.Term(root)
+		for _, posting := range ix.sources.LookupExact(term.Label()) {
+			if ix.deleted[posting] {
+				continue
+			}
+			// Exact-label postings can collide across term kinds;
+			// verify on the stored path.
+			p, err := ix.Path(PathID(posting))
+			if err == nil && p.Source() == term {
+				ix.deleted[posting] = true
+			}
+		}
+	}
+}
+
+// Flush persists the metadata (postings, tombstones, statistics) and
+// the dirty pages. Close also flushes.
+func (ix *Index) Flush() error {
+	if err := ix.pool.Flush(); err != nil {
+		return err
+	}
+	if err := ix.writeMeta(); err != nil {
+		return err
+	}
+	ix.stats.DiskBytes = ix.diskBytes()
+	return nil
+}

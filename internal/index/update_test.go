@@ -1,0 +1,404 @@
+package index
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sama/internal/paths"
+	"sama/internal/rdf"
+)
+
+func TestCompressedRoundTrip(t *testing.T) {
+	d := NewDictionary()
+	nodes := []rdf.Term{iri("a"), rdf.NewVar("x"), rdf.NewLangLiteral("ciao", "it")}
+	edges := []rdf.Term{iri("p"), rdf.NewTypedLiteral("5", "int")}
+	buf := EncodePathDict(dictPath{nodes: nodes, edges: edges}, d)
+	backN, backE, err := DecodePathDict(buf, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(nodes, backN) || !reflect.DeepEqual(edges, backE) {
+		t.Errorf("round trip mismatch: %v %v", backN, backE)
+	}
+	// Repeated terms share dictionary entries.
+	buf2 := EncodePathDict(dictPath{nodes: nodes, edges: edges}, d)
+	if d.Len() != 5 {
+		t.Errorf("dictionary grew to %d on re-encode", d.Len())
+	}
+	if len(buf2) != len(buf) {
+		t.Error("re-encode changed length")
+	}
+}
+
+func TestDecodePathDictErrors(t *testing.T) {
+	d := NewDictionary()
+	good := EncodePathDict(dictPath{
+		nodes: []rdf.Term{iri("a"), iri("b")},
+		edges: []rdf.Term{iri("p")},
+	}, d)
+	for cut := 1; cut < len(good); cut++ {
+		if _, _, err := DecodePathDict(good[:cut], d); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, _, err := DecodePathDict(append(good, 9), d); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	// Unknown ID.
+	empty := NewDictionary()
+	if _, _, err := DecodePathDict(good, empty); err == nil {
+		t.Error("decoding against empty dictionary accepted")
+	}
+}
+
+func TestCompressedIndexEndToEnd(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "comp")
+	ix, err := Build(base, figure1Graph(), Options{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinkIDs := ix.PathsBySink("Health Care")
+	if len(sinkIDs) == 0 {
+		t.Fatal("no sink matches in compressed index")
+	}
+	ps, err := ix.ReadPaths(sinkIDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		if p.Sink().Label() != "Health Care" {
+			t.Errorf("compressed path sink wrong: %s", p)
+		}
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Dictionary persists across reopen.
+	back, err := Open(base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if got := back.PathsBySink("Health Care"); !reflect.DeepEqual(got, sinkIDs) {
+		t.Errorf("sink IDs after reopen = %v, want %v", got, sinkIDs)
+	}
+	for _, id := range sinkIDs {
+		if _, err := back.Path(id); err != nil {
+			t.Errorf("compressed path %d unreadable after reopen: %v", id, err)
+		}
+	}
+}
+
+func TestCompressionShrinksPathStore(t *testing.T) {
+	g := rdf.NewGraph()
+	// Many sources funnel into one shared chain of long-named nodes, so
+	// the same long labels recur across every enumerated path — the
+	// repetition profile dictionary compression exploits (in LUBM, hub
+	// entities like universities appear on thousands of paths).
+	long := "http://example.org/a/very/long/namespace/with/many/segments#"
+	chain := []rdf.Term{iri(long + "hub")}
+	for i := 0; i < 5; i++ {
+		next := iri(long + "chainNode" + string(rune('A'+i)))
+		g.AddTriple(rdf.Triple{S: chain[len(chain)-1], P: iri(long + "leads"), O: next})
+		chain = append(chain, next)
+	}
+	g.AddTriple(rdf.Triple{S: chain[len(chain)-1], P: iri(long + "ends"), O: lit("End")})
+	for i := 0; i < 200; i++ {
+		s := iri(long + "source" + itoaTest(i))
+		g.AddTriple(rdf.Triple{S: s, P: iri(long + "feeds"), O: iri(long + "hub")})
+	}
+	plain, err := Build(filepath.Join(t.TempDir(), "plain"), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	comp, err := Build(filepath.Join(t.TempDir(), "comp"), g, Options{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comp.Close()
+	if comp.Stats().Paths != plain.Stats().Paths {
+		t.Fatalf("path counts differ: %d vs %d", comp.Stats().Paths, plain.Stats().Paths)
+	}
+	if comp.Stats().DiskBytes >= plain.Stats().DiskBytes {
+		t.Errorf("compression did not shrink: %d vs %d bytes",
+			comp.Stats().DiskBytes, plain.Stats().DiskBytes)
+	}
+}
+
+func itoaTest(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestInsertTriplesIncremental(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "upd")
+	g := figure1Graph()
+	ix, err := Build(base, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	before := ix.LivePaths()
+
+	// A new amendment by Alice Nimber to B0532: extends Alice's paths.
+	err = ix.InsertTriples([]rdf.Triple{
+		{S: iri("AliceNimber"), P: iri("sponsor"), O: iri("A9000")},
+		{S: iri("A9000"), P: iri("aTo"), O: iri("B0532")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := ix.LivePaths()
+	if after <= before {
+		t.Errorf("live paths did not grow: %d → %d", before, after)
+	}
+	// The new chain must be retrievable end-to-end.
+	found := false
+	for _, id := range ix.PathsBySink("Health Care") {
+		p, err := ix.Path(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.String() == "AliceNimber-sponsor-A9000-aTo-B0532-subject-Health Care" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("incrementally added path not found via sink lookup")
+	}
+	// No stale duplicates: every live path key is unique.
+	seen := map[string]int{}
+	for id := 0; id < ix.NumPaths(); id++ {
+		if !ix.Live(PathID(id)) {
+			continue
+		}
+		p, err := ix.Path(PathID(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[p.Key()]++
+	}
+	for k, n := range seen {
+		if n > 1 {
+			t.Errorf("duplicate live path ×%d: %q", n, k)
+		}
+	}
+	// Stats reflect the update.
+	if ix.Stats().Paths != after {
+		t.Errorf("stats.Paths = %d, want %d", ix.Stats().Paths, after)
+	}
+	if ix.Stats().Triples != g.EdgeCount() {
+		t.Errorf("stats.Triples = %d, want %d", ix.Stats().Triples, g.EdgeCount())
+	}
+}
+
+func TestInsertTriplesNewSource(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "upd2")
+	g := figure1Graph()
+	ix, err := Build(base, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	// A brand-new person sponsoring an existing bill.
+	err = ix.InsertTriples([]rdf.Triple{
+		{S: iri("NewPerson"), P: iri("sponsor"), O: iri("B1432")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := ix.PathsByLabel("NewPerson")
+	if len(ids) == 0 {
+		t.Fatal("paths from new source not indexed")
+	}
+	p, err := ix.Path(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Source() != iri("NewPerson") {
+		t.Errorf("path source = %v", p.Source())
+	}
+}
+
+func TestInsertTriplesPersistsAcrossReopen(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "upd3")
+	g := figure1Graph()
+	ix, err := Build(base, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.InsertTriples([]rdf.Triple{
+		{S: iri("NewPerson"), P: iri("sponsor"), O: iri("B1432")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	live := ix.LivePaths()
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Open(base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.LivePaths() != live {
+		t.Errorf("live paths after reopen = %d, want %d", back.LivePaths(), live)
+	}
+	if len(back.PathsByLabel("NewPerson")) == 0 {
+		t.Error("updated postings lost across reopen")
+	}
+	// Tombstoned paths stay invisible.
+	for _, id := range back.PathsBySink("Health Care") {
+		if !back.Live(id) {
+			t.Errorf("lookup returned tombstoned path %d", id)
+		}
+	}
+}
+
+func TestInsertTriplesRequiresGraph(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "upd4")
+	g := figure1Graph()
+	ix, err := Build(base, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Close()
+	back, err := Open(base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	err = back.InsertTriples([]rdf.Triple{{S: iri("x"), P: iri("p"), O: iri("y")}})
+	if err == nil {
+		t.Error("InsertTriples without graph accepted")
+	}
+	// AttachGraph recovers the capability.
+	back.AttachGraph(g)
+	if back.Graph() != g {
+		t.Error("Graph accessor wrong")
+	}
+	if err := back.InsertTriples([]rdf.Triple{
+		{S: iri("x"), P: iri("p"), O: iri("CarlaBunes")},
+	}); err != nil {
+		t.Errorf("InsertTriples after AttachGraph: %v", err)
+	}
+}
+
+func TestInsertTriplesRejectsInvalid(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "upd5")
+	ix, err := Build(base, figure1Graph(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	err = ix.InsertTriples([]rdf.Triple{{S: rdf.NewVar("x"), P: iri("p"), O: iri("y")}})
+	if err == nil {
+		t.Error("invalid triple accepted")
+	}
+	if err := ix.InsertTriples(nil); err != nil {
+		t.Errorf("empty insert should be a no-op, got %v", err)
+	}
+}
+
+func TestInsertTriplesHubGraphRebuilds(t *testing.T) {
+	// A cycle graph has no sources: updates rebuild from hubs.
+	g := rdf.NewGraph()
+	g.AddTriple(rdf.Triple{S: iri("a"), P: iri("p"), O: iri("b")})
+	g.AddTriple(rdf.Triple{S: iri("b"), P: iri("p"), O: iri("c")})
+	g.AddTriple(rdf.Triple{S: iri("c"), P: iri("p"), O: iri("a")})
+	base := filepath.Join(t.TempDir(), "upd6")
+	ix, err := Build(base, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if err := ix.InsertTriples([]rdf.Triple{
+		{S: iri("b"), P: iri("q"), O: iri("d")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// b is now the unique hub; all paths start there.
+	for id := 0; id < ix.NumPaths(); id++ {
+		if !ix.Live(PathID(id)) {
+			continue
+		}
+		p, err := ix.Path(PathID(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Source() != iri("b") {
+			t.Errorf("hub-rebuilt path starts at %v, want b (%s)", p.Source(), p)
+		}
+	}
+}
+
+func TestUpdatedIndexStillAnswersViaFlush(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "upd7")
+	ix, err := Build(base, figure1Graph(), Options{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if err := ix.InsertTriples([]rdf.Triple{
+		{S: iri("NewPerson"), P: iri("gender"), O: lit("Male")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Stats().DiskBytes <= 0 {
+		t.Error("Flush did not refresh disk stats")
+	}
+	males := ix.PathsBySinkExact("male")
+	found := false
+	for _, id := range males {
+		p, _ := ix.Path(id)
+		if p.Source() == iri("NewPerson") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("compressed updated index misses new gender path")
+	}
+}
+
+func TestTightBudgetUpdate(t *testing.T) {
+	// Updates respect the index's path budget.
+	base := filepath.Join(t.TempDir(), "upd8")
+	ix, err := Build(base, figure1Graph(), Options{
+		Paths: paths.Config{MaxLength: 3, MaxPerRoot: 2, Concurrency: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if err := ix.InsertTriples([]rdf.Triple{
+		{S: iri("CarlaBunes"), P: iri("sponsor"), O: iri("A7777")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Carla's paths were re-enumerated under MaxPerRoot=2.
+	n := 0
+	for id := 0; id < ix.NumPaths(); id++ {
+		if !ix.Live(PathID(id)) {
+			continue
+		}
+		p, _ := ix.Path(PathID(id))
+		if p.Source() == iri("CarlaBunes") {
+			n++
+		}
+	}
+	if n == 0 || n > 2 {
+		t.Errorf("CarlaBunes paths after budgeted update = %d, want 1..2", n)
+	}
+}

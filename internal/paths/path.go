@@ -1,0 +1,168 @@
+// Package paths implements the path decomposition of §3.2: a path is a
+// sequence of labels from a source to a sink of a data or query graph
+// (Definition 5). The package provides concurrent breadth-first path
+// enumeration with explosion budgets, hub promotion for sourceless
+// graphs, and the node-intersection primitive χ used by the conformity
+// component of the similarity measure.
+package paths
+
+import (
+	"strings"
+
+	"sama/internal/rdf"
+)
+
+// Path is one source-to-sink path. Nodes holds the node labels in order,
+// Edges the edge labels between them (len(Edges) == len(Nodes)-1). For
+// paths extracted from a graph, NodeIDs and EdgeIDs carry the provenance
+// of each element; paths built synthetically may leave them nil.
+type Path struct {
+	Nodes []rdf.Term
+	Edges []rdf.Term
+
+	NodeIDs []rdf.NodeID
+	EdgeIDs []rdf.EdgeID
+}
+
+// Length returns the number of nodes in the path, matching the paper's
+// convention (the example path JR-sponsor-A1589-aTo-B0532-subject-HC has
+// length 4).
+func (p Path) Length() int { return len(p.Nodes) }
+
+// Source returns the first node label of the path.
+func (p Path) Source() rdf.Term { return p.Nodes[0] }
+
+// Sink returns the last node label of the path.
+func (p Path) Sink() rdf.Term { return p.Nodes[len(p.Nodes)-1] }
+
+// Position returns the 1-based position of the first node with the given
+// label, or 0 if absent. (In the paper's example, A1589 has position 2.)
+func (p Path) Position(label rdf.Term) int {
+	for i, n := range p.Nodes {
+		if n == label {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// ContainsNode reports whether the path contains a node with the label.
+func (p Path) ContainsNode(label rdf.Term) bool { return p.Position(label) > 0 }
+
+// ContainsLabelText reports whether any node or edge of the path has the
+// given label text (Term.Label). Used by the clustering step when the
+// query sink is a variable and matching falls back to the first constant.
+func (p Path) ContainsLabelText(text string) bool {
+	for _, n := range p.Nodes {
+		if n.Label() == text {
+			return true
+		}
+	}
+	for _, e := range p.Edges {
+		if e.Label() == text {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the path in the paper's “l1-e1-l2-…-lk” notation.
+func (p Path) String() string {
+	var b strings.Builder
+	for i, n := range p.Nodes {
+		if i > 0 {
+			b.WriteByte('-')
+			b.WriteString(p.Edges[i-1].Label())
+			b.WriteByte('-')
+		}
+		b.WriteString(n.Label())
+	}
+	return b.String()
+}
+
+// Key returns a canonical string identifying the path contents
+// (including term kinds, so the literal "a" and the IRI <a> differ).
+// Suitable as a map key for dedup.
+func (p Path) Key() string {
+	var b strings.Builder
+	for i, n := range p.Nodes {
+		if i > 0 {
+			e := p.Edges[i-1]
+			b.WriteByte(byte(e.Kind) + '0')
+			b.WriteString(e.Label())
+			b.WriteByte(0x1e)
+		}
+		b.WriteByte(byte(n.Kind) + '0')
+		b.WriteString(n.Label())
+		b.WriteByte(0x1f)
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy of the path.
+func (p Path) Clone() Path {
+	return Path{
+		Nodes:   append([]rdf.Term(nil), p.Nodes...),
+		Edges:   append([]rdf.Term(nil), p.Edges...),
+		NodeIDs: append([]rdf.NodeID(nil), p.NodeIDs...),
+		EdgeIDs: append([]rdf.EdgeID(nil), p.EdgeIDs...),
+	}
+}
+
+// Triples materialises the path back into its constituent statements.
+// Synthetic paths without provenance are supported; the terms are used
+// directly.
+func (p Path) Triples() []rdf.Triple {
+	ts := make([]rdf.Triple, 0, len(p.Edges))
+	for i, e := range p.Edges {
+		ts = append(ts, rdf.Triple{S: p.Nodes[i], P: e, O: p.Nodes[i+1]})
+	}
+	return ts
+}
+
+// CommonNodes implements χ: the set of node labels shared by two paths,
+// in first-path order. Variables are compared by name like any label.
+func CommonNodes(a, b Path) []rdf.Term {
+	inB := make(map[rdf.Term]struct{}, len(b.Nodes))
+	for _, n := range b.Nodes {
+		inB[n] = struct{}{}
+	}
+	var out []rdf.Term
+	seen := make(map[rdf.Term]struct{})
+	for _, n := range a.Nodes {
+		if _, ok := inB[n]; ok {
+			if _, dup := seen[n]; !dup {
+				out = append(out, n)
+				seen[n] = struct{}{}
+			}
+		}
+	}
+	return out
+}
+
+// Intersects reports whether two paths share at least one node label.
+func Intersects(a, b Path) bool {
+	inB := make(map[rdf.Term]struct{}, len(b.Nodes))
+	for _, n := range b.Nodes {
+		inB[n] = struct{}{}
+	}
+	for _, n := range a.Nodes {
+		if _, ok := inB[n]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// FirstConstantFromEnd returns the last constant (non-variable) node
+// label of the path scanning from the sink backwards, as used by the
+// clustering step when the sink is a variable. ok is false when the path
+// contains no constant node.
+func (p Path) FirstConstantFromEnd() (rdf.Term, bool) {
+	for i := len(p.Nodes) - 1; i >= 0; i-- {
+		if p.Nodes[i].IsConstant() {
+			return p.Nodes[i], true
+		}
+	}
+	return rdf.Term{}, false
+}

@@ -1,0 +1,122 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// QueryGraph is a data graph whose node and edge labels may additionally
+// be variables (Definition 2). It embeds Graph, so all navigation
+// primitives apply, and adds variable bookkeeping plus substitution.
+type QueryGraph struct {
+	Graph
+	vars map[string]struct{}
+}
+
+// NewQueryGraph returns an empty query graph.
+func NewQueryGraph() *QueryGraph {
+	return &QueryGraph{Graph: *NewGraph(), vars: make(map[string]struct{})}
+}
+
+// NewQueryGraphFromTriples builds a query graph from triples, validating
+// each with Triple.ValidQuery.
+func NewQueryGraphFromTriples(triples []Triple) (*QueryGraph, error) {
+	q := NewQueryGraph()
+	for i, t := range triples {
+		if err := t.ValidQuery(); err != nil {
+			return nil, fmt.Errorf("triple %d: %w", i, err)
+		}
+		q.AddTriple(t)
+	}
+	return q, nil
+}
+
+// AddTriple inserts the query statement and records any variables.
+func (q *QueryGraph) AddTriple(t Triple) EdgeID {
+	for _, term := range []Term{t.S, t.P, t.O} {
+		if term.Kind == Var {
+			q.vars[term.Value] = struct{}{}
+		}
+	}
+	return q.Graph.AddTriple(t)
+}
+
+// Vars returns the sorted names of the variables occurring in the query.
+func (q *QueryGraph) Vars() []string {
+	names := make([]string, 0, len(q.vars))
+	for v := range q.vars {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// VarCount returns the number of distinct variables in the query.
+func (q *QueryGraph) VarCount() int { return len(q.vars) }
+
+// HasVar reports whether the named variable occurs in the query.
+func (q *QueryGraph) HasVar(name string) bool {
+	_, ok := q.vars[name]
+	return ok
+}
+
+// Substitution maps variable names (without the “?” prefix) to constant
+// terms. It realises the φ of Definition 3.
+type Substitution map[string]Term
+
+// Apply returns the term with the substitution applied: variables bound
+// by the substitution are replaced, everything else is returned as-is.
+func (s Substitution) Apply(t Term) Term {
+	if t.Kind == Var {
+		if c, ok := s[t.Value]; ok {
+			return c
+		}
+	}
+	return t
+}
+
+// Bind records that variable name maps to constant c. It returns an error
+// if the variable is already bound to a different constant (substitutions
+// are functions) or if c is itself a variable.
+func (s Substitution) Bind(name string, c Term) error {
+	if c.Kind == Var {
+		return fmt.Errorf("rdf: cannot bind variable ?%s to variable %s", name, c)
+	}
+	if prev, ok := s[name]; ok && prev != c {
+		return fmt.Errorf("rdf: variable ?%s already bound to %s, cannot rebind to %s", name, prev, c)
+	}
+	s[name] = c
+	return nil
+}
+
+// Clone returns a copy of the substitution.
+func (s Substitution) Clone() Substitution {
+	c := make(Substitution, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// Substitute applies a substitution to the whole query graph, producing a
+// new query graph (still possibly containing unbound variables).
+func (q *QueryGraph) Substitute(s Substitution) *QueryGraph {
+	out := NewQueryGraph()
+	for _, t := range q.Triples() {
+		out.AddTriple(Triple{S: s.Apply(t.S), P: s.Apply(t.P), O: s.Apply(t.O)})
+	}
+	return out
+}
+
+// Ground reports whether the query graph contains no variables, i.e. it
+// is a plain data graph.
+func (q *QueryGraph) Ground() bool { return len(q.vars) == 0 }
+
+// AsDataGraph converts a ground query graph into a data graph. It returns
+// an error if variables remain.
+func (q *QueryGraph) AsDataGraph() (*Graph, error) {
+	if !q.Ground() {
+		return nil, fmt.Errorf("rdf: query graph still contains variables %v", q.Vars())
+	}
+	return NewGraphFromTriples(q.Triples())
+}

@@ -1,0 +1,153 @@
+package rdf
+
+import (
+	"reflect"
+	"testing"
+)
+
+// queryQ1 builds the paper's query Q1: all amendments ?v1 sponsored by
+// Carla Bunes to a bill ?v2 on Health Care originally sponsored by a
+// male person ?v3.
+func queryQ1() *QueryGraph {
+	q := NewQueryGraph()
+	q.AddTriple(Triple{S: NewIRI("CarlaBunes"), P: NewIRI("sponsor"), O: NewVar("v1")})
+	q.AddTriple(Triple{S: NewVar("v1"), P: NewIRI("aTo"), O: NewVar("v2")})
+	q.AddTriple(Triple{S: NewVar("v2"), P: NewIRI("subject"), O: NewLiteral("Health Care")})
+	q.AddTriple(Triple{S: NewVar("v3"), P: NewIRI("sponsor"), O: NewVar("v2")})
+	q.AddTriple(Triple{S: NewVar("v3"), P: NewIRI("gender"), O: NewLiteral("Male")})
+	return q
+}
+
+func TestQueryGraphVars(t *testing.T) {
+	q := queryQ1()
+	if got := q.Vars(); !reflect.DeepEqual(got, []string{"v1", "v2", "v3"}) {
+		t.Errorf("Vars = %v", got)
+	}
+	if q.VarCount() != 3 {
+		t.Errorf("VarCount = %d, want 3", q.VarCount())
+	}
+	if !q.HasVar("v1") || q.HasVar("v9") {
+		t.Error("HasVar wrong")
+	}
+	if q.Ground() {
+		t.Error("Q1 is not ground")
+	}
+}
+
+func TestQueryGraphVarEdgeLabel(t *testing.T) {
+	// Q2 of the paper has a variable edge label ?e1.
+	q := NewQueryGraph()
+	q.AddTriple(Triple{S: NewVar("v3"), P: NewIRI("sponsor"), O: NewVar("v2")})
+	q.AddTriple(Triple{S: NewVar("v2"), P: NewVar("e1"), O: NewLiteral("Health Care")})
+	if !q.HasVar("e1") {
+		t.Error("edge variable not recorded")
+	}
+}
+
+func TestSubstitutionApplyAndBind(t *testing.T) {
+	s := Substitution{}
+	if err := s.Bind("v1", NewIRI("A0056")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind("v1", NewIRI("A0056")); err != nil {
+		t.Errorf("idempotent rebind rejected: %v", err)
+	}
+	if err := s.Bind("v1", NewIRI("A9999")); err == nil {
+		t.Error("conflicting rebind accepted")
+	}
+	if err := s.Bind("v2", NewVar("v3")); err == nil {
+		t.Error("binding to a variable accepted")
+	}
+	if got := s.Apply(NewVar("v1")); got != NewIRI("A0056") {
+		t.Errorf("Apply bound var = %v", got)
+	}
+	if got := s.Apply(NewVar("free")); got != NewVar("free") {
+		t.Errorf("Apply unbound var = %v", got)
+	}
+	if got := s.Apply(NewIRI("c")); got != NewIRI("c") {
+		t.Errorf("Apply constant = %v", got)
+	}
+}
+
+func TestSubstitutionClone(t *testing.T) {
+	s := Substitution{"v": NewIRI("a")}
+	c := s.Clone()
+	c["v"] = NewIRI("b")
+	if s["v"] != NewIRI("a") {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestQueryGraphSubstituteToGround(t *testing.T) {
+	q := queryQ1()
+	s := Substitution{
+		"v1": NewIRI("A0056"),
+		"v2": NewIRI("B1432"),
+		"v3": NewIRI("PierceDickes"),
+	}
+	grounded := q.Substitute(s)
+	if !grounded.Ground() {
+		t.Fatalf("still has vars: %v", grounded.Vars())
+	}
+	dg, err := grounded.AsDataGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.EdgeCount() != 5 {
+		t.Errorf("ground graph edges = %d, want 5", dg.EdgeCount())
+	}
+	if dg.NodeByTerm(NewIRI("PierceDickes")) == InvalidNode {
+		t.Error("substituted node missing")
+	}
+}
+
+func TestQueryGraphPartialSubstitute(t *testing.T) {
+	q := queryQ1()
+	partial := q.Substitute(Substitution{"v1": NewIRI("A0056")})
+	if partial.Ground() {
+		t.Error("partial substitution should leave vars")
+	}
+	if got := partial.Vars(); !reflect.DeepEqual(got, []string{"v2", "v3"}) {
+		t.Errorf("remaining vars = %v", got)
+	}
+	if _, err := partial.AsDataGraph(); err == nil {
+		t.Error("AsDataGraph should fail on non-ground graph")
+	}
+}
+
+func TestNewQueryGraphFromTriples(t *testing.T) {
+	q, err := NewQueryGraphFromTriples([]Triple{
+		{S: NewVar("x"), P: NewIRI("p"), O: NewLiteral("v")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.HasVar("x") {
+		t.Error("var not recorded")
+	}
+	_, err = NewQueryGraphFromTriples([]Triple{
+		{S: NewLiteral("bad"), P: NewIRI("p"), O: NewLiteral("v")},
+	})
+	if err == nil {
+		t.Error("invalid query triple accepted")
+	}
+}
+
+func TestQueryGraphSourcesSinks(t *testing.T) {
+	q := queryQ1()
+	// Q1 sources: CarlaBunes and ?v3; sinks: Health Care and Male.
+	srcs := map[string]bool{}
+	for _, s := range q.Sources() {
+		srcs[q.Label(s)] = true
+	}
+	if !srcs["CarlaBunes"] || !srcs["?v3"] {
+		t.Errorf("sources = %v", srcs)
+	}
+	sinks := map[string]bool{}
+	for _, s := range q.Sinks() {
+		sinks[q.Label(s)] = true
+	}
+	if !sinks["Health Care"] || !sinks["Male"] {
+		t.Errorf("sinks = %v", sinks)
+	}
+}

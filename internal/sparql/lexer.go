@@ -1,0 +1,256 @@
+// Package sparql implements a parser for the Basic Graph Pattern subset
+// of SPARQL used by the evaluation workloads: PREFIX declarations,
+// SELECT projections, WHERE blocks of triple patterns (with “;” and “,”
+// property/object lists and the “a” keyword), and LIMIT. The parse
+// result is an rdf.QueryGraph ready for the Sama engine and the baseline
+// matchers.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokKeyword
+	tokIRI      // <...>
+	tokPrefixed // ex:name or ex:
+	tokVar      // ?name or $name
+	tokLiteral  // "..." with optional @lang / ^^<dt>
+	tokNumber   // 42, 3.14
+	tokPunct    // { } . ; , *
+	tokA        // the keyword 'a' (rdf:type)
+)
+
+type token struct {
+	kind tokenKind
+	text string // keyword upper-cased; literal holds lexical form
+	lang string
+	dt   string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// Error is a SPARQL syntax error with source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("sparql: line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errf(format string, args ...any) *Error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance(1)
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+var keywords = map[string]bool{
+	"PREFIX": true, "BASE": true, "SELECT": true, "WHERE": true,
+	"LIMIT": true, "OFFSET": true, "DISTINCT": true, "REDUCED": true,
+	"ASK": true,
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	start := token{line: l.line, col: l.col}
+	if l.pos >= len(l.src) {
+		start.kind = tokEOF
+		return start, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '{' || c == '}' || c == '.' || c == ';' || c == ',' || c == '*':
+		start.kind = tokPunct
+		start.text = string(c)
+		l.advance(1)
+		return start, nil
+	case c == '<':
+		end := strings.IndexByte(l.src[l.pos:], '>')
+		if end < 0 {
+			return start, l.errf("unterminated IRI")
+		}
+		start.kind = tokIRI
+		start.text = l.src[l.pos+1 : l.pos+end]
+		l.advance(end + 1)
+		return start, nil
+	case c == '?' || c == '$':
+		l.advance(1)
+		name := l.ident()
+		if name == "" {
+			return start, l.errf("empty variable name")
+		}
+		start.kind = tokVar
+		start.text = name
+		return start, nil
+	case c == '"':
+		return l.literal(start)
+	case c >= '0' && c <= '9' || c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		i := l.pos
+		if c == '-' {
+			i++
+		}
+		for i < len(l.src) && (l.src[i] >= '0' && l.src[i] <= '9' || l.src[i] == '.') {
+			i++
+		}
+		start.kind = tokNumber
+		start.text = l.src[l.pos:i]
+		l.advance(i - l.pos)
+		return start, nil
+	default:
+		word := l.ident()
+		if word == "" {
+			return start, l.errf("unexpected character %q", c)
+		}
+		// Prefixed name? (contains or ends with ':')
+		if j := strings.IndexByte(word, ':'); j >= 0 {
+			start.kind = tokPrefixed
+			start.text = word
+			return start, nil
+		}
+		if word == "a" {
+			start.kind = tokA
+			start.text = "a"
+			return start, nil
+		}
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			start.kind = tokKeyword
+			start.text = up
+			return start, nil
+		}
+		return start, l.errf("unexpected token %q", word)
+	}
+}
+
+// ident consumes a PN_LOCAL-ish identifier: letters, digits, _, -, :, and
+// dots that are followed by more identifier characters.
+func (l *lexer) ident() string {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '-' || c == ':' {
+			l.advance(1)
+			continue
+		}
+		break
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) literal(start token) (token, error) {
+	i := l.pos + 1
+	var b strings.Builder
+	for {
+		if i >= len(l.src) {
+			return start, l.errf("unterminated string literal")
+		}
+		c := l.src[i]
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			if i+1 >= len(l.src) {
+				return start, l.errf("dangling escape in literal")
+			}
+			switch l.src[i+1] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return start, l.errf("unknown escape \\%c in literal", l.src[i+1])
+			}
+			i += 2
+			continue
+		}
+		b.WriteByte(c)
+		i++
+	}
+	l.advance(i + 1 - l.pos)
+	start.kind = tokLiteral
+	start.text = b.String()
+	// Optional @lang or ^^<dt> / ^^prefixed.
+	if l.pos < len(l.src) && l.src[l.pos] == '@' {
+		l.advance(1)
+		start.lang = l.ident()
+		if start.lang == "" {
+			return start, l.errf("empty language tag")
+		}
+	} else if strings.HasPrefix(l.src[l.pos:], "^^") {
+		l.advance(2)
+		if l.pos < len(l.src) && l.src[l.pos] == '<' {
+			end := strings.IndexByte(l.src[l.pos:], '>')
+			if end < 0 {
+				return start, l.errf("unterminated datatype IRI")
+			}
+			start.dt = l.src[l.pos+1 : l.pos+end]
+			l.advance(end + 1)
+		} else {
+			dt := l.ident()
+			if dt == "" {
+				return start, l.errf("missing datatype after ^^")
+			}
+			start.dt = dt // resolved against prefixes by the parser
+		}
+	}
+	return start, nil
+}

@@ -1,0 +1,339 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"sama/internal/rdf"
+)
+
+// RDFType is the IRI the “a” keyword expands to.
+const RDFType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+// XSD namespace used for bare numeric literals.
+const (
+	xsdInteger = "http://www.w3.org/2001/XMLSchema#integer"
+	xsdDecimal = "http://www.w3.org/2001/XMLSchema#decimal"
+)
+
+// Query is a parsed SPARQL query: a projection, a basic graph pattern
+// (as an rdf.QueryGraph), and an optional LIMIT.
+type Query struct {
+	// Select lists the projected variable names, or is nil for SELECT *.
+	Select []string
+	// Distinct reports whether DISTINCT was requested.
+	Distinct bool
+	// Pattern is the basic graph pattern as a query graph.
+	Pattern *rdf.QueryGraph
+	// Triples is the pattern in textual order, one entry per triple
+	// pattern (useful to the baseline matchers).
+	Triples []rdf.Triple
+	// Limit is the LIMIT value, or 0 when absent.
+	Limit int
+	// Prefixes holds the PREFIX declarations in force.
+	Prefixes map[string]string
+}
+
+// Parse parses the SPARQL source text.
+func Parse(src string) (*Query, error) {
+	p := &parser{lex: newLexer(src), prefixes: map[string]string{}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p.query()
+}
+
+// MustParse is Parse but panics on error; for tests and fixed workloads.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	lex      *lexer
+	tok      token
+	prefixes map[string]string
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) *Error {
+	return &Error{Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expectPunct(s string) error {
+	if p.tok.kind != tokPunct || p.tok.text != s {
+		return p.errf("expected %q, found %s", s, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) query() (*Query, error) {
+	q := &Query{Prefixes: p.prefixes}
+	// Prologue.
+	for p.tok.kind == tokKeyword && (p.tok.text == "PREFIX" || p.tok.text == "BASE") {
+		kw := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if kw == "BASE" {
+			if p.tok.kind != tokIRI {
+				return nil, p.errf("BASE expects an IRI")
+			}
+			p.prefixes[""] = p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if p.tok.kind != tokPrefixed || !strings.HasSuffix(p.tok.text, ":") {
+			return nil, p.errf("PREFIX expects a name ending in ':', found %s", p.tok)
+		}
+		name := strings.TrimSuffix(p.tok.text, ":")
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokIRI {
+			return nil, p.errf("PREFIX %s: expects an IRI", name)
+		}
+		p.prefixes[name] = p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	// SELECT clause.
+	if p.tok.kind != tokKeyword || p.tok.text != "SELECT" {
+		return nil, p.errf("expected SELECT, found %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokKeyword && (p.tok.text == "DISTINCT" || p.tok.text == "REDUCED") {
+		q.Distinct = p.tok.text == "DISTINCT"
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case p.tok.kind == tokPunct && p.tok.text == "*":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	case p.tok.kind == tokVar:
+		for p.tok.kind == tokVar {
+			q.Select = append(q.Select, p.tok.text)
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, p.errf("SELECT expects '*' or variables, found %s", p.tok)
+	}
+	// Optional WHERE keyword.
+	if p.tok.kind == tokKeyword && p.tok.text == "WHERE" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	triples, err := p.triplesBlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	// Solution modifiers.
+	for p.tok.kind == tokKeyword {
+		switch p.tok.text {
+		case "LIMIT":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tokNumber {
+				return nil, p.errf("LIMIT expects a number")
+			}
+			n := 0
+			if _, err := fmt.Sscanf(p.tok.text, "%d", &n); err != nil || n < 0 {
+				return nil, p.errf("bad LIMIT value %q", p.tok.text)
+			}
+			q.Limit = n
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unsupported solution modifier %s", p.tok)
+		}
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("trailing input %s", p.tok)
+	}
+	if len(triples) == 0 {
+		return nil, &Error{Line: 1, Col: 1, Msg: "empty graph pattern"}
+	}
+	q.Triples = triples
+	pattern, err := rdf.NewQueryGraphFromTriples(triples)
+	if err != nil {
+		return nil, &Error{Line: 1, Col: 1, Msg: err.Error()}
+	}
+	q.Pattern = pattern
+	// Validate projection against pattern variables.
+	for _, v := range q.Select {
+		if !pattern.HasVar(v) {
+			return nil, &Error{Line: 1, Col: 1, Msg: fmt.Sprintf("projected variable ?%s not in pattern", v)}
+		}
+	}
+	return q, nil
+}
+
+// triplesBlock parses triple patterns with '.' separators and ';'/','
+// property/object lists until '}' is reached.
+func (p *parser) triplesBlock() ([]rdf.Triple, error) {
+	var out []rdf.Triple
+	for {
+		if p.tok.kind == tokPunct && p.tok.text == "}" {
+			return out, nil
+		}
+		if p.tok.kind == tokEOF {
+			return nil, p.errf("unterminated graph pattern")
+		}
+		subj, err := p.term(false)
+		if err != nil {
+			return nil, err
+		}
+		for { // property list
+			pred, err := p.term(true)
+			if err != nil {
+				return nil, err
+			}
+			for { // object list
+				obj, err := p.term(false)
+				if err != nil {
+					return nil, err
+				}
+				tr := rdf.Triple{S: subj, P: pred, O: obj}
+				if err := tr.ValidQuery(); err != nil {
+					return nil, p.errf("%v", err)
+				}
+				out = append(out, tr)
+				if p.tok.kind == tokPunct && p.tok.text == "," {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				break
+			}
+			if p.tok.kind == tokPunct && p.tok.text == ";" {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				// allow trailing ';' before '.' or '}'
+				if p.tok.kind == tokPunct && (p.tok.text == "." || p.tok.text == "}") {
+					break
+				}
+				continue
+			}
+			break
+		}
+		if p.tok.kind == tokPunct && p.tok.text == "." {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// term parses one RDF term of a triple pattern. predicate restricts to
+// the forms legal in predicate position.
+func (p *parser) term(predicate bool) (rdf.Term, error) {
+	t := p.tok
+	switch t.kind {
+	case tokIRI:
+		if err := p.advance(); err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewIRI(t.text), nil
+	case tokPrefixed:
+		iri, err := p.expand(t.text)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		if err := p.advance(); err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewIRI(iri), nil
+	case tokVar:
+		if err := p.advance(); err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewVar(t.text), nil
+	case tokA:
+		if !predicate {
+			return rdf.Term{}, p.errf("'a' is only valid as a predicate")
+		}
+		if err := p.advance(); err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewIRI(RDFType), nil
+	case tokLiteral:
+		if predicate {
+			return rdf.Term{}, p.errf("literal %q cannot be a predicate", t.text)
+		}
+		if err := p.advance(); err != nil {
+			return rdf.Term{}, err
+		}
+		switch {
+		case t.lang != "":
+			return rdf.NewLangLiteral(t.text, t.lang), nil
+		case t.dt != "":
+			dt := t.dt
+			if strings.Contains(dt, ":") && !strings.Contains(dt, "://") {
+				expanded, err := p.expand(dt)
+				if err != nil {
+					return rdf.Term{}, err
+				}
+				dt = expanded
+			}
+			return rdf.NewTypedLiteral(t.text, dt), nil
+		default:
+			return rdf.NewLiteral(t.text), nil
+		}
+	case tokNumber:
+		if predicate {
+			return rdf.Term{}, p.errf("number %q cannot be a predicate", t.text)
+		}
+		if err := p.advance(); err != nil {
+			return rdf.Term{}, err
+		}
+		dt := xsdInteger
+		if strings.Contains(t.text, ".") {
+			dt = xsdDecimal
+		}
+		return rdf.NewTypedLiteral(t.text, dt), nil
+	default:
+		return rdf.Term{}, p.errf("expected an RDF term, found %s", t)
+	}
+}
+
+func (p *parser) expand(prefixed string) (string, error) {
+	j := strings.IndexByte(prefixed, ':')
+	ns, local := prefixed[:j], prefixed[j+1:]
+	base, ok := p.prefixes[ns]
+	if !ok {
+		return "", p.errf("undeclared prefix %q", ns)
+	}
+	return base + local, nil
+}

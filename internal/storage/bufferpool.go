@@ -1,0 +1,272 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// PoolStats counts buffer pool activity; used by the cold/warm cache
+// experiments and by capacity tuning.
+type PoolStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Flushes   uint64
+}
+
+// HitRate returns hits / (hits + misses), or 0 with no traffic.
+func (s PoolStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// BufferPool caches page frames over a PageFile with LRU replacement.
+// All index reads go through a pool, so its state defines the cache
+// temperature: DropCache empties it (cold), repeated traffic warms it.
+// BufferPool is safe for concurrent use.
+type BufferPool struct {
+	mu       sync.Mutex
+	file     *PageFile
+	capacity int
+	frames   map[PageID]*list.Element
+	lru      *list.List // front = most recent
+	stats    PoolStats
+	closed   bool
+}
+
+type frame struct {
+	id    PageID
+	data  [PageSize]byte
+	dirty bool
+}
+
+// DefaultPoolPages is the default pool capacity (pages).
+const DefaultPoolPages = 1024
+
+// NewBufferPool returns a pool of the given capacity (in pages) over
+// file. Capacity must be at least 1; 0 selects DefaultPoolPages.
+func NewBufferPool(file *PageFile, capacity int) *BufferPool {
+	if capacity <= 0 {
+		capacity = DefaultPoolPages
+	}
+	return &BufferPool{
+		file:     file,
+		capacity: capacity,
+		frames:   make(map[PageID]*list.Element, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Get copies page id into buf (PageSize long), loading it through the
+// cache.
+func (bp *BufferPool) Get(id PageID, buf []byte) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if bp.closed {
+		return ErrClosed
+	}
+	fr, err := bp.frame(id)
+	if err != nil {
+		return err
+	}
+	copy(buf[:PageSize], fr.data[:])
+	return nil
+}
+
+// Put stores buf as the content of page id, through the cache (the write
+// is deferred until eviction or Flush).
+func (bp *BufferPool) Put(id PageID, buf []byte) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if bp.closed {
+		return ErrClosed
+	}
+	fr, err := bp.frame(id)
+	if err != nil {
+		return err
+	}
+	copy(fr.data[:], buf[:PageSize])
+	fr.dirty = true
+	return nil
+}
+
+// Update applies fn to the cached content of page id and marks it dirty.
+// It avoids the double copy of Get+Put for read-modify-write cycles.
+func (bp *BufferPool) Update(id PageID, fn func(page []byte) error) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if bp.closed {
+		return ErrClosed
+	}
+	fr, err := bp.frame(id)
+	if err != nil {
+		return err
+	}
+	if err := fn(fr.data[:]); err != nil {
+		return err
+	}
+	fr.dirty = true
+	return nil
+}
+
+// View applies fn to a read-only view of page id. fn must not retain the
+// slice.
+func (bp *BufferPool) View(id PageID, fn func(page []byte) error) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if bp.closed {
+		return ErrClosed
+	}
+	fr, err := bp.frame(id)
+	if err != nil {
+		return err
+	}
+	return fn(fr.data[:])
+}
+
+// Alloc allocates a fresh page in the underlying file and caches its
+// (zeroed) frame.
+func (bp *BufferPool) Alloc() (PageID, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if bp.closed {
+		return 0, ErrClosed
+	}
+	id, err := bp.file.Alloc()
+	if err != nil {
+		return 0, err
+	}
+	if err := bp.install(id, &frame{id: id}); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// frame returns the cached frame for id, faulting it in if needed.
+// Caller holds bp.mu.
+func (bp *BufferPool) frame(id PageID) (*frame, error) {
+	if el, ok := bp.frames[id]; ok {
+		bp.stats.Hits++
+		bp.lru.MoveToFront(el)
+		return el.Value.(*frame), nil
+	}
+	bp.stats.Misses++
+	fr := &frame{id: id}
+	if err := bp.file.Read(id, fr.data[:]); err != nil {
+		return nil, err
+	}
+	if err := bp.install(id, fr); err != nil {
+		return nil, err
+	}
+	return fr, nil
+}
+
+// install inserts a frame, evicting the LRU victim if at capacity.
+// Caller holds bp.mu.
+func (bp *BufferPool) install(id PageID, fr *frame) error {
+	for bp.lru.Len() >= bp.capacity {
+		victim := bp.lru.Back()
+		vf := victim.Value.(*frame)
+		if vf.dirty {
+			if err := bp.file.Write(vf.id, vf.data[:]); err != nil {
+				return err
+			}
+			bp.stats.Flushes++
+		}
+		bp.lru.Remove(victim)
+		delete(bp.frames, vf.id)
+		bp.stats.Evictions++
+	}
+	bp.frames[id] = bp.lru.PushFront(fr)
+	return nil
+}
+
+// Flush writes every dirty frame back to the file and syncs it.
+func (bp *BufferPool) Flush() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if bp.closed {
+		return ErrClosed
+	}
+	return bp.flushLocked()
+}
+
+func (bp *BufferPool) flushLocked() error {
+	for el := bp.lru.Front(); el != nil; el = el.Next() {
+		fr := el.Value.(*frame)
+		if fr.dirty {
+			if err := bp.file.Write(fr.id, fr.data[:]); err != nil {
+				return err
+			}
+			fr.dirty = false
+			bp.stats.Flushes++
+		}
+	}
+	return bp.file.Sync()
+}
+
+// DropCache flushes dirty pages and then empties the pool, returning it
+// to a cold state. This is the cold-cache control of the Figure 6
+// protocol.
+func (bp *BufferPool) DropCache() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if bp.closed {
+		return ErrClosed
+	}
+	if err := bp.flushLocked(); err != nil {
+		return err
+	}
+	bp.frames = make(map[PageID]*list.Element, bp.capacity)
+	bp.lru.Init()
+	return nil
+}
+
+// Stats returns a snapshot of the pool counters.
+func (bp *BufferPool) Stats() PoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// ResetStats zeroes the counters (e.g. between experiment runs).
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats = PoolStats{}
+}
+
+// Len returns the number of cached frames.
+func (bp *BufferPool) Len() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.lru.Len()
+}
+
+// Capacity returns the pool capacity in pages.
+func (bp *BufferPool) Capacity() int { return bp.capacity }
+
+// Close flushes and marks the pool closed (the underlying file is not
+// closed; the owner closes it).
+func (bp *BufferPool) Close() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if bp.closed {
+		return nil
+	}
+	err := bp.flushLocked()
+	bp.closed = true
+	return err
+}
+
+// String summarises the pool state.
+func (bp *BufferPool) String() string {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return fmt.Sprintf("pool{%d/%d pages, hit rate %.2f}",
+		bp.lru.Len(), bp.capacity, bp.stats.HitRate())
+}

@@ -1,0 +1,189 @@
+// Package storage implements the disk substrate the index is built on:
+// a page file with fixed-size pages, an LRU buffer pool with cold/warm
+// cache control, and a slotted-page record store with overflow chaining
+// for variable-length records.
+//
+// The paper assumes “that the graph cannot fit in memory and can only be
+// stored on disk” (§6.1) and stores its index in HyperGraphDB; this
+// package provides the equivalent disk-resident behaviour: all record
+// access goes through the buffer pool, so dropping the pool reproduces
+// the cold-cache protocol of the Figure 6 experiments.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// PageSize is the size of every page in bytes.
+const PageSize = 8192
+
+// PageID identifies a page within a PageFile. Page 0 is the file header.
+type PageID uint32
+
+// headerMagic identifies a page file.
+var headerMagic = [8]byte{'S', 'A', 'M', 'A', 'P', 'G', 'F', '1'}
+
+// ErrClosed is returned by operations on a closed file or pool.
+var ErrClosed = errors.New("storage: closed")
+
+// PageFile is a file of fixed-size pages. It is safe for concurrent use.
+type PageFile struct {
+	mu     sync.Mutex
+	f      *os.File
+	npages uint32 // including the header page
+	closed bool
+	path   string
+}
+
+// CreatePageFile creates (truncating) a page file at path.
+func CreatePageFile(path string) (*PageFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create %s: %w", path, err)
+	}
+	pf := &PageFile{f: f, npages: 1, path: path}
+	if err := pf.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return pf, nil
+}
+
+// OpenPageFile opens an existing page file.
+func OpenPageFile(path string) (*PageFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	var hdr [PageSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: read header of %s: %w", path, err)
+	}
+	if [8]byte(hdr[:8]) != headerMagic {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s is not a page file", path)
+	}
+	npages := binary.LittleEndian.Uint32(hdr[8:12])
+	if npages == 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s has corrupt page count", path)
+	}
+	return &PageFile{f: f, npages: npages, path: path}, nil
+}
+
+func (pf *PageFile) writeHeader() error {
+	var hdr [PageSize]byte
+	copy(hdr[:8], headerMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], pf.npages)
+	_, err := pf.f.WriteAt(hdr[:], 0)
+	if err != nil {
+		return fmt.Errorf("storage: write header: %w", err)
+	}
+	return nil
+}
+
+// Alloc appends a zeroed page and returns its ID.
+func (pf *PageFile) Alloc() (PageID, error) {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if pf.closed {
+		return 0, ErrClosed
+	}
+	id := PageID(pf.npages)
+	var zero [PageSize]byte
+	if _, err := pf.f.WriteAt(zero[:], int64(id)*PageSize); err != nil {
+		return 0, fmt.Errorf("storage: alloc page %d: %w", id, err)
+	}
+	pf.npages++
+	return id, pf.writeHeader()
+}
+
+// Read fills buf (which must be PageSize long) with page id.
+func (pf *PageFile) Read(id PageID, buf []byte) error {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if pf.closed {
+		return ErrClosed
+	}
+	if err := pf.check(id); err != nil {
+		return err
+	}
+	if _, err := pf.f.ReadAt(buf[:PageSize], int64(id)*PageSize); err != nil && err != io.EOF {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	return nil
+}
+
+// Write stores buf (PageSize long) as page id.
+func (pf *PageFile) Write(id PageID, buf []byte) error {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if pf.closed {
+		return ErrClosed
+	}
+	if err := pf.check(id); err != nil {
+		return err
+	}
+	if _, err := pf.f.WriteAt(buf[:PageSize], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+func (pf *PageFile) check(id PageID) error {
+	if id == 0 {
+		return fmt.Errorf("storage: page 0 is the file header")
+	}
+	if uint32(id) >= pf.npages {
+		return fmt.Errorf("storage: page %d beyond end (%d pages)", id, pf.npages)
+	}
+	return nil
+}
+
+// NumPages returns the page count, header included.
+func (pf *PageFile) NumPages() int {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	return int(pf.npages)
+}
+
+// Size returns the file size in bytes.
+func (pf *PageFile) Size() int64 {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	return int64(pf.npages) * PageSize
+}
+
+// Path returns the file path.
+func (pf *PageFile) Path() string { return pf.path }
+
+// Sync flushes the file to stable storage.
+func (pf *PageFile) Sync() error {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if pf.closed {
+		return ErrClosed
+	}
+	return pf.f.Sync()
+}
+
+// Close syncs and closes the file. Close is idempotent.
+func (pf *PageFile) Close() error {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if pf.closed {
+		return nil
+	}
+	pf.closed = true
+	if err := pf.f.Sync(); err != nil {
+		pf.f.Close()
+		return err
+	}
+	return pf.f.Close()
+}

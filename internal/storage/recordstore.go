@@ -1,0 +1,207 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// RID is a record identifier: the page and slot of the record's first
+// chunk. The zero RID is never a valid record.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// Pack encodes the RID into a uint64 for storage inside other records.
+func (r RID) Pack() uint64 { return uint64(r.Page)<<16 | uint64(r.Slot) }
+
+// UnpackRID decodes a packed RID.
+func UnpackRID(v uint64) RID {
+	return RID{Page: PageID(v >> 16), Slot: uint16(v & 0xffff)}
+}
+
+// IsZero reports whether the RID is the invalid zero value.
+func (r RID) IsZero() bool { return r.Page == 0 && r.Slot == 0 }
+
+func (r RID) String() string { return fmt.Sprintf("rid(%d:%d)", r.Page, r.Slot) }
+
+// Slotted page layout:
+//
+//	[0:2)  uint16 slot count
+//	[2:4)  uint16 freeEnd — offset of the lowest byte used by record data
+//	[4:..) slot table, 4 bytes per slot: uint16 data offset, uint16 length
+//	[... : PageSize) record data, growing downward from the end
+//
+// Each record chunk starts with a 6-byte link header (uint32 next page,
+// uint16 next slot) pointing at the record's next chunk; a zero link
+// terminates the chain. Records larger than one page's free space are
+// split into chunks across pages (overflow chaining).
+const (
+	pageHdrSize   = 4
+	slotSize      = 4
+	chunkHdrSize  = 6
+	minChunkSpace = slotSize + chunkHdrSize + 16 // don't bother with less
+)
+
+func pageSlotCount(p []byte) uint16   { return binary.LittleEndian.Uint16(p[0:2]) }
+func pageFreeEnd(p []byte) uint16     { return binary.LittleEndian.Uint16(p[2:4]) }
+func setSlotCount(p []byte, n uint16) { binary.LittleEndian.PutUint16(p[0:2], n) }
+func setFreeEnd(p []byte, n uint16)   { binary.LittleEndian.PutUint16(p[2:4], n) }
+
+func slotEntry(p []byte, slot uint16) (off, length uint16) {
+	base := pageHdrSize + int(slot)*slotSize
+	return binary.LittleEndian.Uint16(p[base : base+2]), binary.LittleEndian.Uint16(p[base+2 : base+4])
+}
+
+func setSlotEntry(p []byte, slot, off, length uint16) {
+	base := pageHdrSize + int(slot)*slotSize
+	binary.LittleEndian.PutUint16(p[base:base+2], off)
+	binary.LittleEndian.PutUint16(p[base+2:base+4], length)
+}
+
+// pageFree returns the free bytes available for one more slot + data on
+// an initialised page.
+func pageFree(p []byte) int {
+	slots := int(pageSlotCount(p))
+	freeEnd := int(pageFreeEnd(p))
+	used := pageHdrSize + slots*slotSize
+	if freeEnd < used {
+		return 0
+	}
+	return freeEnd - used
+}
+
+// RecordStore stores variable-length byte records in slotted pages
+// through a BufferPool. Records are immutable once appended. The store
+// is safe for concurrent use (serialised by the pool's lock plus its
+// own append lock).
+type RecordStore struct {
+	pool    *BufferPool
+	current PageID // page open for appends; 0 = none
+}
+
+// NewRecordStore returns a store over pool. A fresh store begins
+// appending into a new page on first use; reopening a store over an
+// existing file only requires the RIDs to remain valid, which they do
+// (appends then go to fresh pages).
+func NewRecordStore(pool *BufferPool) *RecordStore {
+	return &RecordStore{pool: pool}
+}
+
+// Append stores data and returns its RID.
+func (rs *RecordStore) Append(data []byte) (RID, error) {
+	// Chunks are linked head→tail, so write them in reverse: the tail
+	// first, then each earlier chunk pointing at the one after it.
+	chunks := rs.split(data)
+	next := RID{}
+	for i := len(chunks) - 1; i >= 0; i-- {
+		rid, err := rs.appendChunk(chunks[i], next)
+		if err != nil {
+			return RID{}, err
+		}
+		next = rid
+	}
+	return next, nil
+}
+
+// split partitions data into chunks that each fit a fresh page.
+func (rs *RecordStore) split(data []byte) [][]byte {
+	maxPayload := PageSize - pageHdrSize - slotSize - chunkHdrSize
+	if len(data) <= maxPayload {
+		return [][]byte{data}
+	}
+	var chunks [][]byte
+	for len(data) > 0 {
+		n := maxPayload
+		if n > len(data) {
+			n = len(data)
+		}
+		chunks = append(chunks, data[:n])
+		data = data[n:]
+	}
+	return chunks
+}
+
+// appendChunk writes one chunk with its link header, on the current page
+// if it fits, else on a fresh page.
+func (rs *RecordStore) appendChunk(payload []byte, next RID) (RID, error) {
+	need := chunkHdrSize + len(payload) + slotSize
+	if rs.current != 0 {
+		var fits bool
+		err := rs.pool.View(rs.current, func(p []byte) error {
+			fits = pageFree(p) >= need
+			return nil
+		})
+		if err != nil {
+			return RID{}, err
+		}
+		if !fits {
+			rs.current = 0
+		}
+	}
+	if rs.current == 0 {
+		id, err := rs.pool.Alloc()
+		if err != nil {
+			return RID{}, err
+		}
+		if err := rs.pool.Update(id, func(p []byte) error {
+			setSlotCount(p, 0)
+			setFreeEnd(p, PageSize)
+			return nil
+		}); err != nil {
+			return RID{}, err
+		}
+		rs.current = id
+	}
+	var rid RID
+	err := rs.pool.Update(rs.current, func(p []byte) error {
+		slot := pageSlotCount(p)
+		total := chunkHdrSize + len(payload)
+		off := int(pageFreeEnd(p)) - total
+		if off < pageHdrSize+int(slot+1)*slotSize {
+			return fmt.Errorf("storage: internal: chunk of %d bytes does not fit page", total)
+		}
+		binary.LittleEndian.PutUint32(p[off:off+4], uint32(next.Page))
+		binary.LittleEndian.PutUint16(p[off+4:off+6], next.Slot)
+		copy(p[off+chunkHdrSize:off+total], payload)
+		setSlotEntry(p, slot, uint16(off), uint16(total))
+		setSlotCount(p, slot+1)
+		setFreeEnd(p, uint16(off))
+		rid = RID{Page: rs.current, Slot: slot}
+		return nil
+	})
+	if err != nil {
+		return RID{}, err
+	}
+	return rid, nil
+}
+
+// Read returns the record stored at rid.
+func (rs *RecordStore) Read(rid RID) ([]byte, error) {
+	var out []byte
+	for !rid.IsZero() {
+		var next RID
+		err := rs.pool.View(rid.Page, func(p []byte) error {
+			nslots := pageSlotCount(p)
+			if rid.Slot >= nslots {
+				return fmt.Errorf("storage: %v: slot beyond slot count %d", rid, nslots)
+			}
+			off, length := slotEntry(p, rid.Slot)
+			if int(off)+int(length) > PageSize || length < chunkHdrSize {
+				return fmt.Errorf("storage: %v: corrupt slot entry", rid)
+			}
+			chunk := p[off : off+length]
+			next = RID{
+				Page: PageID(binary.LittleEndian.Uint32(chunk[0:4])),
+				Slot: binary.LittleEndian.Uint16(chunk[4:6]),
+			}
+			out = append(out, chunk[chunkHdrSize:]...)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rid = next
+	}
+	return out, nil
+}

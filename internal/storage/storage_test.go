@@ -1,0 +1,454 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestFile(t *testing.T) *PageFile {
+	t.Helper()
+	pf, err := CreatePageFile(filepath.Join(t.TempDir(), "test.pages"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pf.Close() })
+	return pf
+}
+
+func TestPageFileAllocReadWrite(t *testing.T) {
+	pf := newTestFile(t)
+	id, err := pf.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Errorf("first page id = %d, want 1", id)
+	}
+	var buf [PageSize]byte
+	copy(buf[:], "hello pages")
+	if err := pf.Write(id, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	var back [PageSize]byte
+	if err := pf.Read(id, back[:]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:], back[:]) {
+		t.Error("page content mismatch")
+	}
+	if pf.NumPages() != 2 {
+		t.Errorf("NumPages = %d, want 2", pf.NumPages())
+	}
+	if pf.Size() != 2*PageSize {
+		t.Errorf("Size = %d", pf.Size())
+	}
+}
+
+func TestPageFileBounds(t *testing.T) {
+	pf := newTestFile(t)
+	var buf [PageSize]byte
+	if err := pf.Read(0, buf[:]); err == nil {
+		t.Error("reading header page should fail")
+	}
+	if err := pf.Read(5, buf[:]); err == nil {
+		t.Error("reading unallocated page should fail")
+	}
+	if err := pf.Write(5, buf[:]); err == nil {
+		t.Error("writing unallocated page should fail")
+	}
+}
+
+func TestPageFileReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "re.pages")
+	pf, err := CreatePageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := pf.Alloc()
+	var buf [PageSize]byte
+	copy(buf[:], "persisted")
+	pf.Write(id, buf[:])
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Errorf("second Close should be nil, got %v", err)
+	}
+	pf2, err := OpenPageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Close()
+	if pf2.NumPages() != 2 {
+		t.Errorf("reopened NumPages = %d", pf2.NumPages())
+	}
+	var back [PageSize]byte
+	if err := pf2.Read(id, back[:]); err != nil {
+		t.Fatal(err)
+	}
+	if string(back[:9]) != "persisted" {
+		t.Error("content lost after reopen")
+	}
+}
+
+func TestOpenPageFileRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, bytes.Repeat([]byte{7}, PageSize), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPageFile(path); err == nil {
+		t.Error("garbage file accepted")
+	}
+	if _, err := OpenPageFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestPageFileClosedOps(t *testing.T) {
+	pf := newTestFile(t)
+	pf.Close()
+	if _, err := pf.Alloc(); err != ErrClosed {
+		t.Errorf("Alloc after close = %v, want ErrClosed", err)
+	}
+	var buf [PageSize]byte
+	if err := pf.Read(1, buf[:]); err != ErrClosed {
+		t.Errorf("Read after close = %v", err)
+	}
+}
+
+func TestBufferPoolHitMiss(t *testing.T) {
+	pf := newTestFile(t)
+	bp := NewBufferPool(pf, 4)
+	id, err := bp.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf [PageSize]byte
+	copy(buf[:], "cached")
+	if err := bp.Put(id, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	var back [PageSize]byte
+	if err := bp.Get(id, back[:]); err != nil {
+		t.Fatal(err)
+	}
+	if string(back[:6]) != "cached" {
+		t.Error("cached content wrong")
+	}
+	st := bp.Stats()
+	if st.Hits == 0 {
+		t.Error("expected cache hits")
+	}
+	if st.Misses != 0 {
+		t.Errorf("misses = %d, want 0 (page was cached by Alloc)", st.Misses)
+	}
+}
+
+func TestBufferPoolEvictionWritesDirty(t *testing.T) {
+	pf := newTestFile(t)
+	bp := NewBufferPool(pf, 2)
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		id, err := bp.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf [PageSize]byte
+		buf[0] = byte(i + 1)
+		if err := bp.Put(id, buf[:]); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if bp.Len() > 2 {
+		t.Errorf("pool over capacity: %d", bp.Len())
+	}
+	if bp.Stats().Evictions == 0 {
+		t.Error("expected evictions")
+	}
+	// Every page must read back its content (dirty evictions flushed).
+	for i, id := range ids {
+		var back [PageSize]byte
+		if err := bp.Get(id, back[:]); err != nil {
+			t.Fatal(err)
+		}
+		if back[0] != byte(i+1) {
+			t.Errorf("page %d content = %d, want %d", id, back[0], i+1)
+		}
+	}
+}
+
+func TestBufferPoolDropCache(t *testing.T) {
+	pf := newTestFile(t)
+	bp := NewBufferPool(pf, 8)
+	id, _ := bp.Alloc()
+	var buf [PageSize]byte
+	buf[0] = 42
+	bp.Put(id, buf[:])
+	if err := bp.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	if bp.Len() != 0 {
+		t.Errorf("pool not empty after DropCache: %d", bp.Len())
+	}
+	bp.ResetStats()
+	var back [PageSize]byte
+	if err := bp.Get(id, back[:]); err != nil {
+		t.Fatal(err)
+	}
+	if back[0] != 42 {
+		t.Error("dirty page lost by DropCache")
+	}
+	if st := bp.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Errorf("cold read stats = %+v, want 1 miss", st)
+	}
+}
+
+func TestBufferPoolFlushPersists(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "flush.pages")
+	pf, err := CreatePageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := NewBufferPool(pf, 8)
+	id, _ := bp.Alloc()
+	var buf [PageSize]byte
+	buf[7] = 99
+	bp.Put(id, buf[:])
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+	pf2, err := OpenPageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Close()
+	var back [PageSize]byte
+	if err := pf2.Read(id, back[:]); err != nil {
+		t.Fatal(err)
+	}
+	if back[7] != 99 {
+		t.Error("flushed content not on disk")
+	}
+}
+
+func TestBufferPoolConcurrentAccess(t *testing.T) {
+	pf := newTestFile(t)
+	bp := NewBufferPool(pf, 4)
+	var ids []PageID
+	for i := 0; i < 8; i++ {
+		id, _ := bp.Alloc()
+		ids = append(ids, id)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var buf [PageSize]byte
+			for i := 0; i < 50; i++ {
+				id := ids[(w+i)%len(ids)]
+				if err := bp.Get(id, buf[:]); err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestBufferPoolClose(t *testing.T) {
+	pf := newTestFile(t)
+	bp := NewBufferPool(pf, 4)
+	if err := bp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.Close(); err != nil {
+		t.Errorf("second Close = %v", err)
+	}
+	var buf [PageSize]byte
+	if err := bp.Get(1, buf[:]); err != ErrClosed {
+		t.Errorf("Get after close = %v", err)
+	}
+	if bp.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestRecordStoreSmallRecords(t *testing.T) {
+	pf := newTestFile(t)
+	bp := NewBufferPool(pf, 16)
+	rs := NewRecordStore(bp)
+	var rids []RID
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		data := bytes.Repeat([]byte{byte(i)}, i+1)
+		rid, err := rs.Append(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+		want = append(want, data)
+	}
+	for i, rid := range rids {
+		got, err := rs.Read(rid)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Errorf("record %d mismatch: %d bytes vs %d", i, len(got), len(want[i]))
+		}
+	}
+}
+
+func TestRecordStoreOverflow(t *testing.T) {
+	pf := newTestFile(t)
+	bp := NewBufferPool(pf, 16)
+	rs := NewRecordStore(bp)
+	// A record spanning several pages.
+	big := make([]byte, PageSize*3+137)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	rid, err := rs.Append(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rs.Read(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Errorf("overflow record mismatch: %d bytes vs %d", len(got), len(big))
+	}
+	// Small records still work after a big one.
+	rid2, err := rs.Append([]byte("after"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := rs.Read(rid2); string(got) != "after" {
+		t.Error("small record after overflow broken")
+	}
+}
+
+func TestRecordStoreEmptyRecord(t *testing.T) {
+	pf := newTestFile(t)
+	bp := NewBufferPool(pf, 4)
+	rs := NewRecordStore(bp)
+	rid, err := rs.Append(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rs.Read(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty record read %d bytes", len(got))
+	}
+}
+
+func TestRecordStorePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rs.pages")
+	pf, err := CreatePageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := NewBufferPool(pf, 8)
+	rs := NewRecordStore(bp)
+	rid, err := rs.Append([]byte("durable record"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.Flush()
+	pf.Close()
+
+	pf2, err := OpenPageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Close()
+	rs2 := NewRecordStore(NewBufferPool(pf2, 8))
+	got, err := rs2.Read(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "durable record" {
+		t.Errorf("reopened record = %q", got)
+	}
+	// New appends after reopen don't clobber old data.
+	rid2, err := rs2.Append([]byte("second"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := rs2.Read(rid); string(got) != "durable record" {
+		t.Error("old record damaged by post-reopen append")
+	}
+	if got, _ := rs2.Read(rid2); string(got) != "second" {
+		t.Error("new record wrong")
+	}
+}
+
+func TestRecordStoreRejectsCorruptRID(t *testing.T) {
+	pf := newTestFile(t)
+	bp := NewBufferPool(pf, 4)
+	rs := NewRecordStore(bp)
+	rid, _ := rs.Append([]byte("x"))
+	if _, err := rs.Read(RID{Page: rid.Page, Slot: 99}); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+}
+
+func TestRIDPackUnpack(t *testing.T) {
+	f := func(page uint32, slot uint16) bool {
+		r := RID{Page: PageID(page & 0xffffff), Slot: slot}
+		return UnpackRID(r.Pack()) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if !(RID{}).IsZero() || (RID{Page: 1}).IsZero() {
+		t.Error("IsZero wrong")
+	}
+	if (RID{Page: 3, Slot: 4}).String() != "rid(3:4)" {
+		t.Error("String wrong")
+	}
+}
+
+func TestRecordStoreRoundTripProperty(t *testing.T) {
+	pf := newTestFile(t)
+	bp := NewBufferPool(pf, 32)
+	rs := NewRecordStore(bp)
+	f := func(data []byte) bool {
+		rid, err := rs.Append(data)
+		if err != nil {
+			return false
+		}
+		got, err := rs.Read(rid)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoolStatsHitRate(t *testing.T) {
+	if (PoolStats{}).HitRate() != 0 {
+		t.Error("empty hit rate should be 0")
+	}
+	if (PoolStats{Hits: 3, Misses: 1}).HitRate() != 0.75 {
+		t.Error("hit rate wrong")
+	}
+}

@@ -1,0 +1,244 @@
+package textindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Index is an inverted index from labels to document IDs (the caller
+// decides what a document is — the path index stores path IDs). Lookups
+// run at three precision levels: exact normalised label, token, and
+// thesaurus-expanded token. Index is not safe for concurrent mutation;
+// concurrent lookups after construction are fine.
+type Index struct {
+	exact  map[string][]uint32
+	tokens map[string][]uint32
+	thes   *Thesaurus
+	docs   int
+}
+
+// New returns an empty index using the given thesaurus for expanded
+// lookups (nil disables expansion).
+func New(thes *Thesaurus) *Index {
+	return &Index{
+		exact:  make(map[string][]uint32),
+		tokens: make(map[string][]uint32),
+		thes:   thes,
+	}
+}
+
+// Add indexes the label under doc. The same (label, doc) pair may be
+// added repeatedly; postings are deduplicated.
+func (ix *Index) Add(label string, doc uint32) {
+	key := Normalize(label)
+	ix.exact[key] = appendPosting(ix.exact[key], doc)
+	for _, tok := range Tokenize(label) {
+		// Single-character tokens (the "B" of "B1432") match far too
+		// widely to be useful; they are indexed only via the exact key.
+		if tok == key || len(tok) < 2 {
+			continue
+		}
+		ix.tokens[tok] = appendPosting(ix.tokens[tok], doc)
+	}
+	ix.docs++
+}
+
+// appendPosting keeps postings sorted and deduplicated. Documents are
+// typically added in increasing order, making this O(1) amortised.
+func appendPosting(ps []uint32, doc uint32) []uint32 {
+	if n := len(ps); n > 0 {
+		if ps[n-1] == doc {
+			return ps
+		}
+		if ps[n-1] < doc {
+			return append(ps, doc)
+		}
+		i := sort.Search(n, func(i int) bool { return ps[i] >= doc })
+		if i < n && ps[i] == doc {
+			return ps
+		}
+		ps = append(ps, 0)
+		copy(ps[i+1:], ps[i:])
+		ps[i] = doc
+		return ps
+	}
+	return append(ps, doc)
+}
+
+// LookupExact returns the postings of the normalised label. The returned
+// slice is owned by the index.
+func (ix *Index) LookupExact(label string) []uint32 {
+	return ix.exact[Normalize(label)]
+}
+
+// Lookup returns the postings matching the label at any precision level:
+// the exact normalised label, each of its tokens, and each thesaurus
+// expansion of those tokens. The result is sorted and deduplicated.
+func (ix *Index) Lookup(label string) []uint32 {
+	var out []uint32
+	out = append(out, ix.exact[Normalize(label)]...)
+	seen := map[string]struct{}{}
+	consider := func(tok string) {
+		if len(tok) < 2 {
+			return
+		}
+		if _, dup := seen[tok]; dup {
+			return
+		}
+		seen[tok] = struct{}{}
+		out = append(out, ix.exact[tok]...)
+		out = append(out, ix.tokens[tok]...)
+	}
+	for _, tok := range Tokenize(label) {
+		if ix.thes != nil {
+			for _, exp := range ix.thes.Expand(tok) {
+				consider(exp)
+			}
+		} else {
+			consider(tok)
+		}
+	}
+	return dedupSorted(out)
+}
+
+func dedupSorted(ps []uint32) []uint32 {
+	if len(ps) < 2 {
+		return ps
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	out := ps[:1]
+	for _, p := range ps[1:] {
+		if p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TermCount returns the number of distinct exact keys in the index.
+func (ix *Index) TermCount() int { return len(ix.exact) }
+
+// indexMagic identifies a serialised index stream.
+var indexMagic = [4]byte{'S', 'T', 'X', '1'}
+
+// WriteTo serialises the index (not the thesaurus, which is code-level
+// configuration) in a compact binary format.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(p []byte) error {
+		m, err := bw.Write(p)
+		n += int64(m)
+		return err
+	}
+	if err := write(indexMagic[:]); err != nil {
+		return n, err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		return write(scratch[:binary.PutUvarint(scratch[:], v)])
+	}
+	writeMap := func(m map[string][]uint32) error {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if err := writeUvarint(uint64(len(keys))); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			if err := writeUvarint(uint64(len(k))); err != nil {
+				return err
+			}
+			if err := write([]byte(k)); err != nil {
+				return err
+			}
+			ps := m[k]
+			if err := writeUvarint(uint64(len(ps))); err != nil {
+				return err
+			}
+			prev := uint32(0)
+			for _, p := range ps {
+				if err := writeUvarint(uint64(p - prev)); err != nil { // delta coding
+					return err
+				}
+				prev = p
+			}
+		}
+		return nil
+	}
+	if err := writeMap(ix.exact); err != nil {
+		return n, err
+	}
+	if err := writeMap(ix.tokens); err != nil {
+		return n, err
+	}
+	if err := writeUvarint(uint64(ix.docs)); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom deserialises an index written by WriteTo; the thesaurus is
+// attached by the caller via New.
+func ReadFrom(r io.Reader, thes *Thesaurus) (*Index, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("textindex: read magic: %w", err)
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("textindex: bad magic %q", magic)
+	}
+	readMap := func() (map[string][]uint32, error) {
+		nkeys, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		m := make(map[string][]uint32, nkeys)
+		for i := uint64(0); i < nkeys; i++ {
+			klen, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			kb := make([]byte, klen)
+			if _, err := io.ReadFull(br, kb); err != nil {
+				return nil, err
+			}
+			np, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			ps := make([]uint32, np)
+			prev := uint64(0)
+			for j := range ps {
+				d, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, err
+				}
+				prev += d
+				ps[j] = uint32(prev)
+			}
+			m[string(kb)] = ps
+		}
+		return m, nil
+	}
+	ix := New(thes)
+	var err error
+	if ix.exact, err = readMap(); err != nil {
+		return nil, fmt.Errorf("textindex: read exact map: %w", err)
+	}
+	if ix.tokens, err = readMap(); err != nil {
+		return nil, fmt.Errorf("textindex: read token map: %w", err)
+	}
+	docs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("textindex: read doc count: %w", err)
+	}
+	ix.docs = int(docs)
+	return ix, nil
+}

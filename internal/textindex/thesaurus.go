@@ -1,0 +1,107 @@
+package textindex
+
+import "sort"
+
+// Thesaurus maps tokens to semantically similar tokens (synonyms,
+// hyponyms, hypernyms). The paper extracts these relations from WordNet
+// through the Lucene Domain index; WordNet itself is not redistributable
+// here, so the engine ships a seeded thesaurus covering the benchmark
+// vocabularies and accepts user-supplied entries for other domains. The
+// closure is symmetric: adding a↔b makes each retrievable from the
+// other.
+type Thesaurus struct {
+	syn map[string]map[string]struct{}
+}
+
+// NewThesaurus returns an empty thesaurus.
+func NewThesaurus() *Thesaurus {
+	return &Thesaurus{syn: make(map[string]map[string]struct{})}
+}
+
+// Add records that the two tokens are semantically similar (symmetric).
+// Tokens are normalised with Normalize.
+func (t *Thesaurus) Add(a, b string) {
+	a, b = Normalize(a), Normalize(b)
+	if a == b || a == "" || b == "" {
+		return
+	}
+	t.link(a, b)
+	t.link(b, a)
+}
+
+// AddGroup records that every pair of the tokens is similar.
+func (t *Thesaurus) AddGroup(tokens ...string) {
+	for i := 0; i < len(tokens); i++ {
+		for j := i + 1; j < len(tokens); j++ {
+			t.Add(tokens[i], tokens[j])
+		}
+	}
+}
+
+func (t *Thesaurus) link(a, b string) {
+	m, ok := t.syn[a]
+	if !ok {
+		m = make(map[string]struct{})
+		t.syn[a] = m
+	}
+	m[b] = struct{}{}
+}
+
+// Expand returns the token itself followed by its recorded similar
+// tokens in sorted order.
+func (t *Thesaurus) Expand(token string) []string {
+	token = Normalize(token)
+	out := []string{token}
+	if t == nil {
+		return out
+	}
+	if m, ok := t.syn[token]; ok {
+		syns := make([]string, 0, len(m))
+		for s := range m {
+			syns = append(syns, s)
+		}
+		sort.Strings(syns)
+		out = append(out, syns...)
+	}
+	return out
+}
+
+// Len returns the number of tokens with at least one synonym.
+func (t *Thesaurus) Len() int { return len(t.syn) }
+
+// BenchmarkThesaurus returns a thesaurus seeded with similarity groups
+// for the vocabularies of the benchmark generators (LUBM, GovTrack,
+// Berlin, PBlog), standing in for the WordNet expansion of the paper's
+// prototype.
+func BenchmarkThesaurus() *Thesaurus {
+	t := NewThesaurus()
+	// LUBM vocabulary.
+	t.AddGroup("professor", "teacher", "faculty", "lecturer")
+	t.AddGroup("student", "pupil", "learner")
+	t.AddGroup("course", "class", "lecture")
+	t.AddGroup("department", "dept", "division")
+	t.AddGroup("university", "college", "school")
+	t.AddGroup("advisor", "supervisor", "mentor")
+	t.AddGroup("publication", "paper", "article")
+	t.AddGroup("teaches", "teacher", "instructs")
+	t.AddGroup("takes", "attends", "enrolled")
+	// GovTrack vocabulary.
+	t.AddGroup("bill", "act", "law")
+	t.AddGroup("amendment", "revision")
+	t.AddGroup("sponsor", "backer", "supporter")
+	t.AddGroup("subject", "topic", "theme")
+	t.AddGroup("gender", "sex")
+	t.AddGroup("senate", "chamber")
+	// Berlin (BSBM) vocabulary.
+	t.AddGroup("product", "item", "good")
+	t.AddGroup("producer", "manufacturer", "maker")
+	t.AddGroup("offer", "deal")
+	t.AddGroup("review", "rating", "critique")
+	t.AddGroup("vendor", "seller", "retailer")
+	t.AddGroup("price", "cost")
+	// PBlog vocabulary.
+	t.AddGroup("blog", "weblog", "journal")
+	t.AddGroup("post", "entry")
+	t.AddGroup("links", "references", "cites")
+	return t
+}

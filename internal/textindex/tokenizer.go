@@ -1,0 +1,79 @@
+// Package textindex implements the IR layer the paper delegates to a
+// Lucene Domain index embedded in HyperGraphDB (§6.1): an inverted index
+// over node and edge labels with tokenisation and thesaurus expansion
+// (the WordNet substitute), used to locate the data elements matching a
+// query label.
+package textindex
+
+import (
+	"strings"
+	"unicode"
+)
+
+// LocalName extracts the local part of an IRI-like label: the substring
+// after the last '#' or '/', with a trailing '/' stripped first. Labels
+// without either separator are returned unchanged.
+func LocalName(label string) string {
+	s := strings.TrimSuffix(label, "/")
+	if i := strings.LastIndexByte(s, '#'); i >= 0 {
+		return s[i+1:]
+	}
+	if i := strings.LastIndexByte(s, '/'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+// Normalize lower-cases the local name of a label; the exact-match key
+// of the index.
+func Normalize(label string) string {
+	return strings.ToLower(LocalName(label))
+}
+
+// Tokenize splits a label into lower-case tokens: the local name is
+// broken at punctuation, whitespace, digit/letter boundaries and
+// camelCase humps. "FullProfessor7" tokenises to ["full", "professor",
+// "7"], "health_care" to ["health", "care"].
+func Tokenize(label string) []string {
+	s := LocalName(label)
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	runes := []rune(s)
+	for i, r := range runes {
+		switch {
+		case unicode.IsLetter(r):
+			if cur.Len() > 0 {
+				prev := runes[i-1]
+				switch {
+				case unicode.IsDigit(prev):
+					// digit→letter boundary.
+					flush()
+				case unicode.IsUpper(r):
+					// camelCase hump: upper after lower, or upper before
+					// lower within an acronym run (HTTPServer → http,
+					// server).
+					nextLower := i+1 < len(runes) && unicode.IsLower(runes[i+1])
+					if unicode.IsLower(prev) || (unicode.IsUpper(prev) && nextLower) {
+						flush()
+					}
+				}
+			}
+			cur.WriteRune(r)
+		case unicode.IsDigit(r):
+			if cur.Len() > 0 && !unicode.IsDigit(runes[i-1]) {
+				flush()
+			}
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}

@@ -1,0 +1,43 @@
+package workload
+
+import "testing"
+
+func TestDatasetWorkloadsWellFormed(t *testing.T) {
+	cases := map[string][]Query{
+		"gov":    GovTrackQueries(),
+		"berlin": BerlinQueries(),
+		"pblog":  PBlogQueries(),
+	}
+	for name, qs := range cases {
+		t.Run(name, func(t *testing.T) {
+			if len(qs) != 6 {
+				t.Fatalf("queries = %d, want 6", len(qs))
+			}
+			exact, approx := 0, 0
+			for _, q := range qs {
+				if q.Pattern == nil || q.Edges == 0 {
+					t.Errorf("%s: empty pattern", q.ID)
+				}
+				if q.Approximate {
+					approx++
+				} else {
+					exact++
+				}
+			}
+			if exact == 0 || approx == 0 {
+				t.Errorf("workload mix: %d exact, %d approximate", exact, approx)
+			}
+		})
+	}
+}
+
+func TestForDataset(t *testing.T) {
+	for _, name := range []string{"LUBM", "GOV", "Berlin", "PBlog"} {
+		if qs := ForDataset(name); len(qs) == 0 {
+			t.Errorf("ForDataset(%s) empty", name)
+		}
+	}
+	if ForDataset("nope") != nil {
+		t.Error("unknown dataset returned a workload")
+	}
+}

@@ -1,0 +1,186 @@
+// Package workload defines the query workloads of the paper's
+// evaluation: the 12 SPARQL queries of different complexities (number
+// of nodes, edges and variables, §6.2) run against LUBM in Figures 6
+// and 8, and the parametric query families used for the scalability
+// sweeps of Figure 7 (response time vs query nodes and vs query
+// variables).
+//
+// The queries target the vocabulary of datasets.LUBM. Several are
+// deliberately approximate — they reference class or predicate labels
+// that do not literally occur in the data (e.g. “Professor” where the
+// data has FullProfessor/AssociateProfessor/AssistantProfessor) — so
+// that the exact and approximate systems separate, as in Figures 8–9.
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"sama/internal/rdf"
+	"sama/internal/sparql"
+)
+
+// Query is one workload query: its SPARQL text, the parsed pattern, and
+// its complexity statistics.
+type Query struct {
+	// ID is the query name as used in the figures (Q1…Q12).
+	ID string
+	// SPARQL is the query text.
+	SPARQL string
+	// Pattern is the parsed basic graph pattern.
+	Pattern *rdf.QueryGraph
+	// Nodes, Edges and Vars are the pattern's complexity measures.
+	Nodes, Edges, Vars int
+	// Approximate reports whether the query is not expected to have an
+	// exact answer in the generated data.
+	Approximate bool
+}
+
+const lubmPrefix = "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n" +
+	"PREFIX lubm: <http://lubm.example.org/class/>\n" +
+	"PREFIX v: <http://lubm.example.org/vocab/>\n"
+
+// lubmSources holds the 12 queries of §6.2 in increasing complexity.
+var lubmSources = []struct {
+	id     string
+	approx bool
+	body   string
+}{
+	{"Q1", false, `SELECT ?x WHERE { ?x rdf:type lubm:FullProfessor . }`},
+	{"Q2", false, `SELECT ?s ?c WHERE {
+		?s rdf:type lubm:GraduateStudent .
+		?s v:takesCourse ?c . }`},
+	{"Q3", false, `SELECT ?x ?d ?u WHERE {
+		?x v:worksFor ?d .
+		?d v:subOrganizationOf ?u . }`},
+	{"Q4", false, `SELECT ?p ?d ?u WHERE {
+		?p rdf:type lubm:FullProfessor .
+		?p v:worksFor ?d .
+		?d v:subOrganizationOf ?u . }`},
+	{"Q5", false, `SELECT ?s ?p ?d WHERE {
+		?s v:advisor ?p .
+		?p v:worksFor ?d .
+		?s v:memberOf ?d . }`},
+	{"Q6", false, `SELECT ?pub ?p WHERE {
+		?pub rdf:type lubm:Publication .
+		?pub v:publicationAuthor ?p .
+		?p rdf:type lubm:AssistantProfessor . }`},
+	{"Q7", false, `SELECT ?s ?c ?c2 WHERE {
+		?s v:teachingAssistantOf ?c .
+		?s v:takesCourse ?c2 .
+		?c2 rdf:type lubm:GraduateCourse . }`},
+	// Q8: “Professor” is not a class label in the data; token matching
+	// must bridge to the three professor ranks.
+	{"Q8", true, `SELECT ?p ?d WHERE {
+		?p rdf:type lubm:Professor .
+		?p v:worksFor ?d . }`},
+	// Q9: “teaches” only approximates teacherOf; the chain is otherwise
+	// exact.
+	{"Q9", true, `SELECT ?p ?c ?s WHERE {
+		?p v:teaches ?c .
+		?s v:takesCourse ?c .
+		?s rdf:type lubm:GraduateStudent . }`},
+	{"Q10", false, `SELECT ?s ?c ?p ?d ?u WHERE {
+		?s v:takesCourse ?c .
+		?p v:teacherOf ?c .
+		?p v:worksFor ?d .
+		?d v:subOrganizationOf ?u . }`},
+	{"Q11", false, `SELECT ?d ?h ?p ?s ?g WHERE {
+		?h v:headOf ?d .
+		?p v:worksFor ?d .
+		?p rdf:type lubm:AssociateProfessor .
+		?s v:memberOf ?d .
+		?s v:advisor ?p .
+		?g v:subOrganizationOf ?d . }`},
+	// Q12: the largest query; mixes an approximate class (“Student”),
+	// an approximate predicate (“attends”) and a deep chain.
+	{"Q12", true, `SELECT ?s ?c ?p ?d ?u ?pub WHERE {
+		?s rdf:type lubm:Student .
+		?s v:attends ?c .
+		?p v:teacherOf ?c .
+		?p v:worksFor ?d .
+		?d v:subOrganizationOf ?u .
+		?pub v:publicationAuthor ?p .
+		?s v:advisor ?p . }`},
+}
+
+// LUBMQueries returns the 12-query LUBM workload.
+func LUBMQueries() []Query {
+	out := make([]Query, len(lubmSources))
+	for i, src := range lubmSources {
+		out[i] = mustBuild(src.id, lubmPrefix+src.body, src.approx)
+	}
+	return out
+}
+
+func mustBuild(id, src string, approx bool) Query {
+	parsed, err := sparql.Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("workload: query %s does not parse: %v", id, err))
+	}
+	return Query{
+		ID:          id,
+		SPARQL:      src,
+		Pattern:     parsed.Pattern,
+		Nodes:       parsed.Pattern.NodeCount(),
+		Edges:       parsed.Pattern.EdgeCount(),
+		Vars:        parsed.Pattern.VarCount(),
+		Approximate: approx,
+	}
+}
+
+// ChainQuery builds a Figure 7(b) sweep query: a linear chain of `hops`
+// takesCourse/teacherOf/worksFor/subOrganizationOf steps starting from
+// graduate students, with hops+1 nodes. Hops beyond 4 continue through
+// generic link variables (still parsing, increasingly approximate).
+func ChainQuery(hops int) Query {
+	if hops < 1 {
+		hops = 1
+	}
+	preds := []string{"v:takesCourse", "v:teacherOf", "v:worksFor", "v:subOrganizationOf"}
+	var b strings.Builder
+	b.WriteString("SELECT * WHERE {\n")
+	b.WriteString("  ?n0 rdf:type lubm:GraduateStudent .\n")
+	for i := 0; i < hops; i++ {
+		p := preds[i%len(preds)]
+		if i == 1 {
+			// teacherOf points professor → course: invert the step.
+			fmt.Fprintf(&b, "  ?n%d %s ?n%d .\n", i+1, p, i)
+		} else {
+			fmt.Fprintf(&b, "  ?n%d %s ?n%d .\n", i, p, i+1)
+		}
+	}
+	b.WriteString("}")
+	return mustBuild(fmt.Sprintf("chain%d", hops), lubmPrefix+b.String(), hops > 4)
+}
+
+// VarSweepQuery builds a Figure 7(c) sweep query with exactly nvars
+// variables: a star around a department, adding one variable role at a
+// time (head, professor, student, group, university, course, advisor).
+func VarSweepQuery(nvars int) Query {
+	if nvars < 1 {
+		nvars = 1
+	}
+	// Each step introduces exactly one fresh variable; the university is
+	// a constant so the variable count equals the step count.
+	steps := []string{
+		"  ?v1 v:subOrganizationOf <http://lubm.example.org/University0> .\n",
+		"  ?v2 v:headOf ?v1 .\n",
+		"  ?v3 v:worksFor ?v1 .\n",
+		"  ?v4 v:memberOf ?v1 .\n",
+		"  ?v5 v:advisor ?v3 .\n",
+		"  ?v3 v:teacherOf ?v6 .\n",
+		"  ?v7 v:takesCourse ?v6 .\n",
+	}
+	var b strings.Builder
+	b.WriteString("SELECT * WHERE {\n")
+	n := nvars
+	if n > len(steps) {
+		n = len(steps)
+	}
+	for i := 0; i < n; i++ {
+		b.WriteString(steps[i])
+	}
+	b.WriteString("}")
+	return mustBuild(fmt.Sprintf("vars%d", nvars), lubmPrefix+b.String(), false)
+}

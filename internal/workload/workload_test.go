@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestLUBMQueriesWellFormed(t *testing.T) {
+	qs := LUBMQueries()
+	if len(qs) != 12 {
+		t.Fatalf("queries = %d, want 12", len(qs))
+	}
+	seen := map[string]bool{}
+	for i, q := range qs {
+		if q.ID != "Q"+itoa(i+1) {
+			t.Errorf("query %d ID = %s", i, q.ID)
+		}
+		if seen[q.ID] {
+			t.Errorf("duplicate ID %s", q.ID)
+		}
+		seen[q.ID] = true
+		if q.Pattern == nil || q.Edges == 0 {
+			t.Errorf("%s has empty pattern", q.ID)
+		}
+		if q.Nodes != q.Pattern.NodeCount() || q.Vars != q.Pattern.VarCount() {
+			t.Errorf("%s stats inconsistent", q.ID)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n >= 10 {
+		return string(rune('0'+n/10)) + string(rune('0'+n%10))
+	}
+	return string(rune('0' + n))
+}
+
+func TestLUBMQueriesIncreasingComplexity(t *testing.T) {
+	qs := LUBMQueries()
+	if qs[0].Edges >= qs[11].Edges {
+		t.Errorf("Q1 (%d edges) should be simpler than Q12 (%d)", qs[0].Edges, qs[11].Edges)
+	}
+	// The workload must include both exact and approximate queries.
+	exact, approx := 0, 0
+	for _, q := range qs {
+		if q.Approximate {
+			approx++
+		} else {
+			exact++
+		}
+	}
+	if exact == 0 || approx == 0 {
+		t.Errorf("workload mix wrong: %d exact, %d approximate", exact, approx)
+	}
+}
+
+func TestChainQuery(t *testing.T) {
+	for hops := 1; hops <= 8; hops++ {
+		q := ChainQuery(hops)
+		// hops chain edges + 1 type edge.
+		if q.Edges != hops+1 {
+			t.Errorf("ChainQuery(%d).Edges = %d, want %d", hops, q.Edges, hops+1)
+		}
+		// n0…nhops plus the class node.
+		if q.Nodes != hops+2 {
+			t.Errorf("ChainQuery(%d).Nodes = %d, want %d", hops, q.Nodes, hops+2)
+		}
+	}
+	if q := ChainQuery(0); q.Edges != 2 {
+		t.Errorf("ChainQuery clamps to 1 hop, got %d edges", q.Edges)
+	}
+}
+
+func TestVarSweepQuery(t *testing.T) {
+	for v := 1; v <= 7; v++ {
+		q := VarSweepQuery(v)
+		if q.Vars != v {
+			t.Errorf("VarSweepQuery(%d).Vars = %d", v, q.Vars)
+		}
+	}
+	if q := VarSweepQuery(0); q.Vars != 1 {
+		t.Errorf("VarSweepQuery clamps to 1, got %d", q.Vars)
+	}
+	if q := VarSweepQuery(99); q.Vars != 7 {
+		t.Errorf("VarSweepQuery caps at 7, got %d", q.Vars)
+	}
+}

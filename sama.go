@@ -1,0 +1,374 @@
+// Package sama is an approximate query answering engine for RDF data,
+// implementing the path-alignment similarity measure of De Virgilio,
+// Maccioni and Torlone, “A Similarity Measure for Approximate Querying
+// over RDF Data” (EDBT 2013).
+//
+// Sama evaluates the similarity between a (small) query graph and
+// portions of a (large) RDF data graph in linear time per path
+// alignment: the query is decomposed into source-to-sink paths, each
+// path is matched against a disk-resident path index, and the best
+// combinations of data paths are returned as ranked answers under
+//
+//	score(a, Q) = Λ(a, Q) + Ψ(a, Q)
+//
+// where Λ measures how well the answer's paths align with the query's
+// (insertion/mismatch weighted edit steps) and Ψ how well their
+// interconnections conform to the query's (shared-node ratios). Lower
+// scores are more relevant; answers arrive in non-decreasing score
+// order, so the first answer is always a most-relevant one.
+//
+// # Quick start
+//
+//	g, _ := sama.LoadNTriplesFile("data.nt")
+//	db, _ := sama.Create("/tmp/myindex", g)
+//	defer db.Close()
+//	res, _ := db.QuerySPARQL(`SELECT ?x WHERE { ?x <gender> "Male" }`, 10)
+//	for _, a := range res.Answers {
+//		fmt.Println(a.Score, a.Bindings(res.Vars))
+//	}
+//
+// The index persists on disk: later processes call sama.Open with the
+// same base path. All path reads go through a buffer pool; DropCache
+// returns the store to a cold state (used by the paper's cold-cache
+// experiments).
+package sama
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sama/internal/align"
+	"sama/internal/core"
+	"sama/internal/index"
+	"sama/internal/paths"
+	"sama/internal/rdf"
+	"sama/internal/rdf/ntriples"
+	"sama/internal/rdf/turtle"
+	"sama/internal/sparql"
+	"sama/internal/storage"
+	"sama/internal/textindex"
+)
+
+// Re-exported model types. The aliases give external users full access
+// to the data model while the implementation stays in internal
+// packages.
+type (
+	// Term is one RDF term: the label of a node or edge.
+	Term = rdf.Term
+	// Triple is one RDF statement.
+	Triple = rdf.Triple
+	// Graph is an RDF data graph (Definition 1 of the paper).
+	Graph = rdf.Graph
+	// QueryGraph is a query graph: a data graph with variables
+	// (Definition 2).
+	QueryGraph = rdf.QueryGraph
+	// Substitution maps variable names to constant terms.
+	Substitution = rdf.Substitution
+	// Answer is one ranked approximate answer.
+	Answer = core.Answer
+	// Params holds the similarity coefficients a, b, c, d, e (§6.2).
+	Params = align.Params
+	// Path is a source-to-sink label path (Definition 5).
+	Path = paths.Path
+	// PathConfig bounds path enumeration during indexing.
+	PathConfig = paths.Config
+	// Thesaurus provides semantic label expansion (WordNet's role in
+	// the paper's prototype).
+	Thesaurus = textindex.Thesaurus
+	// IndexStats describes a built index (the Table 1 measurements).
+	IndexStats = index.Stats
+	// PoolStats counts buffer pool traffic (cold/warm cache analysis).
+	PoolStats = storage.PoolStats
+)
+
+// Term constructors, re-exported.
+var (
+	NewIRI          = rdf.NewIRI
+	NewLiteral      = rdf.NewLiteral
+	NewTypedLiteral = rdf.NewTypedLiteral
+	NewLangLiteral  = rdf.NewLangLiteral
+	NewBlank        = rdf.NewBlank
+	NewVar          = rdf.NewVar
+	NewGraph        = rdf.NewGraph
+	NewQueryGraph   = rdf.NewQueryGraph
+	// NewThesaurus returns an empty thesaurus; BenchmarkThesaurus one
+	// seeded for the benchmark vocabularies.
+	NewThesaurus       = textindex.NewThesaurus
+	BenchmarkThesaurus = textindex.BenchmarkThesaurus
+	// DefaultParams are the paper's experiment coefficients: a=1,
+	// b=0.5, c=2, d=1 (§6.2), with e=1.
+	DefaultParams = align.DefaultParams
+)
+
+// Option configures Create and Open.
+type Option func(*config)
+
+type config struct {
+	params    Params
+	pathCfg   paths.Config
+	poolPages int
+	thesaurus *textindex.Thesaurus
+	engine    core.Options
+	compress  bool
+}
+
+// WithParams sets the similarity coefficients.
+func WithParams(p Params) Option { return func(c *config) { c.params = p } }
+
+// WithPathConfig bounds the path enumeration at indexing time.
+func WithPathConfig(pc PathConfig) Option { return func(c *config) { c.pathCfg = pc } }
+
+// WithPoolPages sets the buffer pool capacity in 8 KiB pages.
+func WithPoolPages(n int) Option { return func(c *config) { c.poolPages = n } }
+
+// WithThesaurus enables semantic label expansion during matching.
+func WithThesaurus(t *Thesaurus) Option { return func(c *config) { c.thesaurus = t } }
+
+// WithSearchBudget caps the per-query work: candidates kept per cluster
+// and combinations visited by the top-k search.
+func WithSearchBudget(maxCandidatesPerCluster, maxCombinations int) Option {
+	return func(c *config) {
+		c.engine.MaxCandidatesPerCluster = maxCandidatesPerCluster
+		c.engine.MaxCombinations = maxCombinations
+	}
+}
+
+// WithCompression stores paths as dictionary-interned ID sequences,
+// shrinking the on-disk path store on vocabularies with repeated terms
+// (the §7 compression mechanism). Only meaningful at Create time; the
+// setting persists in the index metadata.
+func WithCompression() Option { return func(c *config) { c.compress = true } }
+
+// DB is an opened Sama database: a disk-resident path index plus the
+// query engine over it.
+type DB struct {
+	idx    *index.Index
+	engine *core.Engine
+}
+
+func buildConfig(opts []Option) *config {
+	c := &config{}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Create indexes the data graph into files at basePath (basePath.pages
+// and basePath.meta), overwriting any existing index, and returns the
+// opened database.
+func Create(basePath string, g *Graph, opts ...Option) (*DB, error) {
+	c := buildConfig(opts)
+	idx, err := index.Build(basePath, g, index.Options{
+		Paths:     c.pathCfg,
+		PoolPages: c.poolPages,
+		Thesaurus: c.thesaurus,
+		Compress:  c.compress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newDB(idx, c), nil
+}
+
+// Open loads a previously created index.
+func Open(basePath string, opts ...Option) (*DB, error) {
+	c := buildConfig(opts)
+	idx, err := index.Open(basePath, index.Options{
+		PoolPages: c.poolPages,
+		Thesaurus: c.thesaurus,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newDB(idx, c), nil
+}
+
+func newDB(idx *index.Index, c *config) *DB {
+	engOpts := c.engine
+	engOpts.Params = c.params
+	return &DB{idx: idx, engine: core.New(idx, engOpts)}
+}
+
+// Query returns the top-k answers to a query graph, ordered by
+// non-decreasing score. k ≤ 0 removes the limit (within the search
+// budget).
+func (db *DB) Query(q *QueryGraph, k int) ([]Answer, error) {
+	return db.engine.Query(q, k)
+}
+
+// Result is the outcome of a SPARQL query: the ranked answers and the
+// projected variable names.
+type Result struct {
+	// Answers are the ranked answers, best first.
+	Answers []Answer
+	// Vars are the projected variable names (SELECT list, or all
+	// pattern variables for SELECT *).
+	Vars []string
+}
+
+// QuerySPARQL parses and answers a SPARQL basic-graph-pattern query.
+// The query's LIMIT clause, when present, overrides k. With DISTINCT,
+// answers whose projected bindings duplicate a better-ranked answer are
+// dropped (the engine over-fetches to refill the budget).
+func (db *DB) QuerySPARQL(src string, k int) (*Result, error) {
+	parsed, err := sparql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if parsed.Limit > 0 {
+		k = parsed.Limit
+	}
+	vars := parsed.Select
+	if vars == nil {
+		vars = parsed.Pattern.Vars()
+	}
+	fetch := k
+	if parsed.Distinct && k > 0 {
+		fetch = k * 4 // over-fetch: duplicates collapse under projection
+	}
+	answers, err := db.engine.Query(parsed.Pattern, fetch)
+	if err != nil {
+		return nil, err
+	}
+	if parsed.Distinct {
+		answers = dedupeByProjection(answers, vars, k)
+	}
+	return &Result{Answers: answers, Vars: vars}, nil
+}
+
+// dedupeByProjection keeps the best-ranked answer per distinct
+// projected binding, truncating to k (k ≤ 0: no limit).
+func dedupeByProjection(answers []Answer, vars []string, k int) []Answer {
+	seen := make(map[string]bool, len(answers))
+	out := answers[:0:0]
+	for _, a := range answers {
+		var key []byte
+		for _, v := range vars {
+			key = append(key, v...)
+			key = append(key, '=')
+			if t, ok := a.Subst[v]; ok {
+				key = append(key, t.String()...)
+			}
+			key = append(key, ';')
+		}
+		if seen[string(key)] {
+			continue
+		}
+		seen[string(key)] = true
+		out = append(out, a)
+		if k > 0 && len(out) >= k {
+			break
+		}
+	}
+	return out
+}
+
+// Insert adds statements to the database incrementally: the data graph
+// grows and only the affected index paths are re-enumerated (the §7
+// index-update mechanism). Create retains the graph automatically;
+// after Open, attach it first with AttachGraph. Call Flush (or Close)
+// to persist the updated metadata.
+func (db *DB) Insert(triples []Triple) error {
+	return db.idx.InsertTriples(triples)
+}
+
+// AttachGraph hands a reopened database its data graph, enabling
+// Insert after Open.
+func (db *DB) AttachGraph(g *Graph) { db.idx.AttachGraph(g) }
+
+// Flush persists dirty pages and metadata without closing.
+func (db *DB) Flush() error { return db.idx.Flush() }
+
+// Compact rewrites the index files keeping only live paths, reclaiming
+// the space tombstoned by Insert. The database must be the files' sole
+// user during compaction.
+func (db *DB) Compact() error { return db.idx.Compact() }
+
+// Stats returns the index build statistics (Table 1's measurements).
+func (db *DB) Stats() IndexStats { return db.idx.Stats() }
+
+// PoolStats returns the buffer pool counters.
+func (db *DB) PoolStats() PoolStats { return db.idx.PoolStats() }
+
+// DropCache empties the buffer pool (cold-cache state).
+func (db *DB) DropCache() error { return db.idx.DropCache() }
+
+// Close flushes and closes the index files.
+func (db *DB) Close() error { return db.idx.Close() }
+
+// ParseSPARQL parses a SPARQL query and returns its basic graph pattern
+// as a query graph, for use with DB.Query.
+func ParseSPARQL(src string) (*QueryGraph, error) {
+	parsed, err := sparql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return parsed.Pattern, nil
+}
+
+// LoadNTriples parses an N-Triples stream into a data graph.
+func LoadNTriples(r io.Reader) (*Graph, error) {
+	return ntriples.ReadGraph(r)
+}
+
+// LoadNTriplesFile parses an N-Triples file into a data graph.
+func LoadNTriplesFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sama: %w", err)
+	}
+	defer f.Close()
+	return ntriples.ReadGraph(f)
+}
+
+// LoadTurtle parses a Turtle stream into a data graph.
+func LoadTurtle(r io.Reader) (*Graph, error) {
+	return turtle.ReadGraph(r)
+}
+
+// LoadGraphFile loads an RDF file, selecting the parser by extension:
+// .ttl/.turtle → Turtle, anything else → N-Triples.
+func LoadGraphFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sama: %w", err)
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".ttl", ".turtle":
+		return turtle.ReadGraph(f)
+	default:
+		return ntriples.ReadGraph(f)
+	}
+}
+
+// WriteNTriples serialises a data graph in N-Triples format.
+func WriteNTriples(w io.Writer, g *Graph) error {
+	return ntriples.WriteGraph(w, g)
+}
+
+// Score computes score(a, Q) for an explicit pairing of query paths to
+// data paths — the raw similarity measure, exposed for callers that
+// bring their own path matching. Lower is more relevant.
+func Score(pairs []PairedPath, p Params) float64 {
+	conv := make([]align.PairedPath, len(pairs))
+	for i, pr := range pairs {
+		conv[i] = align.PairedPath{Query: pr.Query, Data: pr.Data}
+	}
+	return align.Score(conv, p)
+}
+
+// PairedPath pairs one query path with the data path chosen for it.
+type PairedPath struct {
+	Query, Data Path
+}
+
+// AlignCost computes λ(p, q): the quality of the alignment of data path
+// p against query path q (Equation 1), in O(|p|+|q|) time.
+func AlignCost(p, q Path, params Params) float64 {
+	return align.Lambda(p, q, params)
+}
