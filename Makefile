@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+# check is the tier-1 gate: formatting, static analysis, a full build,
+# and the race-enabled test suite. CI and pre-commit both run this.
+check: fmt vet build race
+
+fmt:
+	@files=$$(gofmt -l .); \
+	if [ -n "$$files" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$files"; \
+		exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -51,7 +52,7 @@ func main() {
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   sama index -data <graph.nt> -index <base>     build the path index
-  sama query -index <base> (-q <sparql> | -sparql <file>) [-k 10] [-cold]
+  sama query -index <base> (-q <sparql> | -sparql <file>) [-k 10] [-cold] [-timeout 0]
   sama stats -index <base>                      print index statistics
 `)
 }
@@ -92,6 +93,7 @@ func runQuery(args []string) error {
 	qfile := fs.String("sparql", "", "file containing the SPARQL query")
 	k := fs.Int("k", 10, "number of answers")
 	cold := fs.Bool("cold", false, "drop the cache before running (cold-cache timing)")
+	timeout := fs.Duration("timeout", 0, "query deadline; on expiry the best answers found so far are printed (0 = none)")
 	fs.Parse(args)
 	if *base == "" {
 		return fmt.Errorf("query: -index is required")
@@ -117,13 +119,23 @@ func runQuery(args []string) error {
 			return err
 		}
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	res, err := db.QuerySPARQL(src, *k)
+	res, err := db.QuerySPARQLContext(ctx, src, *k)
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("%d answers in %v\n\n", len(res.Answers), elapsed.Round(time.Microsecond))
+	marker := ""
+	if res.Partial {
+		marker = fmt.Sprintf(" (partial: %s)", res.StopReason)
+	}
+	fmt.Printf("%d answers in %v%s\n\n", len(res.Answers), elapsed.Round(time.Microsecond), marker)
 	for i, a := range res.Answers {
 		fmt.Printf("#%d score %.2f (Λ %.2f + Ψ %.2f)", i+1, a.Score, a.Lambda, a.Psi)
 		if a.Exact() {

@@ -61,6 +61,23 @@ func TestRunQueryFromFile(t *testing.T) {
 	}
 }
 
+func TestRunQueryTimeout(t *testing.T) {
+	_, base := setupIndexed(t)
+	// A generous deadline: the query completes, no partial marker.
+	err := runQuery([]string{"-index", base, "-timeout", "30s",
+		"-q", `SELECT ?x WHERE { ?x <gender> "Male" }`})
+	if err != nil {
+		t.Errorf("query with timeout: %v", err)
+	}
+	// An already-expired deadline still succeeds, printing the
+	// best-so-far (possibly empty) prefix with the (partial) marker.
+	err = runQuery([]string{"-index", base, "-timeout", "1ns",
+		"-q", `SELECT ?x WHERE { ?x <gender> "Male" }`})
+	if err != nil {
+		t.Errorf("query with expired timeout: %v", err)
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	if err := runIndex([]string{}); err == nil {
 		t.Error("index without flags accepted")

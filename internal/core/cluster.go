@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"sort"
 	"sync"
 
@@ -47,6 +49,15 @@ type Cluster struct {
 // index is read-only at query time, which is the parallelism §6.1 calls
 // out (“supporting parallel implementations”).
 func (e *Engine) Cluster(pre *Preprocessed) ([]Cluster, error) {
+	return e.ClusterContext(context.Background(), pre)
+}
+
+// ClusterContext is Cluster under a context: each cluster's alignment
+// loop checks the context per candidate and stops early on
+// cancellation, keeping the candidates aligned so far (a smaller but
+// still best-first cluster). A panic in a cluster goroutine is
+// recovered into an error instead of crashing the process.
+func (e *Engine) ClusterContext(ctx context.Context, pre *Preprocessed) ([]Cluster, error) {
 	clusters := make([]Cluster, len(pre.Paths))
 	errs := make([]error, len(pre.Paths))
 	var wg sync.WaitGroup
@@ -54,7 +65,12 @@ func (e *Engine) Cluster(pre *Preprocessed) ([]Cluster, error) {
 		wg.Add(1)
 		go func(qi int) {
 			defer wg.Done()
-			clusters[qi], errs[qi] = e.buildCluster(qi, pre.Paths[qi])
+			defer func() {
+				if r := recover(); r != nil {
+					errs[qi] = fmt.Errorf("core: clustering query path %d panicked: %v", qi, r)
+				}
+			}()
+			clusters[qi], errs[qi] = e.buildCluster(ctx, qi, pre.Paths[qi])
 		}(qi)
 	}
 	wg.Wait()
@@ -68,7 +84,7 @@ func (e *Engine) Cluster(pre *Preprocessed) ([]Cluster, error) {
 
 // buildCluster retrieves, aligns and ranks the candidates for one query
 // path.
-func (e *Engine) buildCluster(qi int, q paths.Path) (Cluster, error) {
+func (e *Engine) buildCluster(ctx context.Context, qi int, q paths.Path) (Cluster, error) {
 	ids := e.retrieve(q)
 	if len(ids) == 0 {
 		return Cluster{QueryIndex: qi, Query: q}, nil
@@ -79,9 +95,12 @@ func (e *Engine) buildCluster(qi int, q paths.Path) (Cluster, error) {
 	var shorter []ClusterItem
 	aligner := align.NewGreedy(e.par)
 	for _, id := range ids {
+		if ctx.Err() != nil {
+			break // partial cluster: best-effort candidates aligned so far
+		}
 		p, err := e.idx.Path(id)
 		if err != nil {
-			return Cluster{}, err
+			return Cluster{}, fmt.Errorf("core: cluster for query path %d: %w", qi, err)
 		}
 		item := ClusterItem{ID: id, Path: p, Alignment: aligner.Align(p, q)}
 		// Figure 3 clusters only paths at least as long as the query

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"sama/internal/align"
+	"sama/internal/index"
+	"sama/internal/storage"
+)
+
+// budgetCtx is a context whose Err() starts reporting DeadlineExceeded
+// after a fixed number of calls — a deterministic stand-in for a
+// deadline firing mid-search, aimed at the engine's cooperative
+// cancellation checkpoints.
+type budgetCtx struct {
+	context.Context
+	calls  atomic.Int64
+	budget int64
+}
+
+func newBudgetCtx(budget int64) *budgetCtx {
+	return &budgetCtx{Context: context.Background(), budget: budget}
+}
+
+func (b *budgetCtx) Err() error {
+	if b.calls.Add(1) > b.budget {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+func sortedByScore(t *testing.T, answers []Answer) {
+	t.Helper()
+	for i := 1; i < len(answers); i++ {
+		if answers[i].Score < answers[i-1].Score {
+			t.Fatalf("answers out of order: [%d]=%.4f < [%d]=%.4f",
+				i, answers[i].Score, i-1, answers[i-1].Score)
+		}
+	}
+}
+
+func TestQueryContextAlreadyCancelled(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	answers, st, err := e.QueryWithStatsContext(ctx, queryQ1(), 5)
+	if err != nil {
+		t.Fatalf("cancelled query errored: %v", err)
+	}
+	if len(answers) != 0 {
+		t.Errorf("cancelled-before-start query returned %d answers, want 0", len(answers))
+	}
+	if !st.Partial {
+		t.Error("Partial = false, want true")
+	}
+	if st.StopReason != StopCancelled {
+		t.Errorf("StopReason = %q, want %q", st.StopReason, StopCancelled)
+	}
+}
+
+func TestQueryContextDeadlineReason(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 0) // expired at birth
+	defer cancel()
+	_, st, err := e.QueryWithStatsContext(ctx, queryQ1(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Partial || st.StopReason != StopDeadline {
+		t.Errorf("Partial=%v StopReason=%q, want true/%q", st.Partial, st.StopReason, StopDeadline)
+	}
+}
+
+// TestSearchContextMidCancelPrefix cancels the combination search after
+// a fixed number of frontier iterations and checks the truncated result
+// against the full run: the prefix must stay sorted by score, and every
+// rank can only be as good as or worse than the full run's same rank
+// (the full run has seen strictly more combinations).
+func TestSearchContextMidCancelPrefix(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	pre := e.Preprocess(queryQ1())
+	clusters, err := e.Cluster(pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := e.Search(pre, clusters, 0)
+	if len(full) == 0 {
+		t.Fatal("full search returned no answers")
+	}
+	sortedByScore(t, full)
+
+	for _, budget := range []int64{1, 2, 3, 5, 8} {
+		partial := e.SearchContext(newBudgetCtx(budget), pre, clusters, 0)
+		sortedByScore(t, partial)
+		if len(partial) > len(full) {
+			t.Fatalf("budget %d: partial has %d answers, full only %d", budget, len(partial), len(full))
+		}
+		for i := range partial {
+			if partial[i].Score < full[i].Score-1e-9 {
+				t.Errorf("budget %d: partial[%d].Score=%.6f beats full[%d].Score=%.6f",
+					budget, i, partial[i].Score, i, full[i].Score)
+			}
+		}
+	}
+
+	// A budget beyond the search space must reproduce the full run.
+	unbounded := e.SearchContext(newBudgetCtx(1_000_000), pre, clusters, 0)
+	if len(unbounded) != len(full) {
+		t.Fatalf("unbounded budget: %d answers, full %d", len(unbounded), len(full))
+	}
+	fullScores := make([]float64, len(full))
+	unbScores := make([]float64, len(unbounded))
+	for i := range full {
+		fullScores[i] = full[i].Score
+		unbScores[i] = unbounded[i].Score
+	}
+	if !reflect.DeepEqual(fullScores, unbScores) {
+		t.Errorf("unbounded scores %v != full scores %v", unbScores, fullScores)
+	}
+}
+
+func TestClusterContextRecoversPanic(t *testing.T) {
+	good := newTestEngine(t, Options{})
+	pre := good.Preprocess(queryQ1())
+	// An engine with no index panics on the first retrieval; the
+	// goroutine recovery must turn that into an error, not a crash.
+	bad := New(nil, Options{})
+	_, err := bad.ClusterContext(context.Background(), pre)
+	if err == nil {
+		t.Fatal("expected an error from a panicking cluster goroutine")
+	}
+	if !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("error %q does not mention the recovered panic", err)
+	}
+}
+
+func TestOptionsParamsSetZero(t *testing.T) {
+	// Without ParamsSet, an all-zero Params silently selects the
+	// defaults (backwards-compatible behaviour).
+	if got := (Options{}).params(); got != align.DefaultParams {
+		t.Errorf("zero Params => %+v, want DefaultParams", got)
+	}
+	// With ParamsSet, the all-zero coefficients are used verbatim — the
+	// explicit ablation escape hatch.
+	if got := (Options{ParamsSet: true}).params(); got != (align.Params{}) {
+		t.Errorf("ParamsSet zero Params => %+v, want zero", got)
+	}
+	e := New(nil, Options{ParamsSet: true})
+	if e.Params() != (align.Params{}) {
+		t.Errorf("engine params = %+v, want zero", e.Params())
+	}
+}
+
+// buildFaultyEngine builds a real on-disk index with a fault injector
+// between the buffer pool and the page file.
+func buildFaultyEngine(t *testing.T) (*Engine, *storage.FaultInjector) {
+	t.Helper()
+	var inj *storage.FaultInjector
+	base := filepath.Join(t.TempDir(), "faulty")
+	ix, err := index.Build(base, figure1Graph(), index.Options{
+		WrapIO: func(io storage.PageIO) storage.PageIO {
+			inj = storage.NewFaultInjector(io)
+			return inj
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	if inj == nil {
+		t.Fatal("WrapIO hook never invoked")
+	}
+	return New(ix, Options{}), inj
+}
+
+func TestTransientReadFaultDuringClusteringIsRetried(t *testing.T) {
+	e, inj := buildFaultyEngine(t)
+	baseline, err := e.Query(queryQ1(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Index().DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	// Every page read during clustering fails twice before succeeding —
+	// within the pool's retry budget.
+	inj.Inject(storage.Fault{Op: storage.OpRead, Kind: storage.Transient, Times: 2})
+
+	answers, err := e.Query(queryQ1(), 3)
+	if err != nil {
+		t.Fatalf("query with transient faults failed: %v", err)
+	}
+	if len(answers) != len(baseline) || answers[0].Score != baseline[0].Score {
+		t.Errorf("degraded run differs: %d answers best %.4f, want %d best %.4f",
+			len(answers), answers[0].Score, len(baseline), baseline[0].Score)
+	}
+	if inj.Fired() == 0 {
+		t.Error("injector never fired")
+	}
+}
+
+func TestPermanentPageFaultSurfacesWrappedError(t *testing.T) {
+	e, inj := buildFaultyEngine(t)
+	if err := e.Index().DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	inj.Inject(storage.Fault{Op: storage.OpRead, Kind: storage.Permanent, Page: 1})
+
+	_, err := e.Query(queryQ1(), 3)
+	if err == nil {
+		t.Fatal("expected an error from a permanent page fault")
+	}
+	if !errors.Is(err, storage.ErrPermanent) {
+		t.Errorf("error %v does not unwrap to ErrPermanent", err)
+	}
+	if !strings.Contains(err.Error(), "page 1") {
+		t.Errorf("error %q does not name the failed page", err)
+	}
+	if !strings.Contains(err.Error(), "read path") {
+		t.Errorf("error %q does not name the path being read", err)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 
 	"sama/internal/align"
@@ -23,6 +24,16 @@ import (
 // returns every combination visited (within the MaxCombinations
 // budget).
 func (e *Engine) Search(pre *Preprocessed, clusters []Cluster, k int) []Answer {
+	return e.SearchContext(context.Background(), pre, clusters, k)
+}
+
+// SearchContext is Search under a context. The frontier loop checks the
+// context every iteration: on cancellation it stops expanding and
+// returns the answers ranked so far. Because combinations are visited
+// in non-decreasing Λ order and the result list is kept sorted by full
+// score, the truncated result is a valid best-so-far prefix in
+// non-decreasing score order.
+func (e *Engine) SearchContext(ctx context.Context, pre *Preprocessed, clusters []Cluster, k int) []Answer {
 	// Split effective clusters (with candidates) from missed query
 	// paths, which contribute a fixed deletion penalty to Λ and a fixed
 	// non-conformity penalty to Ψ.
@@ -69,7 +80,12 @@ func (e *Engine) Search(pre *Preprocessed, clusters []Cluster, k int) []Answer {
 	tieVisits := 0
 	maxVisits := e.opts.maxCombinations()
 	maxTies := e.opts.maxTieVisits()
+	cancelled := false
 	for frontier.Len() > 0 && visited < maxVisits {
+		if ctx.Err() != nil {
+			cancelled = true
+			break
+		}
 		c := heap.Pop(frontier).(combo)
 		if w := worst(); w >= 0 {
 			lb := c.lambda + psiMin
@@ -130,7 +146,16 @@ func (e *Engine) Search(pre *Preprocessed, clusters []Cluster, k int) []Answer {
 	// leave binding-consistent combinations (the ones with solid forest
 	// edges) beyond the tie-visit horizon when clusters are large.
 	// Construct them directly — a greedy hash-join on the shared query
-	// variables — and let them compete in the ranking.
+	// variables — and let them compete in the ranking. Skipped on
+	// cancellation: the join pass is bounded but not free, and a
+	// cancelled query wants its prefix now.
+	if cancelled {
+		answers := make([]Answer, len(results))
+		for i, s := range results {
+			answers[i] = e.buildAnswer(eff, s.idx, missing, s.lambda, s.psi, s.degree)
+		}
+		return answers
+	}
 	for _, idx := range e.joinCombos(eff, sc) {
 		key := combo{idx: idx}.key()
 		if seen[key] {

@@ -15,6 +15,8 @@ import (
 // the compacted files; on failure the original files remain intact and
 // the index stays usable.
 func (ix *Index) Compact() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	tmpBase := ix.base + ".compact"
 	fail := func(file *storage.PageFile, err error) error {
 		if file != nil {
@@ -31,7 +33,7 @@ func (ix *Index) Compact() error {
 	next := &Index{
 		base:    tmpBase,
 		file:    file,
-		pool:    storage.NewBufferPool(file, 0),
+		pool:    storage.NewBufferPool(wrapPageIO(file, ix.wrapIO), 0),
 		sinks:   textindex.New(ix.thes),
 		labels:  textindex.New(ix.thes),
 		sources: textindex.New(nil),
@@ -43,11 +45,11 @@ func (ix *Index) Compact() error {
 	}
 	next.store = storage.NewRecordStore(next.pool)
 
-	for id := 0; id < ix.NumPaths(); id++ {
-		if !ix.Live(PathID(id)) {
+	for id := 0; id < len(ix.rids); id++ {
+		if ix.deleted[id] {
 			continue
 		}
-		p, err := ix.Path(PathID(id))
+		p, err := ix.pathLocked(PathID(id))
 		if err != nil {
 			return fail(file, fmt.Errorf("index: compact: read path %d: %w", id, err))
 		}
@@ -81,13 +83,23 @@ func (ix *Index) Compact() error {
 	if err := os.Rename(metaPath(tmpBase), metaPath(ix.base)); err != nil {
 		return fmt.Errorf("index: compact: swap meta: %w", err)
 	}
-	reopened, err := Open(ix.base, Options{Paths: ix.pathCfg, Thesaurus: ix.thes})
+	reopened, err := Open(ix.base, Options{Paths: ix.pathCfg, Thesaurus: ix.thes, WrapIO: ix.wrapIO})
 	if err != nil {
 		return fmt.Errorf("index: compact: reopen: %w", err)
 	}
-	graph := ix.graph
-	*ix = *reopened
-	ix.graph = graph
+	// Adopt the reopened state field by field: ix.mu is held and must
+	// not be overwritten.
+	ix.file = reopened.file
+	ix.pool = reopened.pool
+	ix.store = reopened.store
+	ix.rids = reopened.rids
+	ix.lens = reopened.lens
+	ix.sinks = reopened.sinks
+	ix.labels = reopened.labels
+	ix.sources = reopened.sources
+	ix.deleted = reopened.deleted
+	ix.dict = reopened.dict
+	ix.stats = reopened.stats
 	ix.stats.DiskBytes = ix.diskBytes()
 	return nil
 }

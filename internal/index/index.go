@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"sama/internal/paths"
@@ -30,6 +31,11 @@ type Options struct {
 	// instead of inline strings (the §7 compression mechanism). The
 	// dictionary is persisted in the metadata file.
 	Compress bool
+	// WrapIO, when set, wraps the page file's I/O before the buffer
+	// pool is created — the hook fault-injection tests use to interpose
+	// a storage.FaultInjector between the pool and the disk. The
+	// wrapper persists across Compact.
+	WrapIO func(storage.PageIO) storage.PageIO
 }
 
 func (o Options) pathConfig() paths.Config {
@@ -57,8 +63,13 @@ type Stats struct {
 	DiskBytes int64
 }
 
-// Index is the opened, queryable path index.
+// Index is the opened, queryable path index. It is safe for concurrent
+// use: queries take a read lock over the in-memory tables, while
+// InsertTriples, Compact, Flush and Close serialise behind a write
+// lock (page I/O is additionally serialised by the buffer pool's own
+// lock).
 type Index struct {
+	mu    sync.RWMutex
 	base  string
 	file  *storage.PageFile
 	pool  *storage.BufferPool
@@ -85,7 +96,16 @@ type Index struct {
 	graph   *rdf.Graph
 	pathCfg paths.Config
 	thes    *textindex.Thesaurus
+	wrapIO  func(storage.PageIO) storage.PageIO
 	stats   Stats
+}
+
+// wrap applies the configured I/O wrapper to the page file.
+func wrapPageIO(file *storage.PageFile, wrap func(storage.PageIO) storage.PageIO) storage.PageIO {
+	if wrap == nil {
+		return file
+	}
+	return wrap(file)
 }
 
 func pagesPath(base string) string { return base + ".pages" }
@@ -103,13 +123,14 @@ func Build(base string, g *rdf.Graph, opts Options) (*Index, error) {
 	ix := &Index{
 		base:    base,
 		file:    file,
-		pool:    storage.NewBufferPool(file, opts.PoolPages),
+		pool:    storage.NewBufferPool(wrapPageIO(file, opts.WrapIO), opts.PoolPages),
 		sinks:   textindex.New(opts.Thesaurus),
 		labels:  textindex.New(opts.Thesaurus),
 		sources: textindex.New(nil),
 		graph:   g,
 		pathCfg: opts.pathConfig(),
 		thes:    opts.Thesaurus,
+		wrapIO:  opts.WrapIO,
 	}
 	if opts.Compress {
 		ix.dict = NewDictionary()
@@ -183,9 +204,10 @@ func Open(base string, opts Options) (*Index, error) {
 	ix := &Index{
 		base:    base,
 		file:    file,
-		pool:    storage.NewBufferPool(file, opts.PoolPages),
+		pool:    storage.NewBufferPool(wrapPageIO(file, opts.WrapIO), opts.PoolPages),
 		pathCfg: opts.pathConfig(),
 		thes:    opts.Thesaurus,
+		wrapIO:  opts.WrapIO,
 	}
 	ix.store = storage.NewRecordStore(ix.pool)
 	if err := ix.readMeta(opts.Thesaurus); err != nil {
@@ -360,21 +382,33 @@ func (ix *Index) diskBytes() int64 {
 
 // NumPaths returns the number of indexed paths, tombstoned included
 // (IDs run from 0 to NumPaths-1; check Live before reading).
-func (ix *Index) NumPaths() int { return len(ix.rids) }
+func (ix *Index) NumPaths() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.rids)
+}
 
 // Live reports whether the path ID refers to a non-tombstoned path.
 func (ix *Index) Live(id PathID) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return int(id) < len(ix.deleted) && !ix.deleted[id]
 }
 
 // PathLength returns the number of nodes of the path, from the
 // in-memory length table (no disk access).
-func (ix *Index) PathLength(id PathID) int { return int(ix.lens[id]) }
+func (ix *Index) PathLength(id PathID) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return int(ix.lens[id])
+}
 
 // ContainsLabel reports whether the path contains an element whose
 // label normalises exactly to the given label, answered from the
 // in-memory postings (no disk access).
 func (ix *Index) ContainsLabel(id PathID, label string) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	ps := ix.labels.LookupExact(label)
 	lo, hi := 0, len(ps)
 	for lo < hi {
@@ -389,11 +423,22 @@ func (ix *Index) ContainsLabel(id PathID, label string) bool {
 }
 
 // Stats returns the build statistics.
-func (ix *Index) Stats() Stats { return ix.stats }
+func (ix *Index) Stats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.stats
+}
 
 // Path reads the path with the given ID from disk (through the buffer
 // pool).
 func (ix *Index) Path(id PathID) (paths.Path, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.pathLocked(id)
+}
+
+// pathLocked is Path for callers already holding ix.mu.
+func (ix *Index) pathLocked(id PathID) (paths.Path, error) {
 	if int(id) >= len(ix.rids) {
 		return paths.Path{}, fmt.Errorf("index: path %d out of range (%d paths)", id, len(ix.rids))
 	}
@@ -402,33 +447,43 @@ func (ix *Index) Path(id PathID) (paths.Path, error) {
 	}
 	data, err := ix.store.Read(ix.rids[id])
 	if err != nil {
-		return paths.Path{}, err
+		return paths.Path{}, fmt.Errorf("index: read path %d: %w", id, err)
 	}
 	if ix.dict != nil {
 		nodes, edges, err := DecodePathDict(data, ix.dict)
 		if err != nil {
-			return paths.Path{}, err
+			return paths.Path{}, fmt.Errorf("index: decode path %d: %w", id, err)
 		}
 		return paths.Path{Nodes: nodes, Edges: edges}, nil
 	}
-	return DecodePath(data)
+	p, err := DecodePath(data)
+	if err != nil {
+		return paths.Path{}, fmt.Errorf("index: decode path %d: %w", id, err)
+	}
+	return p, nil
 }
 
 // PathsBySink returns the IDs of the live paths whose sink matches the
 // label (exact, token, and thesaurus expansion).
 func (ix *Index) PathsBySink(label string) []PathID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.toPathIDs(ix.sinks.Lookup(label))
 }
 
 // PathsBySinkExact returns the IDs of the live paths whose sink label
 // normalises to the given label.
 func (ix *Index) PathsBySinkExact(label string) []PathID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.toPathIDs(ix.sinks.LookupExact(label))
 }
 
 // PathsByLabel returns the IDs of the live paths containing an element
 // whose label matches (exact, token, and thesaurus expansion).
 func (ix *Index) PathsByLabel(label string) []PathID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.toPathIDs(ix.labels.Lookup(label))
 }
 
@@ -445,9 +500,11 @@ func (ix *Index) toPathIDs(ps []uint32) []PathID {
 
 // ReadPaths materialises the given path IDs from disk.
 func (ix *Index) ReadPaths(ids []PathID) ([]paths.Path, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	out := make([]paths.Path, len(ids))
 	for i, id := range ids {
-		p, err := ix.Path(id)
+		p, err := ix.pathLocked(id)
 		if err != nil {
 			return nil, err
 		}
@@ -464,7 +521,11 @@ func (ix *Index) DropCache() error { return ix.pool.DropCache() }
 func (ix *Index) PoolStats() storage.PoolStats { return ix.pool.Stats() }
 
 // Close flushes the pages and metadata and closes the index files.
+// Close is idempotent: a second call closes already-closed files, which
+// the storage layer reports as success.
 func (ix *Index) Close() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if err := ix.writeMeta(); err != nil {
 		ix.pool.Close()
 		ix.file.Close()

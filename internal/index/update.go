@@ -10,13 +10,27 @@ import (
 // AttachGraph hands a reopened index its data graph so InsertTriples
 // can re-enumerate paths. Build retains the graph automatically; Open
 // cannot, because the graph is not persisted with the index.
-func (ix *Index) AttachGraph(g *rdf.Graph) { ix.graph = g }
+func (ix *Index) AttachGraph(g *rdf.Graph) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.graph = g
+}
 
 // Graph returns the attached data graph, or nil.
-func (ix *Index) Graph() *rdf.Graph { return ix.graph }
+func (ix *Index) Graph() *rdf.Graph {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.graph
+}
 
 // LivePaths returns the number of paths not tombstoned by updates.
 func (ix *Index) LivePaths() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.livePathsLocked()
+}
+
+func (ix *Index) livePathsLocked() int {
 	n := 0
 	for _, del := range ix.deleted {
 		if !del {
@@ -44,6 +58,8 @@ func (ix *Index) LivePaths() int {
 // hub promotion is a global property, so any edge can move the roots.
 // The metadata file is rewritten on Flush or Close.
 func (ix *Index) InsertTriples(ts []rdf.Triple) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if ix.graph == nil {
 		return fmt.Errorf("index: no graph attached (Build retains it; after Open call AttachGraph)")
 	}
@@ -92,7 +108,7 @@ func (ix *Index) InsertTriples(ts []rdf.Triple) error {
 	}
 	ix.stats.Triples = g.EdgeCount()
 	ix.stats.HV = g.NodeCount()
-	ix.stats.Paths = ix.LivePaths()
+	ix.stats.Paths = ix.livePathsLocked()
 	ix.stats.HE = g.EdgeCount() + ix.stats.Paths
 	return nil
 }
@@ -131,7 +147,7 @@ func (ix *Index) tombstoneByRoots(g *rdf.Graph, roots []rdf.NodeID) {
 			}
 			// Exact-label postings can collide across term kinds;
 			// verify on the stored path.
-			p, err := ix.Path(PathID(posting))
+			p, err := ix.pathLocked(PathID(posting))
 			if err == nil && p.Source() == term {
 				ix.deleted[posting] = true
 			}
@@ -142,6 +158,8 @@ func (ix *Index) tombstoneByRoots(g *rdf.Graph, roots []rdf.NodeID) {
 // Flush persists the metadata (postings, tombstones, statistics) and
 // the dirty pages. Close also flushes.
 func (ix *Index) Flush() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if err := ix.pool.Flush(); err != nil {
 		return err
 	}

@@ -2,8 +2,10 @@ package storage
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // PoolStats counts buffer pool activity; used by the cold/warm cache
@@ -13,6 +15,9 @@ type PoolStats struct {
 	Misses    uint64
 	Evictions uint64
 	Flushes   uint64
+	// Retries counts transient I/O errors absorbed by the retry policy
+	// (each is one extra attempt, not one failed operation).
+	Retries uint64
 }
 
 // HitRate returns hits / (hits + misses), or 0 with no traffic.
@@ -24,18 +29,27 @@ func (s PoolStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// BufferPool caches page frames over a PageFile with LRU replacement.
-// All index reads go through a pool, so its state defines the cache
-// temperature: DropCache empties it (cold), repeated traffic warms it.
-// BufferPool is safe for concurrent use.
+// BufferPool caches page frames over a PageIO (normally a *PageFile)
+// with LRU replacement. All index reads go through a pool, so its state
+// defines the cache temperature: DropCache empties it (cold), repeated
+// traffic warms it. BufferPool is safe for concurrent use.
+//
+// I/O errors that unwrap to ErrTransient are retried a bounded number
+// of times with exponential backoff before surfacing, so hiccups in the
+// underlying store degrade to latency instead of failed queries. The
+// backoff sleeps while holding the pool lock — transient faults are
+// expected to be rare and short.
 type BufferPool struct {
 	mu       sync.Mutex
-	file     *PageFile
+	file     PageIO
 	capacity int
 	frames   map[PageID]*list.Element
 	lru      *list.List // front = most recent
 	stats    PoolStats
 	closed   bool
+
+	retries int           // extra attempts after a transient failure
+	backoff time.Duration // first retry delay, doubled per attempt
 }
 
 type frame struct {
@@ -47,9 +61,15 @@ type frame struct {
 // DefaultPoolPages is the default pool capacity (pages).
 const DefaultPoolPages = 1024
 
+// Default retry policy for transient I/O errors.
+const (
+	DefaultIORetries = 3
+	DefaultIOBackoff = 100 * time.Microsecond
+)
+
 // NewBufferPool returns a pool of the given capacity (in pages) over
 // file. Capacity must be at least 1; 0 selects DefaultPoolPages.
-func NewBufferPool(file *PageFile, capacity int) *BufferPool {
+func NewBufferPool(file PageIO, capacity int) *BufferPool {
 	if capacity <= 0 {
 		capacity = DefaultPoolPages
 	}
@@ -58,7 +78,35 @@ func NewBufferPool(file *PageFile, capacity int) *BufferPool {
 		capacity: capacity,
 		frames:   make(map[PageID]*list.Element, capacity),
 		lru:      list.New(),
+		retries:  DefaultIORetries,
+		backoff:  DefaultIOBackoff,
 	}
+}
+
+// SetRetryPolicy overrides the transient-fault retry policy: retries
+// extra attempts, the first after backoff, doubling each time.
+// retries ≤ 0 disables retrying.
+func (bp *BufferPool) SetRetryPolicy(retries int, backoff time.Duration) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.retries = retries
+	bp.backoff = backoff
+}
+
+// retryIO runs op, retrying transient failures per the pool's policy.
+// Caller holds bp.mu.
+func (bp *BufferPool) retryIO(op func() error) error {
+	err := op()
+	delay := bp.backoff
+	for attempt := 0; attempt < bp.retries && errors.Is(err, ErrTransient); attempt++ {
+		bp.stats.Retries++
+		if delay > 0 {
+			time.Sleep(delay)
+			delay *= 2
+		}
+		err = op()
+	}
+	return err
 }
 
 // Get copies page id into buf (PageSize long), loading it through the
@@ -156,7 +204,7 @@ func (bp *BufferPool) frame(id PageID) (*frame, error) {
 	}
 	bp.stats.Misses++
 	fr := &frame{id: id}
-	if err := bp.file.Read(id, fr.data[:]); err != nil {
+	if err := bp.retryIO(func() error { return bp.file.Read(id, fr.data[:]) }); err != nil {
 		return nil, err
 	}
 	if err := bp.install(id, fr); err != nil {
@@ -172,7 +220,7 @@ func (bp *BufferPool) install(id PageID, fr *frame) error {
 		victim := bp.lru.Back()
 		vf := victim.Value.(*frame)
 		if vf.dirty {
-			if err := bp.file.Write(vf.id, vf.data[:]); err != nil {
+			if err := bp.retryIO(func() error { return bp.file.Write(vf.id, vf.data[:]) }); err != nil {
 				return err
 			}
 			bp.stats.Flushes++
@@ -199,7 +247,7 @@ func (bp *BufferPool) flushLocked() error {
 	for el := bp.lru.Front(); el != nil; el = el.Next() {
 		fr := el.Value.(*frame)
 		if fr.dirty {
-			if err := bp.file.Write(fr.id, fr.data[:]); err != nil {
+			if err := bp.retryIO(func() error { return bp.file.Write(fr.id, fr.data[:]) }); err != nil {
 				return err
 			}
 			fr.dirty = false

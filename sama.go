@@ -34,11 +34,15 @@
 package sama
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"strings"
+	"sync/atomic"
 
 	"sama/internal/align"
 	"sama/internal/core"
@@ -82,7 +86,26 @@ type (
 	IndexStats = index.Stats
 	// PoolStats counts buffer pool traffic (cold/warm cache analysis).
 	PoolStats = storage.PoolStats
+	// QueryStats instruments one query execution, including whether it
+	// stopped early (Partial) and why (StopReason).
+	QueryStats = core.QueryStats
+	// StopReason says why a query stopped before exhausting its search
+	// space (deadline, cancellation).
+	StopReason = core.StopReason
 )
+
+// StopReason values.
+const (
+	// StopNone: the query ran to completion.
+	StopNone = core.StopNone
+	// StopDeadline: the context deadline fired mid-query.
+	StopDeadline = core.StopDeadline
+	// StopCancelled: the context was cancelled mid-query.
+	StopCancelled = core.StopCancelled
+)
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("sama: database is closed")
 
 // Term constructors, re-exported.
 var (
@@ -108,6 +131,7 @@ type Option func(*config)
 
 type config struct {
 	params    Params
+	paramsSet bool
 	pathCfg   paths.Config
 	poolPages int
 	thesaurus *textindex.Thesaurus
@@ -115,8 +139,15 @@ type config struct {
 	compress  bool
 }
 
-// WithParams sets the similarity coefficients.
-func WithParams(p Params) Option { return func(c *config) { c.params = p } }
+// WithParams sets the similarity coefficients. The coefficients are
+// used verbatim — an all-zero Params deliberately zeroes every
+// coefficient (for ablations) instead of falling back to DefaultParams.
+func WithParams(p Params) Option {
+	return func(c *config) {
+		c.params = p
+		c.paramsSet = true
+	}
+}
 
 // WithPathConfig bounds the path enumeration at indexing time.
 func WithPathConfig(pc PathConfig) Option { return func(c *config) { c.pathCfg = pc } }
@@ -147,6 +178,7 @@ func WithCompression() Option { return func(c *config) { c.compress = true } }
 type DB struct {
 	idx    *index.Index
 	engine *core.Engine
+	closed atomic.Bool
 }
 
 func buildConfig(opts []Option) *config {
@@ -190,14 +222,47 @@ func Open(basePath string, opts ...Option) (*DB, error) {
 func newDB(idx *index.Index, c *config) *DB {
 	engOpts := c.engine
 	engOpts.Params = c.params
+	engOpts.ParamsSet = c.paramsSet
 	return &DB{idx: idx, engine: core.New(idx, engOpts)}
+}
+
+// recoverQuery converts a panic escaping the engine into an error at
+// the public API boundary, so one poisoned query cannot take down the
+// process hosting the database. desc carries the query context.
+func recoverQuery(err *error, desc string) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("sama: panic answering %s: %v\n%s", desc, r, debug.Stack())
+	}
+}
+
+// describeQuery renders a bounded description of a query for error
+// messages.
+func describeQuery(src string) string {
+	src = strings.Join(strings.Fields(src), " ")
+	if len(src) > 120 {
+		src = src[:120] + "…"
+	}
+	return fmt.Sprintf("query %q", src)
 }
 
 // Query returns the top-k answers to a query graph, ordered by
 // non-decreasing score. k ≤ 0 removes the limit (within the search
 // budget).
 func (db *DB) Query(q *QueryGraph, k int) ([]Answer, error) {
-	return db.engine.Query(q, k)
+	answers, _, err := db.QueryContext(context.Background(), q, k)
+	return answers, err
+}
+
+// QueryContext is Query under a context. On cancellation or deadline
+// the search stops at the next checkpoint and returns the best-so-far
+// answers — still in non-decreasing score order — with stats.Partial
+// set and stats.StopReason saying why; ctx expiring is not an error.
+func (db *DB) QueryContext(ctx context.Context, q *QueryGraph, k int) (answers []Answer, stats QueryStats, err error) {
+	if db.closed.Load() {
+		return nil, QueryStats{}, ErrClosed
+	}
+	defer recoverQuery(&err, "query graph")
+	return db.engine.QueryWithStatsContext(ctx, q, k)
 }
 
 // Result is the outcome of a SPARQL query: the ranked answers and the
@@ -208,6 +273,14 @@ type Result struct {
 	// Vars are the projected variable names (SELECT list, or all
 	// pattern variables for SELECT *).
 	Vars []string
+	// Partial reports that the query stopped early (context cancelled
+	// or deadline exceeded): Answers is the best-so-far prefix, still
+	// in non-decreasing score order, rather than the full top-k.
+	Partial bool
+	// StopReason says why a partial query stopped.
+	StopReason StopReason
+	// Stats carries the engine-level execution statistics.
+	Stats QueryStats
 }
 
 // QuerySPARQL parses and answers a SPARQL basic-graph-pattern query.
@@ -215,6 +288,19 @@ type Result struct {
 // answers whose projected bindings duplicate a better-ranked answer are
 // dropped (the engine over-fetches to refill the budget).
 func (db *DB) QuerySPARQL(src string, k int) (*Result, error) {
+	return db.QuerySPARQLContext(context.Background(), src, k)
+}
+
+// QuerySPARQLContext is QuerySPARQL under a context: the query becomes
+// budget-bounded by the context's deadline. When the deadline fires
+// mid-search the answers found so far are returned with Result.Partial
+// set — the engine's monotone emission order makes that prefix the best
+// answers discovered up to the stop.
+func (db *DB) QuerySPARQLContext(ctx context.Context, src string, k int) (res *Result, err error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	defer recoverQuery(&err, describeQuery(src))
 	parsed, err := sparql.Parse(src)
 	if err != nil {
 		return nil, err
@@ -230,14 +316,20 @@ func (db *DB) QuerySPARQL(src string, k int) (*Result, error) {
 	if parsed.Distinct && k > 0 {
 		fetch = k * 4 // over-fetch: duplicates collapse under projection
 	}
-	answers, err := db.engine.Query(parsed.Pattern, fetch)
+	answers, stats, err := db.engine.QueryWithStatsContext(ctx, parsed.Pattern, fetch)
 	if err != nil {
 		return nil, err
 	}
 	if parsed.Distinct {
 		answers = dedupeByProjection(answers, vars, k)
 	}
-	return &Result{Answers: answers, Vars: vars}, nil
+	return &Result{
+		Answers:    answers,
+		Vars:       vars,
+		Partial:    stats.Partial,
+		StopReason: stats.StopReason,
+		Stats:      stats,
+	}, nil
 }
 
 // dedupeByProjection keeps the best-ranked answer per distinct
@@ -273,6 +365,9 @@ func dedupeByProjection(answers []Answer, vars []string, k int) []Answer {
 // after Open, attach it first with AttachGraph. Call Flush (or Close)
 // to persist the updated metadata.
 func (db *DB) Insert(triples []Triple) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
 	return db.idx.InsertTriples(triples)
 }
 
@@ -281,12 +376,22 @@ func (db *DB) Insert(triples []Triple) error {
 func (db *DB) AttachGraph(g *Graph) { db.idx.AttachGraph(g) }
 
 // Flush persists dirty pages and metadata without closing.
-func (db *DB) Flush() error { return db.idx.Flush() }
+func (db *DB) Flush() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	return db.idx.Flush()
+}
 
 // Compact rewrites the index files keeping only live paths, reclaiming
 // the space tombstoned by Insert. The database must be the files' sole
 // user during compaction.
-func (db *DB) Compact() error { return db.idx.Compact() }
+func (db *DB) Compact() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	return db.idx.Compact()
+}
 
 // Stats returns the index build statistics (Table 1's measurements).
 func (db *DB) Stats() IndexStats { return db.idx.Stats() }
@@ -295,10 +400,22 @@ func (db *DB) Stats() IndexStats { return db.idx.Stats() }
 func (db *DB) PoolStats() PoolStats { return db.idx.PoolStats() }
 
 // DropCache empties the buffer pool (cold-cache state).
-func (db *DB) DropCache() error { return db.idx.DropCache() }
+func (db *DB) DropCache() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	return db.idx.DropCache()
+}
 
-// Close flushes and closes the index files.
-func (db *DB) Close() error { return db.idx.Close() }
+// Close flushes and closes the index files. Close is idempotent: the
+// second and later calls return nil. Queries issued after Close return
+// ErrClosed.
+func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return nil
+	}
+	return db.idx.Close()
+}
 
 // ParseSPARQL parses a SPARQL query and returns its basic graph pattern
 // as a query graph, for use with DB.Query.
