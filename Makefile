@@ -26,5 +26,9 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench is the smoke harness: one pass over every benchmark, with
+# BenchmarkPhaseBreakdown writing per-phase medians from the query
+# traces to results/bench_latest.json.
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+	@echo "phase medians written to results/bench_latest.json"

@@ -13,9 +13,13 @@
 package sama_test
 
 import (
+	"encoding/json"
 	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"sama/internal/align"
 	"sama/internal/datasets"
@@ -343,6 +347,92 @@ func BenchmarkRR(b *testing.B) {
 	}
 	b.ReportMetric(mean, "MRR")
 	_ = eval.ReciprocalRank
+}
+
+// benchPhaseRow is one query's entry in results/bench_latest.json.
+type benchPhaseRow struct {
+	Query   string           `json:"query"`
+	Runs    int              `json:"runs"`
+	Answers int              `json:"answers"`
+	Phases  map[string]int64 `json:"phase_median_ns"`
+	TotalNS int64            `json:"total_median_ns"`
+}
+
+// benchPhaseReport is the file schema for results/bench_latest.json.
+type benchPhaseReport struct {
+	Dataset string          `json:"dataset"`
+	Triples int             `json:"triples"`
+	Queries []benchPhaseRow `json:"queries"`
+}
+
+func medianDuration(ds []time.Duration) int64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return int64(ds[len(ds)/2])
+}
+
+// BenchmarkPhaseBreakdown is the smoke harness behind `make bench`: it
+// runs a subset of the LUBM workload through the traced engine and
+// writes per-phase median durations (taken from the query traces) to
+// results/bench_latest.json. It stays meaningful at -benchtime=1x —
+// every b.N iteration replays the whole query set, and medians are
+// computed over all replays.
+func BenchmarkPhaseBreakdown(b *testing.B) {
+	_, sys := systems(b)
+	eng := sys.Engine()
+	queries := figure6Queries()
+	phaseNames := []string{"decompose", "cluster", "search", "assemble"}
+	samples := make(map[string]map[string][]time.Duration, len(queries))
+	totals := make(map[string][]time.Duration, len(queries))
+	answers := make(map[string]int, len(queries))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			as, st, err := eng.QueryWithStats(q.Pattern, experiments.TopK)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.Trace == nil {
+				b.Fatal("query produced no trace")
+			}
+			if samples[q.ID] == nil {
+				samples[q.ID] = make(map[string][]time.Duration, len(phaseNames))
+			}
+			for _, ph := range phaseNames {
+				samples[q.ID][ph] = append(samples[q.ID][ph], st.Trace.PhaseDuration(ph))
+			}
+			totals[q.ID] = append(totals[q.ID], st.Elapsed)
+			answers[q.ID] = len(as)
+		}
+	}
+	b.StopTimer()
+	report := benchPhaseReport{Dataset: "LUBM", Triples: benchTriples}
+	for _, q := range queries {
+		row := benchPhaseRow{
+			Query:   q.ID,
+			Runs:    len(totals[q.ID]),
+			Answers: answers[q.ID],
+			Phases:  make(map[string]int64, len(phaseNames)),
+			TotalNS: medianDuration(totals[q.ID]),
+		}
+		for _, ph := range phaseNames {
+			row.Phases[ph] = medianDuration(samples[q.ID][ph])
+		}
+		report.Queries = append(report.Queries, row)
+		b.ReportMetric(float64(row.TotalNS), q.ID+"-median-ns")
+	}
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		b.Fatal(err)
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join("results", "bench_latest.json"), append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
 }
 
 func itoa(n int) string {

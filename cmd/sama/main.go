@@ -16,11 +16,16 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"sama"
 )
+
+// out is where subcommands print their results; tests swap it for a
+// buffer to assert on the output.
+var out io.Writer = os.Stdout
 
 func main() {
 	if len(os.Args) < 2 {
@@ -53,6 +58,7 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   sama index -data <graph.nt> -index <base>     build the path index
   sama query -index <base> (-q <sparql> | -sparql <file>) [-k 10] [-cold] [-timeout 0]
+             [-stats] [-debug-addr host:port]
   sama stats -index <base>                      print index statistics
 `)
 }
@@ -72,7 +78,7 @@ func runIndex(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("loaded %d triples (%d nodes) in %v\n",
+	fmt.Fprintf(out, "loaded %d triples (%d nodes) in %v\n",
 		g.EdgeCount(), g.NodeCount(), time.Since(start).Round(time.Millisecond))
 	db, err := sama.Create(*base, g,
 		sama.WithPathConfig(sama.PathConfig{MaxLength: *maxLen, MaxPerRoot: *maxPerRoot}),
@@ -94,6 +100,8 @@ func runQuery(args []string) error {
 	k := fs.Int("k", 10, "number of answers")
 	cold := fs.Bool("cold", false, "drop the cache before running (cold-cache timing)")
 	timeout := fs.Duration("timeout", 0, "query deadline; on expiry the best answers found so far are printed (0 = none)")
+	stats := fs.Bool("stats", false, "print the per-phase trace table after the answers")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/lastqueries on this address while the query runs")
 	fs.Parse(args)
 	if *base == "" {
 		return fmt.Errorf("query: -index is required")
@@ -114,6 +122,14 @@ func runQuery(args []string) error {
 		return err
 	}
 	defer db.Close()
+	if *debugAddr != "" {
+		dbg, err := db.ServeDebug(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(out, "debug server on http://%s/ (metrics, pprof, lastqueries)\n", dbg.Addr())
+	}
 	if *cold {
 		if err := db.DropCache(); err != nil {
 			return err
@@ -135,22 +151,26 @@ func runQuery(args []string) error {
 	if res.Partial {
 		marker = fmt.Sprintf(" (partial: %s)", res.StopReason)
 	}
-	fmt.Printf("%d answers in %v%s\n\n", len(res.Answers), elapsed.Round(time.Microsecond), marker)
+	fmt.Fprintf(out, "%d answers in %v%s\n\n", len(res.Answers), elapsed.Round(time.Microsecond), marker)
 	for i, a := range res.Answers {
-		fmt.Printf("#%d score %.2f (Λ %.2f + Ψ %.2f)", i+1, a.Score, a.Lambda, a.Psi)
+		fmt.Fprintf(out, "#%d score %.2f (Λ %.2f + Ψ %.2f)", i+1, a.Score, a.Lambda, a.Psi)
 		if a.Exact() {
-			fmt.Print("  [exact]")
+			fmt.Fprint(out, "  [exact]")
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 		for _, v := range res.Vars {
 			if t, ok := a.Subst[v]; ok {
-				fmt.Printf("  ?%s = %s\n", v, t)
+				fmt.Fprintf(out, "  ?%s = %s\n", v, t)
 			}
 		}
 		for _, pr := range a.Pairs {
-			fmt.Printf("  %s\n", pr.Data)
+			fmt.Fprintf(out, "  %s\n", pr.Data)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
+	}
+	if *stats && res.Stats.Trace != nil {
+		fmt.Fprintln(out, "phase breakdown:")
+		res.Stats.Trace.WriteTable(out)
 	}
 	return nil
 }
@@ -172,10 +192,10 @@ func runStats(args []string) error {
 }
 
 func printStats(st sama.IndexStats) {
-	fmt.Printf("triples:     %d\n", st.Triples)
-	fmt.Printf("|HV|:        %d\n", st.HV)
-	fmt.Printf("|HE|:        %d (edges + path hyperedges)\n", st.HE)
-	fmt.Printf("paths:       %d\n", st.Paths)
-	fmt.Printf("build time:  %v\n", st.BuildTime.Round(time.Millisecond))
-	fmt.Printf("disk:        %.1f MB\n", float64(st.DiskBytes)/(1<<20))
+	fmt.Fprintf(out, "triples:     %d\n", st.Triples)
+	fmt.Fprintf(out, "|HV|:        %d\n", st.HV)
+	fmt.Fprintf(out, "|HE|:        %d (edges + path hyperedges)\n", st.HE)
+	fmt.Fprintf(out, "paths:       %d\n", st.Paths)
+	fmt.Fprintf(out, "build time:  %v\n", st.BuildTime.Round(time.Millisecond))
+	fmt.Fprintf(out, "disk:        %.1f MB\n", float64(st.DiskBytes)/(1<<20))
 }

@@ -1,10 +1,27 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"testing"
 )
+
+// captureOut redirects the package-level output writer to a buffer for
+// the duration of the test.
+func captureOut(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	prev := out
+	out = &buf
+	t.Cleanup(func() { out = prev })
+	return &buf
+}
 
 const testNT = `<CarlaBunes> <sponsor> <A0056> .
 <A0056> <aTo> <B1432> .
@@ -75,6 +92,56 @@ func TestRunQueryTimeout(t *testing.T) {
 		"-q", `SELECT ?x WHERE { ?x <gender> "Male" }`})
 	if err != nil {
 		t.Errorf("query with expired timeout: %v", err)
+	}
+}
+
+func TestRunQueryStatsTable(t *testing.T) {
+	_, base := setupIndexed(t)
+	buf := captureOut(t)
+	err := runQuery([]string{"-index", base, "-stats",
+		"-q", `SELECT ?x WHERE { ?x <gender> "Male" }`})
+	if err != nil {
+		t.Fatalf("query -stats: %v", err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "phase breakdown:") {
+		t.Fatalf("no phase breakdown header in output:\n%s", got)
+	}
+	table := got[strings.Index(got, "phase breakdown:"):]
+	for _, phase := range []string{"decompose", "cluster", "search", "assemble", "total"} {
+		if !strings.Contains(table, phase) {
+			t.Errorf("trace table missing %q row:\n%s", phase, table)
+		}
+	}
+	// Each phase row carries a duration; spot-check the total row's
+	// shape: "total  <dur>  answers=N".
+	if !regexp.MustCompile(`(?m)^total\s+\S+\s+answers=\d+`).MatchString(table) {
+		t.Errorf("total row malformed:\n%s", table)
+	}
+	if !strings.Contains(table, "io") || !strings.Contains(table, "reads=") {
+		t.Errorf("io attribution row missing:\n%s", table)
+	}
+}
+
+func TestRunQueryDebugAddr(t *testing.T) {
+	_, base := setupIndexed(t)
+	buf := captureOut(t)
+	err := runQuery([]string{"-index", base, "-debug-addr", "127.0.0.1:0",
+		"-q", `SELECT ?x WHERE { ?x <gender> "Male" }`})
+	if err != nil {
+		t.Fatalf("query -debug-addr: %v", err)
+	}
+	var addr string
+	if _, err := fmt.Sscanf(buf.String(), "debug server on http://%s", &addr); err != nil {
+		t.Fatalf("no debug server line in output: %v\n%s", err, buf.String())
+	}
+	addr = strings.TrimSuffix(addr, "/")
+	// The server is closed when runQuery returns; a later scrape must
+	// fail — proves the CLI does not leak the listener.
+	if resp, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Errorf("debug server still listening after runQuery:\n%.200s", b)
 	}
 }
 

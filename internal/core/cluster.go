@@ -8,6 +8,7 @@ import (
 
 	"sama/internal/align"
 	"sama/internal/index"
+	"sama/internal/obs"
 	"sama/internal/paths"
 )
 
@@ -58,19 +59,35 @@ func (e *Engine) Cluster(pre *Preprocessed) ([]Cluster, error) {
 // still best-first cluster). A panic in a cluster goroutine is
 // recovered into an error instead of crashing the process.
 func (e *Engine) ClusterContext(ctx context.Context, pre *Preprocessed) ([]Cluster, error) {
+	return e.clusterTraced(ctx, pre, nil)
+}
+
+// clusterTraced is ClusterContext recording one child span per query
+// path under parent (the "cluster" phase span). The spans are created
+// up front, in query-path order, so the trace is deterministic even
+// though the alignment passes run concurrently; a nil parent records
+// nothing.
+func (e *Engine) clusterTraced(ctx context.Context, pre *Preprocessed, parent *obs.Span) ([]Cluster, error) {
 	clusters := make([]Cluster, len(pre.Paths))
 	errs := make([]error, len(pre.Paths))
+	spans := make([]*obs.Span, len(pre.Paths))
+	for qi := range pre.Paths {
+		spans[qi] = parent.Child(fmt.Sprintf("align[%d]", qi))
+	}
 	var wg sync.WaitGroup
 	for qi := range pre.Paths {
 		wg.Add(1)
 		go func(qi int) {
 			defer wg.Done()
+			defer spans[qi].End()
 			defer func() {
 				if r := recover(); r != nil {
 					errs[qi] = fmt.Errorf("core: clustering query path %d panicked: %v", qi, r)
 				}
 			}()
 			clusters[qi], errs[qi] = e.buildCluster(ctx, qi, pre.Paths[qi])
+			spans[qi].Set("retrieved", int64(clusters[qi].Retrieved))
+			spans[qi].Set("kept", int64(len(clusters[qi].Items)))
 		}(qi)
 	}
 	wg.Wait()

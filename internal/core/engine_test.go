@@ -1,12 +1,16 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"sama/internal/align"
 	"sama/internal/index"
+	"sama/internal/obs"
 	"sama/internal/rdf"
 )
 
@@ -448,5 +452,146 @@ func TestCustomParams(t *testing.T) {
 	// Perfect alignments still cost 0; Ψ scales with E.
 	if answers[0].Psi != 4 { // 2 conforming pairs × e=2
 		t.Errorf("Ψ with e=2 is %v, want 4", answers[0].Psi)
+	}
+}
+
+// TestQueryTracePhases checks that every query produces the span tree
+// the -stats table and the slow-query hook consume: the four phases in
+// order, per-cluster alignment children, and durations that sum (within
+// slack) to the recorded end-to-end time.
+func TestQueryTracePhases(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	_, st, err := e.QueryWithStats(queryQ1(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := st.Trace
+	if tr == nil {
+		t.Fatal("no trace recorded")
+	}
+	wantPhases := []string{"decompose", "cluster", "search", "assemble"}
+	if len(tr.Phases) != len(wantPhases) {
+		t.Fatalf("got %d phases, want %d", len(tr.Phases), len(wantPhases))
+	}
+	var sum time.Duration
+	for i, name := range wantPhases {
+		if tr.Phases[i].Name != name {
+			t.Errorf("phase %d = %q, want %q", i, tr.Phases[i].Name, name)
+		}
+		if tr.Phases[i].Duration <= 0 {
+			t.Errorf("phase %q has no duration", name)
+		}
+		sum += tr.Phases[i].Duration
+	}
+	if sum > st.Elapsed {
+		t.Errorf("phase sum %v exceeds total %v", sum, st.Elapsed)
+	}
+	// The phases cover the whole execution but for a few stat reads;
+	// allow 20% of total plus scheduling noise.
+	if slack := st.Elapsed - sum; slack > st.Elapsed/5+5*time.Millisecond {
+		t.Errorf("phase sum %v far below total %v", sum, st.Elapsed)
+	}
+	if tr.Total != st.Elapsed {
+		t.Errorf("trace total %v != stats elapsed %v", tr.Total, st.Elapsed)
+	}
+	// One alignment child per query path, in order.
+	cluster := tr.Phases[1]
+	if len(cluster.Children) != st.QueryPaths {
+		t.Fatalf("cluster children = %d, want %d", len(cluster.Children), st.QueryPaths)
+	}
+	var retrieved int64
+	for i, c := range cluster.Children {
+		if want := fmt.Sprintf("align[%d]", i); c.Name != want {
+			t.Errorf("child %d = %q, want %q", i, c.Name, want)
+		}
+		retrieved += c.Attrs["retrieved"]
+	}
+	if retrieved != int64(st.Extracted) {
+		t.Errorf("align retrieved sum = %d, want Extracted %d", retrieved, st.Extracted)
+	}
+	// Storage attribution: the figure-1 index is small but the query
+	// must have touched pages.
+	if tr.IO.PageReads == 0 || tr.IO.PageReads != tr.IO.CacheHits+tr.IO.CacheMisses {
+		t.Errorf("inconsistent IO attribution: %+v", tr.IO)
+	}
+	if tr.Answers == 0 {
+		t.Error("trace answer count not stamped")
+	}
+}
+
+// TestDeadlineStopCounter drives a query whose 1ms deadline has already
+// passed and asserts the labelled stop-reason counter and the partial
+// counter tick — the fleet-wide deadline-truncation visibility.
+func TestDeadlineStopCounter(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := newTestEngine(t, Options{Metrics: reg})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	<-ctx.Done() // deadline certainly expired
+	_, st, err := e.QueryWithStatsContext(ctx, queryQ1(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Partial || st.StopReason != StopDeadline {
+		t.Fatalf("stats = partial %v reason %q, want deadline partial", st.Partial, st.StopReason)
+	}
+	if got := reg.Counter("sama_query_stop_total", stopHelp, "reason", string(StopDeadline)).Value(); got != 1 {
+		t.Errorf("stop counter = %d, want 1", got)
+	}
+	if got := reg.Counter("sama_query_partial_total", "").Value(); got != 1 {
+		t.Errorf("partial counter = %d, want 1", got)
+	}
+	if got := reg.Counter("sama_queries_total", "").Value(); got != 1 {
+		t.Errorf("queries counter = %d, want 1", got)
+	}
+
+	// A completed query moves only the query counters.
+	if _, _, err := e.QueryWithStatsContext(context.Background(), queryQ1(), 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("sama_queries_total", "").Value(); got != 2 {
+		t.Errorf("queries counter = %d, want 2", got)
+	}
+	if got := reg.Counter("sama_query_partial_total", "").Value(); got != 1 {
+		t.Errorf("partial counter moved on a completed query: %d", got)
+	}
+	if got := reg.Histogram("sama_query_seconds", "", nil).Count(); got != 2 {
+		t.Errorf("latency histogram count = %d, want 2", got)
+	}
+}
+
+// TestSlowQueryHook: with a zero-distance threshold every query is
+// "slow"; the hook must receive the finished trace.
+func TestSlowQueryHook(t *testing.T) {
+	var got *obs.Trace
+	e := newTestEngine(t, Options{
+		SlowQueryThreshold: time.Nanosecond,
+		OnSlowQuery:        func(tr *obs.Trace) { got = tr },
+	})
+	_, st, err := e.QueryWithStats(queryQ1(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("slow-query hook not called")
+	}
+	if got != st.Trace {
+		t.Error("hook received a different trace")
+	}
+	if got.Total <= 0 || len(got.Phases) == 0 {
+		t.Error("hook received an unfinished trace")
+	}
+
+	// Threshold higher than any test query: hook stays silent.
+	called := false
+	e2 := newTestEngine(t, Options{
+		SlowQueryThreshold: time.Hour,
+		OnSlowQuery:        func(*obs.Trace) { called = true },
+	})
+	if _, err := e2.Query(queryQ1(), 3); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("hook fired below threshold")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"sama/internal/align"
+	"sama/internal/obs"
 	"sama/internal/paths"
 	"sama/internal/rdf"
 )
@@ -34,6 +35,15 @@ func (e *Engine) Search(pre *Preprocessed, clusters []Cluster, k int) []Answer {
 // score, the truncated result is a valid best-so-far prefix in
 // non-decreasing score order.
 func (e *Engine) SearchContext(ctx context.Context, pre *Preprocessed, clusters []Cluster, k int) []Answer {
+	return e.searchTraced(ctx, pre, clusters, k, nil)
+}
+
+// searchTraced is SearchContext recording two trace phases: "search"
+// (the Λ-ordered frontier expansion plus the hash-join completion pass)
+// and "assemble" (materialising the surviving combinations into
+// answers). A nil trace records nothing.
+func (e *Engine) searchTraced(ctx context.Context, pre *Preprocessed, clusters []Cluster, k int, tr *obs.Trace) []Answer {
+	sp := tr.Phase("search")
 	// Split effective clusters (with candidates) from missed query
 	// paths, which contribute a fixed deletion penalty to Λ and a fixed
 	// non-conformity penalty to Ψ.
@@ -50,6 +60,7 @@ func (e *Engine) SearchContext(ctx context.Context, pre *Preprocessed, clusters 
 	}
 	basePenalty := e.missPenalty(pre, missing, missed)
 	if len(eff) == 0 {
+		sp.End()
 		return nil // nothing matched at all
 	}
 
@@ -149,41 +160,47 @@ func (e *Engine) SearchContext(ctx context.Context, pre *Preprocessed, clusters 
 	// variables — and let them compete in the ranking. Skipped on
 	// cancellation: the join pass is bounded but not free, and a
 	// cancelled query wants its prefix now.
-	if cancelled {
-		answers := make([]Answer, len(results))
-		for i, s := range results {
-			answers[i] = e.buildAnswer(eff, s.idx, missing, s.lambda, s.psi, s.degree)
-		}
-		return answers
-	}
-	for _, idx := range e.joinCombos(eff, sc) {
-		key := combo{idx: idx}.key()
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		lambda := e.comboLambda(eff, idx) + basePenalty
-		psi, degree := sc.score(idx)
-		s := scored{idx: idx, lambda: lambda, psi: psi, degree: degree, score: lambda + psi}
-		pos := sort.Search(len(results), func(i int) bool {
-			if results[i].score != s.score {
-				return results[i].score > s.score
+	joined := 0
+	if !cancelled {
+		for _, idx := range e.joinCombos(eff, sc) {
+			key := combo{idx: idx}.key()
+			if seen[key] {
+				continue
 			}
-			return results[i].degree < s.degree
-		})
-		results = append(results, scored{})
-		copy(results[pos+1:], results[pos:])
-		results[pos] = s
-		if k > 0 && len(results) > k {
-			results = results[:k]
+			seen[key] = true
+			joined++
+			lambda := e.comboLambda(eff, idx) + basePenalty
+			psi, degree := sc.score(idx)
+			s := scored{idx: idx, lambda: lambda, psi: psi, degree: degree, score: lambda + psi}
+			pos := sort.Search(len(results), func(i int) bool {
+				if results[i].score != s.score {
+					return results[i].score > s.score
+				}
+				return results[i].degree < s.degree
+			})
+			results = append(results, scored{})
+			copy(results[pos+1:], results[pos:])
+			results[pos] = s
+			if k > 0 && len(results) > k {
+				results = results[:k]
+			}
 		}
 	}
+	sp.Set("visited", int64(visited))
+	sp.Set("joined", int64(joined))
+	if cancelled {
+		sp.Set("cancelled", 1)
+	}
+	sp.End()
 
 	// Materialise only the surviving combinations.
+	spA := tr.Phase("assemble")
 	answers := make([]Answer, len(results))
 	for i, s := range results {
 		answers[i] = e.buildAnswer(eff, s.idx, missing, s.lambda, s.psi, s.degree)
 	}
+	spA.Set("answers", int64(len(answers)))
+	spA.End()
 	return answers
 }
 

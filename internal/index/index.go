@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"sama/internal/obs"
 	"sama/internal/paths"
 	"sama/internal/rdf"
 	"sama/internal/storage"
@@ -98,6 +99,37 @@ type Index struct {
 	thes    *textindex.Thesaurus
 	wrapIO  func(storage.PageIO) storage.PageIO
 	stats   Stats
+	// Observability counters, wired by SetMetrics; nil-safe no-ops
+	// until then (obs handles are nil-safe by contract).
+	mSinkLookups  *obs.Counter
+	mLabelLookups *obs.Counter
+	mPathReads    *obs.Counter
+}
+
+// SetMetrics registers the index's instrumentation in reg: lookup and
+// path-read counters plus scrape-time gauges for the path count and
+// on-disk footprint. Call it once, before the index starts serving
+// queries (the counter fields are written without the index lock).
+func (ix *Index) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	ix.mSinkLookups = reg.Counter("sama_index_lookups_total",
+		"Path index lookups by kind.", "kind", "sink")
+	ix.mLabelLookups = reg.Counter("sama_index_lookups_total",
+		"Path index lookups by kind.", "kind", "label")
+	ix.mPathReads = reg.Counter("sama_index_path_reads_total",
+		"Paths materialised from disk (through the buffer pool).")
+	reg.GaugeFunc("sama_index_paths",
+		"Indexed paths, tombstoned included.",
+		func() float64 { return float64(ix.NumPaths()) })
+	reg.GaugeFunc("sama_index_disk_bytes",
+		"On-disk footprint of the index files.",
+		func() float64 {
+			ix.mu.RLock()
+			defer ix.mu.RUnlock()
+			return float64(ix.diskBytes())
+		})
 }
 
 // wrap applies the configured I/O wrapper to the page file.
@@ -439,6 +471,7 @@ func (ix *Index) Path(id PathID) (paths.Path, error) {
 
 // pathLocked is Path for callers already holding ix.mu.
 func (ix *Index) pathLocked(id PathID) (paths.Path, error) {
+	ix.mPathReads.Inc()
 	if int(id) >= len(ix.rids) {
 		return paths.Path{}, fmt.Errorf("index: path %d out of range (%d paths)", id, len(ix.rids))
 	}
@@ -466,6 +499,7 @@ func (ix *Index) pathLocked(id PathID) (paths.Path, error) {
 // PathsBySink returns the IDs of the live paths whose sink matches the
 // label (exact, token, and thesaurus expansion).
 func (ix *Index) PathsBySink(label string) []PathID {
+	ix.mSinkLookups.Inc()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return ix.toPathIDs(ix.sinks.Lookup(label))
@@ -474,6 +508,7 @@ func (ix *Index) PathsBySink(label string) []PathID {
 // PathsBySinkExact returns the IDs of the live paths whose sink label
 // normalises to the given label.
 func (ix *Index) PathsBySinkExact(label string) []PathID {
+	ix.mSinkLookups.Inc()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return ix.toPathIDs(ix.sinks.LookupExact(label))
@@ -482,6 +517,7 @@ func (ix *Index) PathsBySinkExact(label string) []PathID {
 // PathsByLabel returns the IDs of the live paths containing an element
 // whose label matches (exact, token, and thesaurus expansion).
 func (ix *Index) PathsByLabel(label string) []PathID {
+	ix.mLabelLookups.Inc()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return ix.toPathIDs(ix.labels.Lookup(label))

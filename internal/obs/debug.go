@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux builds the debug HTTP handler tree:
+//
+//	/metrics            Prometheus text exposition of reg
+//	/debug/vars         expvar JSON (cmdline, memstats)
+//	/debug/lastqueries  JSON array of the most recent query traces
+//	/debug/pprof/*      net/http/pprof profiles
+//	/                   plain-text index of the endpoints
+//
+// reg and log may be nil; their endpoints then serve empty documents.
+func DebugMux(reg *Registry, log *QueryLog) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			reg.WritePrometheus(w)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/lastqueries", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		traces := log.Snapshot()
+		if traces == nil {
+			traces = []*Trace{}
+		}
+		enc.Encode(traces)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "sama debug server\n\n"+
+			"/metrics            Prometheus metrics\n"+
+			"/debug/vars         expvar JSON\n"+
+			"/debug/lastqueries  recent query traces (JSON)\n"+
+			"/debug/pprof/       pprof profiles\n")
+	})
+	return mux
+}
+
+// DebugServer is a running debug HTTP server.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts handler on addr (e.g. "localhost:6060"; port 0
+// picks a free port) in a background goroutine and returns the running
+// server.
+func ServeDebug(addr string, handler http.Handler) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	srv := &http.Server{Handler: handler}
+	go srv.Serve(ln)
+	return &DebugServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the server's bound address (useful with port 0).
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *DebugServer) Close() error { return s.srv.Close() }

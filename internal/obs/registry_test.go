@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c_total", "help"); again != c {
+		t.Error("get-or-create returned a different counter handle")
+	}
+	g := r.Gauge("g", "help")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+
+	// Nil handles are no-ops.
+	var nc *Counter
+	nc.Inc()
+	nc.Add(3)
+	if nc.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	var ng *Gauge
+	ng.Set(1)
+	ng.Add(1)
+	var nh *Histogram
+	nh.Observe(1)
+	if nh.Count() != 0 || nh.Sum() != 0 || nh.BucketCounts() != nil {
+		t.Error("nil histogram has observations")
+	}
+}
+
+func TestLabelledSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("stop_total", "h", "reason", "deadline")
+	b := r.Counter("stop_total", "h", "reason", "cancelled")
+	if a == b {
+		t.Fatal("distinct label sets share a counter")
+	}
+	a.Inc()
+	if got := r.Counter("stop_total", "h", "reason", "deadline").Value(); got != 1 {
+		t.Errorf("labelled counter = %d, want 1", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "h")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x", "h")
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram([]float64{0.01, 0.1, 1})
+	for _, v := range []float64{
+		0.001, // → le 0.01
+		0.01,  // boundary: le is inclusive → 0.01
+		0.05,  // → 0.1
+		0.5,   // → 1
+		1.0,   // boundary → 1
+		7.5,   // → +Inf overflow
+	} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 1, 2, 1}
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (all %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if diff := math.Abs(h.Sum() - 9.061); diff > 1e-9 {
+		t.Errorf("sum = %v, want 9.061", h.Sum())
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram([]float64{1})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count = %d, want 8000", h.Count())
+	}
+	if math.Abs(h.Sum()-4000) > 1e-6 {
+		t.Errorf("sum = %v, want 4000", h.Sum())
+	}
+}
+
+// TestPrometheusGolden locks the text exposition format, covering a
+// zero-observation histogram, an overflow-bucket observation, labelled
+// counters, and func-backed metrics.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	q := r.Counter("sama_queries_total", "Queries executed.")
+	q.Add(3)
+	r.Counter("sama_query_stop_total", "Early stops by reason.", "reason", "deadline exceeded").Inc()
+	r.Counter("sama_query_stop_total", "Early stops by reason.", "reason", "cancelled")
+	g := r.Gauge("sama_pool_pages", "Cached pages.")
+	g.Set(42)
+	r.GaugeFunc("sama_index_paths", "Indexed paths.", func() float64 { return 7 })
+	r.CounterFunc("sama_pool_hits_total", "Pool hits.", func() uint64 { return 10 })
+	h := r.Histogram("sama_query_seconds", "Query latency.", []float64{0.5, 2})
+	h.Observe(0.25)
+	h.Observe(1.5)
+	h.Observe(5) // overflow bucket
+	r.Histogram("sama_idle_seconds", "Never observed.", []float64{1})
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# HELP sama_idle_seconds Never observed.
+# TYPE sama_idle_seconds histogram
+sama_idle_seconds_bucket{le="1"} 0
+sama_idle_seconds_bucket{le="+Inf"} 0
+sama_idle_seconds_sum 0
+sama_idle_seconds_count 0
+# HELP sama_index_paths Indexed paths.
+# TYPE sama_index_paths gauge
+sama_index_paths 7
+# HELP sama_pool_hits_total Pool hits.
+# TYPE sama_pool_hits_total counter
+sama_pool_hits_total 10
+# HELP sama_pool_pages Cached pages.
+# TYPE sama_pool_pages gauge
+sama_pool_pages 42
+# HELP sama_queries_total Queries executed.
+# TYPE sama_queries_total counter
+sama_queries_total 3
+# HELP sama_query_seconds Query latency.
+# TYPE sama_query_seconds histogram
+sama_query_seconds_bucket{le="0.5"} 1
+sama_query_seconds_bucket{le="2"} 2
+sama_query_seconds_bucket{le="+Inf"} 3
+sama_query_seconds_sum 6.75
+sama_query_seconds_count 3
+# HELP sama_query_stop_total Early stops by reason.
+# TYPE sama_query_stop_total counter
+sama_query_stop_total{reason="cancelled"} 0
+sama_query_stop_total{reason="deadline exceeded"} 1
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "h", "q", "say \"hi\"\\\n").Inc()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `esc_total{q="say \"hi\"\\\n"} 1`) {
+		t.Errorf("unescaped label output:\n%s", sb.String())
+	}
+}

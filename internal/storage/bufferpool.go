@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// PoolStats counts buffer pool activity; used by the cold/warm cache
-// experiments and by capacity tuning.
+// PoolStats is a snapshot of the buffer pool counters; used by the
+// cold/warm cache experiments, by capacity tuning, and by the
+// observability layer's per-query I/O attribution.
 type PoolStats struct {
 	Hits      uint64
 	Misses    uint64
@@ -18,6 +20,32 @@ type PoolStats struct {
 	// Retries counts transient I/O errors absorbed by the retry policy
 	// (each is one extra attempt, not one failed operation).
 	Retries uint64
+}
+
+// poolCounters are the live counters behind PoolStats. They are
+// atomics so Stats can snapshot them without taking the pool lock —
+// metric scrapes and per-query attribution read them while concurrent
+// queries fault pages in.
+type poolCounters struct {
+	hits, misses, evictions, flushes, retries atomic.Uint64
+}
+
+func (c *poolCounters) snapshot() PoolStats {
+	return PoolStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Flushes:   c.flushes.Load(),
+		Retries:   c.retries.Load(),
+	}
+}
+
+func (c *poolCounters) reset() {
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+	c.flushes.Store(0)
+	c.retries.Store(0)
 }
 
 // HitRate returns hits / (hits + misses), or 0 with no traffic.
@@ -45,7 +73,7 @@ type BufferPool struct {
 	capacity int
 	frames   map[PageID]*list.Element
 	lru      *list.List // front = most recent
-	stats    PoolStats
+	stats    poolCounters
 	closed   bool
 
 	retries int           // extra attempts after a transient failure
@@ -99,7 +127,7 @@ func (bp *BufferPool) retryIO(op func() error) error {
 	err := op()
 	delay := bp.backoff
 	for attempt := 0; attempt < bp.retries && errors.Is(err, ErrTransient); attempt++ {
-		bp.stats.Retries++
+		bp.stats.retries.Add(1)
 		if delay > 0 {
 			time.Sleep(delay)
 			delay *= 2
@@ -198,11 +226,11 @@ func (bp *BufferPool) Alloc() (PageID, error) {
 // Caller holds bp.mu.
 func (bp *BufferPool) frame(id PageID) (*frame, error) {
 	if el, ok := bp.frames[id]; ok {
-		bp.stats.Hits++
+		bp.stats.hits.Add(1)
 		bp.lru.MoveToFront(el)
 		return el.Value.(*frame), nil
 	}
-	bp.stats.Misses++
+	bp.stats.misses.Add(1)
 	fr := &frame{id: id}
 	if err := bp.retryIO(func() error { return bp.file.Read(id, fr.data[:]) }); err != nil {
 		return nil, err
@@ -223,11 +251,11 @@ func (bp *BufferPool) install(id PageID, fr *frame) error {
 			if err := bp.retryIO(func() error { return bp.file.Write(vf.id, vf.data[:]) }); err != nil {
 				return err
 			}
-			bp.stats.Flushes++
+			bp.stats.flushes.Add(1)
 		}
 		bp.lru.Remove(victim)
 		delete(bp.frames, vf.id)
-		bp.stats.Evictions++
+		bp.stats.evictions.Add(1)
 	}
 	bp.frames[id] = bp.lru.PushFront(fr)
 	return nil
@@ -251,7 +279,7 @@ func (bp *BufferPool) flushLocked() error {
 				return err
 			}
 			fr.dirty = false
-			bp.stats.Flushes++
+			bp.stats.flushes.Add(1)
 		}
 	}
 	return bp.file.Sync()
@@ -274,18 +302,16 @@ func (bp *BufferPool) DropCache() error {
 	return nil
 }
 
-// Stats returns a snapshot of the pool counters.
+// Stats returns a snapshot of the pool counters. It does not take the
+// pool lock — the counters are atomics — so it is safe to call at any
+// rate while queries run.
 func (bp *BufferPool) Stats() PoolStats {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.stats
+	return bp.stats.snapshot()
 }
 
 // ResetStats zeroes the counters (e.g. between experiment runs).
 func (bp *BufferPool) ResetStats() {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.stats = PoolStats{}
+	bp.stats.reset()
 }
 
 // Len returns the number of cached frames.
@@ -316,5 +342,5 @@ func (bp *BufferPool) String() string {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	return fmt.Sprintf("pool{%d/%d pages, hit rate %.2f}",
-		bp.lru.Len(), bp.capacity, bp.stats.HitRate())
+		bp.lru.Len(), bp.capacity, bp.stats.snapshot().HitRate())
 }

@@ -452,3 +452,64 @@ func TestPoolStatsHitRate(t *testing.T) {
 		t.Error("hit rate wrong")
 	}
 }
+
+// TestBufferPoolStatsSnapshotDuringTraffic hammers the pool from reader
+// goroutines while another goroutine snapshots Stats continuously. The
+// counters are atomics, so under -race this proves stats reads need no
+// pool lock, and the final snapshot must balance: every Get is either a
+// hit or a miss.
+func TestBufferPoolStatsSnapshotDuringTraffic(t *testing.T) {
+	pf := newTestFile(t)
+	bp := NewBufferPool(pf, 4)
+	var ids []PageID
+	for i := 0; i < 16; i++ {
+		id, _ := bp.Alloc()
+		ids = append(ids, id)
+	}
+	const workers, iters = 8, 200
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() {
+		defer snaps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				st := bp.Stats()
+				if st.Misses > st.Hits+st.Misses { // impossible; keeps st used
+					t.Error("corrupt snapshot")
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var buf [PageSize]byte
+			for i := 0; i < iters; i++ {
+				if err := bp.Get(ids[(w*7+i)%len(ids)], buf[:]); err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+	st := bp.Stats()
+	// Alloc installs frames without counting hits or misses, so traffic
+	// is exactly the workers' Gets.
+	if st.Hits+st.Misses != workers*iters {
+		t.Errorf("hits(%d)+misses(%d) = %d, want %d",
+			st.Hits, st.Misses, st.Hits+st.Misses, workers*iters)
+	}
+	bp.ResetStats()
+	if got := bp.Stats(); got != (PoolStats{}) {
+		t.Errorf("ResetStats left %+v", got)
+	}
+}

@@ -1,0 +1,294 @@
+package sama_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sama"
+)
+
+// obsTestDB builds a small database over the paper's Figure 1 data.
+func obsTestDB(t *testing.T, opts ...sama.Option) *sama.DB {
+	t.Helper()
+	g := sama.NewGraph()
+	add := func(s, p, o sama.Term) { g.AddTriple(sama.Triple{S: s, P: p, O: o}) }
+	iri, lit := sama.NewIRI, sama.NewLiteral
+	add(iri("CarlaBunes"), iri("sponsor"), iri("A0056"))
+	add(iri("A0056"), iri("aTo"), iri("B1432"))
+	add(iri("B1432"), iri("subject"), lit("Health Care"))
+	add(iri("PierceDickes"), iri("sponsor"), iri("B1432"))
+	add(iri("PierceDickes"), iri("gender"), lit("Male"))
+	add(iri("JeffRyser"), iri("gender"), lit("Male"))
+	add(iri("JeffRyser"), iri("sponsor"), iri("B0045"))
+	add(iri("B0045"), iri("subject"), lit("Health Care"))
+	db, err := sama.Create(t.TempDir()+"/idx", g, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+const obsTestQuery = `SELECT ?x ?y WHERE { ?x <sponsor> ?y . ?x <gender> "Male" }`
+
+// TestObservabilityEndToEnd is the acceptance check: a query through
+// the public API produces a span tree whose phase durations sum (within
+// slack) to the QueryStats total, and the debug server exposes
+// parseable Prometheus text with the query-latency histogram, pool
+// hit/miss counters and stop-reason counters.
+func TestObservabilityEndToEnd(t *testing.T) {
+	db := obsTestDB(t)
+	res, err := db.QuerySPARQL(obsTestQuery, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("no answers")
+	}
+
+	tr := res.Stats.Trace
+	if tr == nil {
+		t.Fatal("no trace on QueryStats")
+	}
+	var sum time.Duration
+	seen := map[string]bool{}
+	for _, s := range tr.Phases {
+		seen[s.Name] = true
+		sum += s.Duration
+	}
+	for _, want := range []string{"decompose", "cluster", "search", "assemble"} {
+		if !seen[want] {
+			t.Errorf("missing phase %q", want)
+		}
+	}
+	if sum <= 0 || sum > res.Stats.Elapsed {
+		t.Errorf("phase sum %v outside (0, total %v]", sum, res.Stats.Elapsed)
+	}
+	if slack := res.Stats.Elapsed - sum; slack > res.Stats.Elapsed/5+5*time.Millisecond {
+		t.Errorf("phase sum %v far below total %v", sum, res.Stats.Elapsed)
+	}
+
+	// One partial query so the stop-reason counter family has a series.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	<-ctx.Done()
+	if _, err := db.QuerySPARQLContext(ctx, obsTestQuery, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(db.DebugHandler())
+	defer srv.Close()
+	body := httpGet(t, srv.Client(), srv.URL+"/metrics")
+	checkPrometheusText(t, body)
+	samples := parseSamples(t, body)
+	if v := samples[`sama_queries_total`]; v != 2 {
+		t.Errorf("sama_queries_total = %v, want 2", v)
+	}
+	if v := samples[`sama_query_stop_total{reason="deadline exceeded"}`]; v != 1 {
+		t.Errorf("stop counter = %v, want 1", v)
+	}
+	if v := samples[`sama_query_partial_total`]; v != 1 {
+		t.Errorf("partial counter = %v, want 1", v)
+	}
+	if _, ok := samples[`sama_query_seconds_bucket{le="+Inf"}`]; !ok {
+		t.Error("query latency histogram missing")
+	}
+	if samples[`sama_query_seconds_count`] != 2 {
+		t.Errorf("latency count = %v, want 2", samples[`sama_query_seconds_count`])
+	}
+	hits, haveHits := samples[`sama_pool_hits_total`]
+	misses, haveMisses := samples[`sama_pool_misses_total`]
+	if !haveHits || !haveMisses {
+		t.Error("pool hit/miss counters missing")
+	}
+	want := db.PoolStats()
+	if uint64(hits) != want.Hits || uint64(misses) != want.Misses {
+		t.Errorf("pool counters: scrape (%v, %v) != PoolStats (%d, %d)",
+			hits, misses, want.Hits, want.Misses)
+	}
+	if samples[`sama_index_paths`] <= 0 {
+		t.Error("index path gauge missing or zero")
+	}
+
+	// /debug/lastqueries: both traces, newest first, JSON-decodable.
+	var traces []*sama.Trace
+	if err := json.Unmarshal([]byte(httpGet(t, srv.Client(), srv.URL+"/debug/lastqueries")), &traces); err != nil {
+		t.Fatalf("lastqueries: %v", err)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("lastqueries = %d traces, want 2", len(traces))
+	}
+	if !traces[0].Partial || traces[1].Partial {
+		t.Error("lastqueries order wrong (newest first expected)")
+	}
+	if !strings.Contains(traces[0].Query, "SELECT") {
+		t.Errorf("trace query description = %q", traces[0].Query)
+	}
+
+	// pprof is mounted.
+	resp, err := srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil || resp.StatusCode != 200 {
+		t.Errorf("pprof index: %v (%v)", err, resp)
+	}
+	if resp != nil {
+		resp.Body.Close()
+	}
+}
+
+// TestServeDebugListens exercises the real listener path of ServeDebug.
+func TestServeDebugListens(t *testing.T) {
+	db := obsTestDB(t)
+	srv, err := db.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	body := httpGet(t, http.DefaultClient, "http://"+srv.Addr()+"/metrics")
+	if !strings.Contains(body, "sama_pool_hits_total") {
+		t.Errorf("metrics body missing pool counters:\n%.300s", body)
+	}
+}
+
+// TestSlowQueryLogOption checks the public slow-query hook option.
+func TestSlowQueryLogOption(t *testing.T) {
+	var mu sync.Mutex
+	var got []*sama.Trace
+	db := obsTestDB(t, sama.WithSlowQueryLog(time.Nanosecond, func(tr *sama.Trace) {
+		mu.Lock()
+		got = append(got, tr)
+		mu.Unlock()
+	}))
+	if _, err := db.QuerySPARQL(obsTestQuery, 3); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("slow-query hook fired %d times, want 1", len(got))
+	}
+	if got[0].Total <= 0 {
+		t.Error("hook saw an unfinished trace")
+	}
+}
+
+// TestQueryLogSizeOption checks the ring capacity option.
+func TestQueryLogSizeOption(t *testing.T) {
+	db := obsTestDB(t, sama.WithQueryLogSize(2))
+	for i := 0; i < 5; i++ {
+		if _, err := db.QuerySPARQL(obsTestQuery, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(db.LastQueries()); got != 2 {
+		t.Errorf("LastQueries = %d traces, want 2", got)
+	}
+}
+
+// TestPoolStatsDuringConcurrentQueries snapshots PoolStats and scrapes
+// /metrics while queries run — the -race guard for the atomic pool
+// counters satellite.
+func TestPoolStatsDuringConcurrentQueries(t *testing.T) {
+	db := obsTestDB(t)
+	srv := httptest.NewServer(db.DebugHandler())
+	defer srv.Close()
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() {
+		defer snaps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				st := db.PoolStats()
+				_ = st.HitRate()
+				httpGet(t, srv.Client(), srv.URL+"/metrics")
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := db.QuerySPARQL(obsTestQuery, 3); err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+	st := db.PoolStats()
+	if st.Hits+st.Misses == 0 {
+		t.Error("no pool traffic recorded")
+	}
+}
+
+func httpGet(t *testing.T, c *http.Client, url string) string {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(b)
+}
+
+var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^}]*\})?) (-?(?:[0-9.e+-]+|\+Inf|NaN))$`)
+
+// checkPrometheusText validates every line of a text exposition: either
+// a #-comment or a `name{labels} value` sample.
+func checkPrometheusText(t *testing.T, body string) {
+	t.Helper()
+	if body == "" {
+		t.Fatal("empty /metrics body")
+	}
+	for i, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Errorf("line %d is not parseable Prometheus text: %q", i+1, line)
+		}
+	}
+}
+
+// parseSamples maps `name{labels}` → value for every sample line.
+func parseSamples(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, line := range strings.Split(body, "\n") {
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			if m[2] == "+Inf" {
+				continue
+			}
+			t.Fatalf("bad sample value in %q: %v", line, err)
+		}
+		out[m[1]] = v
+	}
+	return out
+}

@@ -38,15 +38,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime/debug"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"sama/internal/align"
 	"sama/internal/core"
 	"sama/internal/index"
+	"sama/internal/obs"
 	"sama/internal/paths"
 	"sama/internal/rdf"
 	"sama/internal/rdf/ntriples"
@@ -92,6 +95,22 @@ type (
 	// StopReason says why a query stopped before exhausting its search
 	// space (deadline, cancellation).
 	StopReason = core.StopReason
+	// Trace is the per-phase observability record of one query: a span
+	// tree (decompose, cluster, search, assemble) with storage-level
+	// I/O attribution. QueryStats.Trace carries it; DB.LastQueries and
+	// the slow-query hook replay it.
+	Trace = obs.Trace
+	// Span is one timed phase (or sub-phase) inside a Trace.
+	Span = obs.Span
+	// TraceIO is the storage attribution of one query (page reads,
+	// cache hits/misses, transient-fault retries).
+	TraceIO = obs.IOStats
+	// MetricsRegistry is the per-DB metrics registry: atomic counters,
+	// gauges and fixed-bucket histograms with Prometheus text
+	// exposition (DB.Metrics, served at /metrics by the debug server).
+	MetricsRegistry = obs.Registry
+	// DebugServer is a running debug HTTP server (DB.ServeDebug).
+	DebugServer = obs.DebugServer
 )
 
 // StopReason values.
@@ -137,6 +156,7 @@ type config struct {
 	thesaurus *textindex.Thesaurus
 	engine    core.Options
 	compress  bool
+	lastN     int
 }
 
 // WithParams sets the similarity coefficients. The coefficients are
@@ -173,11 +193,30 @@ func WithSearchBudget(maxCandidatesPerCluster, maxCombinations int) Option {
 // setting persists in the index metadata.
 func WithCompression() Option { return func(c *config) { c.compress = true } }
 
+// WithSlowQueryLog installs a slow-query hook: every query whose
+// end-to-end time reaches threshold hands its full Trace to fn,
+// synchronously, after the answers are assembled. The trace is
+// read-only. A threshold ≤ 0 disables the hook.
+func WithSlowQueryLog(threshold time.Duration, fn func(*Trace)) Option {
+	return func(c *config) {
+		c.engine.SlowQueryThreshold = threshold
+		c.engine.OnSlowQuery = fn
+	}
+}
+
+// WithQueryLogSize sets how many recent query traces the DB retains for
+// DB.LastQueries and the debug server's /debug/lastqueries endpoint
+// (default 32).
+func WithQueryLogSize(n int) Option { return func(c *config) { c.lastN = n } }
+
 // DB is an opened Sama database: a disk-resident path index plus the
-// query engine over it.
+// query engine over it. Every DB owns a metrics registry and a ring of
+// recent query traces; ServeDebug exposes both over HTTP.
 type DB struct {
 	idx    *index.Index
 	engine *core.Engine
+	reg    *obs.Registry
+	lastq  *obs.QueryLog
 	closed atomic.Bool
 }
 
@@ -220,10 +259,33 @@ func Open(basePath string, opts ...Option) (*DB, error) {
 }
 
 func newDB(idx *index.Index, c *config) *DB {
+	reg := obs.NewRegistry()
+	idx.SetMetrics(reg)
+	// The pool owns its counters; expose them as scrape-time funcs so
+	// /metrics never double-counts.
+	pool := func(get func(storage.PoolStats) uint64) func() uint64 {
+		return func() uint64 { return get(idx.PoolStats()) }
+	}
+	reg.CounterFunc("sama_pool_hits_total", "Buffer pool page hits.",
+		pool(func(s storage.PoolStats) uint64 { return s.Hits }))
+	reg.CounterFunc("sama_pool_misses_total", "Buffer pool page misses (physical reads).",
+		pool(func(s storage.PoolStats) uint64 { return s.Misses }))
+	reg.CounterFunc("sama_pool_evictions_total", "Buffer pool frame evictions.",
+		pool(func(s storage.PoolStats) uint64 { return s.Evictions }))
+	reg.CounterFunc("sama_pool_flushes_total", "Dirty frames written back.",
+		pool(func(s storage.PoolStats) uint64 { return s.Flushes }))
+	reg.CounterFunc("sama_pool_retries_total", "Transient I/O retry attempts.",
+		pool(func(s storage.PoolStats) uint64 { return s.Retries }))
 	engOpts := c.engine
 	engOpts.Params = c.params
 	engOpts.ParamsSet = c.paramsSet
-	return &DB{idx: idx, engine: core.New(idx, engOpts)}
+	engOpts.Metrics = reg
+	return &DB{
+		idx:    idx,
+		engine: core.New(idx, engOpts),
+		reg:    reg,
+		lastq:  obs.NewQueryLog(c.lastN),
+	}
 }
 
 // recoverQuery converts a panic escaping the engine into an error at
@@ -262,7 +324,19 @@ func (db *DB) QueryContext(ctx context.Context, q *QueryGraph, k int) (answers [
 		return nil, QueryStats{}, ErrClosed
 	}
 	defer recoverQuery(&err, "query graph")
-	return db.engine.QueryWithStatsContext(ctx, q, k)
+	answers, stats, err = db.engine.QueryWithStatsContext(ctx, q, k)
+	db.logTrace(stats.Trace, "graph query")
+	return answers, stats, err
+}
+
+// logTrace publishes a finished query trace into the recent-queries
+// ring, stamping the query description.
+func (db *DB) logTrace(tr *Trace, desc string) {
+	if tr == nil {
+		return
+	}
+	tr.Query = desc
+	db.lastq.Add(tr)
 }
 
 // Result is the outcome of a SPARQL query: the ranked answers and the
@@ -317,6 +391,7 @@ func (db *DB) QuerySPARQLContext(ctx context.Context, src string, k int) (res *R
 		fetch = k * 4 // over-fetch: duplicates collapse under projection
 	}
 	answers, stats, err := db.engine.QueryWithStatsContext(ctx, parsed.Pattern, fetch)
+	db.logTrace(stats.Trace, describeQuery(src))
 	if err != nil {
 		return nil, err
 	}
@@ -398,6 +473,28 @@ func (db *DB) Stats() IndexStats { return db.idx.Stats() }
 
 // PoolStats returns the buffer pool counters.
 func (db *DB) PoolStats() PoolStats { return db.idx.PoolStats() }
+
+// Metrics returns the database's metrics registry: query, index and
+// buffer pool instrumentation in one place, ready for Prometheus text
+// exposition (MetricsRegistry.WritePrometheus) or programmatic reads.
+func (db *DB) Metrics() *MetricsRegistry { return db.reg }
+
+// LastQueries returns the traces of the most recent queries, newest
+// first. The traces are read-only.
+func (db *DB) LastQueries() []*Trace { return db.lastq.Snapshot() }
+
+// DebugHandler returns the debug HTTP handler tree: /metrics
+// (Prometheus text), /debug/vars (expvar), /debug/lastqueries (recent
+// traces as JSON) and /debug/pprof/* — mountable under any server or
+// httptest.
+func (db *DB) DebugHandler() http.Handler { return obs.DebugMux(db.reg, db.lastq) }
+
+// ServeDebug starts the debug HTTP server on addr (port 0 picks a free
+// port; the bound address is DebugServer.Addr). The caller closes the
+// returned server; closing the DB does not stop it.
+func (db *DB) ServeDebug(addr string) (*DebugServer, error) {
+	return obs.ServeDebug(addr, db.DebugHandler())
+}
 
 // DropCache empties the buffer pool (cold-cache state).
 func (db *DB) DropCache() error {
