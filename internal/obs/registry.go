@@ -255,12 +255,35 @@ func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
 
 // Histogram returns the histogram for name and labels, creating it with
 // the given bucket upper bounds on first use (nil selects DefBuckets).
+// Re-requesting an existing histogram with different bounds panics, like
+// a kind mismatch: two call sites disagreeing on buckets is a
+// programming error that would otherwise be silently masked.
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
 	if bounds == nil {
 		bounds = DefBuckets
 	}
 	s := r.lookup(name, help, kindHistogram, labels, func(s *series) { s.hist = newHistogram(bounds) })
+	if !sameBounds(s.hist.bounds, bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with bounds %v (was %v)",
+			name, bounds, s.hist.bounds))
+	}
 	return s.hist
+}
+
+// sameBounds reports whether the requested bounds match the existing
+// histogram's (which are stored sorted).
+func sameBounds(have, want []float64) bool {
+	if len(have) != len(want) {
+		return false
+	}
+	ws := append([]float64(nil), want...)
+	sort.Float64s(ws)
+	for i := range have {
+		if have[i] != ws[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // CounterFunc registers a counter whose value is read from fn at
@@ -286,14 +309,32 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// famSnapshot is a point-in-time copy of one family taken under the
+// registry lock: lookup may insert new series concurrently with a
+// scrape, so the exposition path must never touch family.series maps
+// unlocked. The series pointers themselves are immutable once created.
+type famSnapshot struct {
+	name, help string
+	kind       int
+	series     []*series // sorted by label string
+}
+
 // WritePrometheus writes every metric in the Prometheus text exposition
 // format (version 0.0.4), families sorted by name and series by label
 // set, so the output is deterministic.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
-	fams := make([]*family, 0, len(r.families))
+	fams := make([]famSnapshot, 0, len(r.families))
 	for _, f := range r.families {
-		fams = append(fams, f)
+		snap := famSnapshot{name: f.name, help: f.help, kind: f.kind,
+			series: make([]*series, 0, len(f.series))}
+		for _, s := range f.series {
+			snap.series = append(snap.series, s)
+		}
+		sort.Slice(snap.series, func(i, j int) bool {
+			return snap.series[i].labels < snap.series[j].labels
+		})
+		fams = append(fams, snap)
 	}
 	r.mu.Unlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
@@ -304,13 +345,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
 		}
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, kindName(f.kind))
-		keys := make([]string, 0, len(f.series))
-		for k := range f.series {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			s := f.series[k]
+		for _, s := range f.series {
 			switch f.kind {
 			case kindCounter:
 				fmt.Fprintf(&b, "%s%s %d\n", f.name, braced(s.labels), s.ctr.Value())

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"io"
 	"math"
 	"strings"
 	"sync"
@@ -64,6 +65,57 @@ func TestKindMismatchPanics(t *testing.T) {
 		}
 	}()
 	r.Gauge("x", "h")
+}
+
+func TestHistogramBoundsMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h_seconds", "h", []float64{0.1, 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a histogram with different bounds did not panic")
+		}
+	}()
+	r.Histogram("h_seconds", "h", []float64{0.5, 2})
+}
+
+func TestHistogramSameBoundsReordered(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("h_seconds", "h", []float64{1, 0.1})
+	b := r.Histogram("h_seconds", "h", []float64{0.1, 1})
+	if a != b {
+		t.Error("equal bounds in different order returned distinct histograms")
+	}
+}
+
+// TestWriteConcurrentWithNewSeries exercises a /metrics scrape racing
+// with first-use series creation in the same family (the lazily
+// registered per-reason stop counters); run under -race this guards the
+// snapshot-under-lock in WritePrometheus.
+func TestWriteConcurrentWithNewSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("race_total", "h", "reason", "seed").Inc()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Counter("race_total", "h", "reason", string(rune('a'+i%26))+"-"+string(rune('a'+i/26%26))).Inc()
+			r.Histogram("race_seconds", "h", nil, "phase", string(rune('a'+i%26))).Observe(0.01)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 func TestHistogramBucketing(t *testing.T) {

@@ -26,16 +26,19 @@ type Span struct {
 
 	start time.Time
 	mu    sync.Mutex
+	ended bool
 }
 
-// End stamps the span's duration. Idempotent: the first call wins.
+// End stamps the span's duration. Idempotent: the first call wins, even
+// when the measured duration is 0 on a coarse clock.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.Duration == 0 {
+	if !s.ended {
+		s.ended = true
 		s.Duration = time.Since(s.start)
 	}
 }

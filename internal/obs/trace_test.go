@@ -68,6 +68,20 @@ func TestTraceSpanTree(t *testing.T) {
 	}
 }
 
+// TestSpanEndIdempotentOnZeroDuration guards the explicit ended flag:
+// a first End whose measured duration is 0 (coarse clock granularity)
+// must still win over a later End.
+func TestSpanEndIdempotentOnZeroDuration(t *testing.T) {
+	s := &Span{Name: "z", start: time.Now()}
+	s.End()
+	s.Duration = 0 // simulate a clock too coarse to see the span
+	time.Sleep(time.Millisecond)
+	s.End()
+	if s.Duration != 0 {
+		t.Errorf("second End overwrote the first: duration = %v, want 0", s.Duration)
+	}
+}
+
 func TestTraceWriteTable(t *testing.T) {
 	tr := NewTrace()
 	sp := tr.Phase("decompose")
