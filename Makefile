@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build bins test race bench serve-smoke
 
-# check is the tier-1 gate: formatting, static analysis, a full build,
-# and the race-enabled test suite. CI and pre-commit both run this.
-check: fmt vet build race
+# check is the tier-1 gate: formatting, static analysis, a full build
+# (packages and both binaries), and the race-enabled test suite. CI and
+# pre-commit both run this.
+check: fmt vet build bins race
 
 fmt:
 	@files=$$(gofmt -l .); \
@@ -20,6 +21,12 @@ vet:
 build:
 	$(GO) build ./...
 
+# bins links the two shipped binaries — the sama CLI and the samad
+# network daemon — into bin/.
+bins:
+	$(GO) build -o bin/sama ./cmd/sama
+	$(GO) build -o bin/samad ./cmd/samad
+
 test:
 	$(GO) test ./...
 
@@ -32,3 +39,9 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 	@echo "phase medians written to results/bench_latest.json"
+
+# serve-smoke boots samad end-to-end: random port, example dataset
+# indexed on the fly, one query through the Go client, /readyz and
+# /metrics checked, graceful shutdown.
+serve-smoke:
+	$(GO) test -v -run 'TestServeSmoke' ./cmd/samad

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sama"
@@ -58,8 +60,12 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   sama index -data <graph.nt> -index <base>     build the path index
   sama query -index <base> (-q <sparql> | -sparql <file>) [-k 10] [-cold] [-timeout 0]
-             [-stats] [-debug-addr host:port]
+             [-stats] [-debug-addr host:port] [-serve]
   sama stats -index <base>                      print index statistics
+
+-serve keeps the -debug-addr server (and the process) alive after the
+answers print, until SIGINT/SIGTERM; without it the debug server dies
+with the query. For a long-lived query endpoint use samad instead.
 `)
 }
 
@@ -102,6 +108,7 @@ func runQuery(args []string) error {
 	timeout := fs.Duration("timeout", 0, "query deadline; on expiry the best answers found so far are printed (0 = none)")
 	stats := fs.Bool("stats", false, "print the per-phase trace table after the answers")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/lastqueries on this address while the query runs")
+	serve := fs.Bool("serve", false, "with -debug-addr: keep the debug server alive after the answers print, until SIGINT/SIGTERM (for a query endpoint, see samad)")
 	fs.Parse(args)
 	if *base == "" {
 		return fmt.Errorf("query: -index is required")
@@ -171,6 +178,19 @@ func runQuery(args []string) error {
 	if *stats && res.Stats.Trace != nil {
 		fmt.Fprintln(out, "phase breakdown:")
 		res.Stats.Trace.WriteTable(out)
+	}
+	if *serve {
+		if *debugAddr == "" {
+			return fmt.Errorf("query: -serve requires -debug-addr")
+		}
+		// Without -serve the debug server only lives while the query
+		// runs — hold it (and the open DB behind its metrics) until a
+		// termination signal.
+		fmt.Fprintln(out, "holding debug server open (Ctrl-C to exit)")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sig)
+		<-sig
 	}
 	return nil
 }

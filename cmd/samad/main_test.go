@@ -1,0 +1,230 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"sama/client"
+)
+
+const testData = `
+<alice>  <knows>   <bob> .
+<alice>  <worksAt> <acme> .
+<bob>    <worksAt> <acme> .
+<bob>    <knows>   <carol> .
+<carol>  <worksAt> <globex> .
+<acme>   <locatedIn> "Rome" .
+<globex> <locatedIn> "Milan" .
+`
+
+const testQuery = `SELECT ?who ?org WHERE {
+	?who <worksAt> ?org .
+	?org <locatedIn> "Rome" .
+}`
+
+// writeDataset writes the test graph and returns (dataFile, indexBase).
+func writeDataset(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	data := filepath.Join(dir, "graph.nt")
+	if err := os.WriteFile(data, []byte(testData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return data, filepath.Join(dir, "index")
+}
+
+// TestServeSmoke is the `make serve-smoke` gate: start samad on a random
+// port, build the index from an example dataset, run one query through
+// the Go client, and check /readyz and /metrics.
+func TestServeSmoke(t *testing.T) {
+	data, index := writeDataset(t)
+	var logs bytes.Buffer
+	logger := log.New(&logs, "samad: ", 0)
+	d, err := startDaemon([]string{
+		"-index", index, "-data", data,
+		"-addr", "127.0.0.1:0",
+		"-max-inflight", "4",
+	}, logger)
+	if err != nil {
+		t.Fatalf("startDaemon: %v\nlogs:\n%s", err, logs.String())
+	}
+	defer d.shutdown()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c := client.New("http://" + d.srv.Addr())
+	if err := c.Readyz(ctx); err != nil {
+		t.Fatalf("Readyz: %v", err)
+	}
+
+	resp, err := c.Query(ctx, testQuery, client.QueryOptions{K: 5, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(resp.Answers) == 0 {
+		t.Fatal("query returned no answers")
+	}
+	if got := resp.Answers[0].Bindings["who"]; !strings.Contains(got, "alice") && !strings.Contains(got, "bob") {
+		t.Errorf("top binding ?who = %q, want alice or bob", got)
+	}
+	if len(resp.Vars) != 2 {
+		t.Errorf("vars = %v", resp.Vars)
+	}
+	if len(resp.Stats.Phases) == 0 {
+		t.Error("response carries no per-phase stats")
+	}
+
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	for _, want := range []string{
+		"sama_server_request_seconds",
+		"sama_server_admitted_total 1",
+		"sama_server_inflight 0",
+		"sama_query_seconds",
+		"sama_pool_hits_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The request's trace landed in the lastqueries ring.
+	traces := d.db.LastQueries()
+	if len(traces) != 1 || !strings.Contains(traces[0].Query, "worksAt") {
+		t.Errorf("lastqueries ring = %+v, want the smoke query's trace", traces)
+	}
+
+	if err := d.shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := c.Healthz(context.Background()); err == nil {
+		t.Error("server still answering after shutdown")
+	}
+}
+
+// TestReopenExistingIndex: a second start must open the index built by
+// the first, not rebuild it.
+func TestReopenExistingIndex(t *testing.T) {
+	data, index := writeDataset(t)
+	logger := log.New(new(bytes.Buffer), "", 0)
+	d, err := startDaemon([]string{"-index", index, "-data", data, "-addr", "127.0.0.1:0"}, logger)
+	if err != nil {
+		t.Fatalf("first start: %v", err)
+	}
+	if err := d.shutdown(); err != nil {
+		t.Fatalf("first shutdown: %v", err)
+	}
+
+	var logs bytes.Buffer
+	d2, err := startDaemon([]string{"-index", index, "-addr", "127.0.0.1:0"}, log.New(&logs, "", 0))
+	if err != nil {
+		t.Fatalf("reopen without -data: %v", err)
+	}
+	defer d2.shutdown()
+	if strings.Contains(logs.String(), "building") {
+		t.Errorf("second start rebuilt the index:\n%s", logs.String())
+	}
+	c := client.New("http://" + d2.srv.Addr())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if resp, err := c.Query(ctx, testQuery, client.QueryOptions{}); err != nil || len(resp.Answers) == 0 {
+		t.Fatalf("query on reopened index: resp=%+v err=%v", resp, err)
+	}
+}
+
+func TestStartDaemonFlagErrors(t *testing.T) {
+	logger := log.New(new(bytes.Buffer), "", 0)
+	if _, err := startDaemon(nil, logger); err == nil {
+		t.Error("missing -index accepted")
+	}
+	if _, err := startDaemon([]string{"-index", "/nonexistent/base"}, logger); err == nil {
+		t.Error("unreadable index accepted")
+	}
+}
+
+// TestSignalDrain drives the daemon through realMain: wait for the
+// serving line, run one query, send SIGTERM, and expect a clean drain.
+func TestSignalDrain(t *testing.T) {
+	// Register our own handler first so a SIGTERM racing realMain's
+	// signal.Notify cannot kill the test process.
+	guard := make(chan os.Signal, 1)
+	signal.Notify(guard, syscall.SIGTERM)
+	defer signal.Stop(guard)
+
+	data, index := writeDataset(t)
+	var mu sync.Mutex
+	var logs bytes.Buffer
+	logger := log.New(lockedWriter{&mu, &logs}, "samad: ", 0)
+
+	done := make(chan int, 1)
+	go func() {
+		done <- realMain([]string{"-index", index, "-data", data, "-addr", "127.0.0.1:0",
+			"-drain-timeout", "5s"}, logger)
+	}()
+
+	addrRe := regexp.MustCompile(`serving on http://([^/]+)/`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			mu.Lock()
+			t.Fatalf("server never came up; logs:\n%s", logs.String())
+		}
+		mu.Lock()
+		if m := addrRe.FindStringSubmatch(logs.String()); m != nil {
+			addr = m[1]
+		}
+		mu.Unlock()
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c := client.New("http://" + addr)
+	if _, err := c.Query(ctx, testQuery, client.QueryOptions{}); err != nil {
+		t.Fatalf("query before signal: %v", err)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			mu.Lock()
+			t.Fatalf("realMain = %d; logs:\n%s", code, logs.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("realMain did not exit after SIGTERM")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !strings.Contains(logs.String(), "drained cleanly") {
+		t.Errorf("logs missing clean-drain line:\n%s", logs.String())
+	}
+}
+
+// lockedWriter serialises the daemon's log writes against the test's
+// reads.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}

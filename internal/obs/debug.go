@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // DebugMux builds the debug HTTP handler tree:
@@ -64,13 +65,20 @@ type DebugServer struct {
 
 // ServeDebug starts handler on addr (e.g. "localhost:6060"; port 0
 // picks a free port) in a background goroutine and returns the running
-// server.
+// server. Header-read and idle timeouts are set so a slow-loris client
+// cannot pin listener goroutines; there is deliberately no write
+// timeout, because /debug/pprof/profile and /debug/pprof/trace stream
+// for their full sampling window.
 func ServeDebug(addr string, handler http.Handler) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug server: %w", err)
 	}
-	srv := &http.Server{Handler: handler}
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go srv.Serve(ln)
 	return &DebugServer{ln: ln, srv: srv}, nil
 }

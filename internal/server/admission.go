@@ -1,0 +1,172 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Admission outcomes. ErrQueueFull and ErrQueueTimeout are load-shedding
+// signals (the client should back off and retry); ErrDraining means the
+// server is shutting down and will not take new work.
+var (
+	// ErrQueueFull: the concurrency limit and the wait queue are both at
+	// capacity — the request is shed immediately.
+	ErrQueueFull = errors.New("server: wait queue full")
+	// ErrQueueTimeout: the request waited its full queue timeout without
+	// an execution slot freeing up.
+	ErrQueueTimeout = errors.New("server: timed out waiting for an execution slot")
+	// ErrDraining: the server has begun graceful shutdown and admits no
+	// new work.
+	ErrDraining = errors.New("server: draining")
+)
+
+// waiter is one queued request. granted is guarded by admission.mu and
+// is decided before ready is closed: true means the releaser transferred
+// its execution slot to this waiter, false means the queue was flushed
+// by drain.
+type waiter struct {
+	ready   chan struct{}
+	granted bool
+}
+
+// admission is the server's admission controller: a counting semaphore
+// bounding concurrent query execution plus a bounded FIFO wait queue.
+// Requests beyond maxInflight wait in arrival order; requests beyond
+// maxInflight+maxQueue are shed immediately. A release hands the freed
+// slot directly to the queue head (no thundering herd, strict FIFO).
+//
+// drain flips the controller into shutdown mode: new acquires and all
+// queued waiters fail with ErrDraining, and the drained channel closes
+// when the last running request releases.
+type admission struct {
+	mu          sync.Mutex
+	maxInflight int
+	maxQueue    int
+	running     int
+	queue       []*waiter
+	draining    bool
+	drained     chan struct{}
+}
+
+func newAdmission(maxInflight, maxQueue int) *admission {
+	if maxInflight <= 0 {
+		maxInflight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{
+		maxInflight: maxInflight,
+		maxQueue:    maxQueue,
+		drained:     make(chan struct{}),
+	}
+}
+
+// acquire obtains an execution slot, waiting in FIFO order for at most
+// queueTimeout (0 or negative: shed instead of waiting) and no longer
+// than the request context allows. On success the caller must release.
+func (a *admission) acquire(ctx context.Context, queueTimeout time.Duration) error {
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		return ErrDraining
+	}
+	if a.running < a.maxInflight {
+		a.running++
+		a.mu.Unlock()
+		return nil
+	}
+	if queueTimeout <= 0 || len(a.queue) >= a.maxQueue {
+		a.mu.Unlock()
+		return ErrQueueFull
+	}
+	w := &waiter{ready: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.mu.Unlock()
+
+	timer := time.NewTimer(queueTimeout)
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+		if w.granted {
+			return nil
+		}
+		return ErrDraining
+	case <-timer.C:
+		return a.abandon(w, ErrQueueTimeout)
+	case <-ctx.Done():
+		return a.abandon(w, ctx.Err())
+	}
+}
+
+// abandon removes w from the wait queue after a timeout or context
+// cancellation. The removal races against release granting the slot: if
+// the grant won, the slot is already ours and the caller proceeds (and
+// must release); if drain flushed the queue first, the verdict is
+// ErrDraining.
+func (a *admission) abandon(w *waiter, err error) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if w.granted {
+		return nil
+	}
+	for i, q := range a.queue {
+		if q == w {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			return err
+		}
+	}
+	// Not granted and not queued: drain flushed us between the select
+	// firing and the lock.
+	return ErrDraining
+}
+
+// release frees an execution slot. If a waiter is queued (and the
+// controller is not draining) the slot transfers directly to the queue
+// head; otherwise the running count drops, closing drained when a drain
+// is waiting on the last slot.
+func (a *admission) release() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.draining && len(a.queue) > 0 {
+		w := a.queue[0]
+		a.queue = a.queue[1:]
+		w.granted = true
+		close(w.ready)
+		return
+	}
+	a.running--
+	if a.draining && a.running == 0 {
+		close(a.drained)
+	}
+}
+
+// drain begins shutdown: subsequent acquires fail fast, every queued
+// waiter is flushed with ErrDraining, and the returned channel closes
+// once the last running request releases (immediately if none are
+// running). drain is idempotent; every call returns the same channel.
+func (a *admission) drain() <-chan struct{} {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.draining {
+		a.draining = true
+		for _, w := range a.queue {
+			close(w.ready) // granted stays false → ErrDraining
+		}
+		a.queue = nil
+		if a.running == 0 {
+			close(a.drained)
+		}
+	}
+	return a.drained
+}
+
+// counts reports the instantaneous admission state for the inflight and
+// queued gauges.
+func (a *admission) counts() (running, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.running, len(a.queue)
+}

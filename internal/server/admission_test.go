@@ -1,0 +1,211 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func mustAcquire(t *testing.T, a *admission) {
+	t.Helper()
+	if err := a.acquire(context.Background(), time.Second); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+}
+
+func TestAdmissionImmediateAndQueueFull(t *testing.T) {
+	a := newAdmission(2, 1)
+	mustAcquire(t, a)
+	mustAcquire(t, a)
+	if r, q := a.counts(); r != 2 || q != 0 {
+		t.Fatalf("counts = (%d, %d), want (2, 0)", r, q)
+	}
+
+	// Third acquire queues; fourth finds the queue full.
+	queued := make(chan error, 1)
+	go func() { queued <- a.acquire(context.Background(), time.Second) }()
+	waitFor(t, func() bool { _, q := a.counts(); return q == 1 })
+	if err := a.acquire(context.Background(), time.Second); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("acquire with full queue = %v, want ErrQueueFull", err)
+	}
+
+	// A release hands the slot to the queued waiter.
+	a.release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire = %v, want nil", err)
+	}
+	if r, q := a.counts(); r != 2 || q != 0 {
+		t.Fatalf("counts after handoff = (%d, %d), want (2, 0)", r, q)
+	}
+	a.release()
+	a.release()
+}
+
+func TestAdmissionFIFO(t *testing.T) {
+	a := newAdmission(1, 4)
+	mustAcquire(t, a)
+
+	const waiters = 4
+	order := make(chan int, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := a.acquire(context.Background(), time.Minute); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			a.release()
+		}()
+		// Serialise enqueue order so FIFO is observable.
+		waitFor(t, func() bool { _, q := a.counts(); return q == i+1 })
+	}
+	a.release()
+	wg.Wait()
+	close(order)
+	want := 0
+	for got := range order {
+		if got != want {
+			t.Fatalf("admission order: got waiter %d, want %d", got, want)
+		}
+		want++
+	}
+}
+
+func TestAdmissionQueueTimeout(t *testing.T) {
+	a := newAdmission(1, 4)
+	mustAcquire(t, a)
+	start := time.Now()
+	if err := a.acquire(context.Background(), 20*time.Millisecond); !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("acquire = %v, want ErrQueueTimeout", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("queue timeout fired early")
+	}
+	if _, q := a.counts(); q != 0 {
+		t.Fatalf("queued = %d after timeout, want 0 (waiter must be removed)", q)
+	}
+}
+
+func TestAdmissionContextCancelWhileQueued(t *testing.T) {
+	a := newAdmission(1, 4)
+	mustAcquire(t, a)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.acquire(ctx, time.Minute) }()
+	waitFor(t, func() bool { _, q := a.counts(); return q == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("acquire = %v, want context.Canceled", err)
+	}
+	if _, q := a.counts(); q != 0 {
+		t.Fatal("cancelled waiter still queued")
+	}
+}
+
+func TestAdmissionDrain(t *testing.T) {
+	a := newAdmission(1, 4)
+	mustAcquire(t, a)
+
+	queued := make(chan error, 1)
+	go func() { queued <- a.acquire(context.Background(), time.Minute) }()
+	waitFor(t, func() bool { _, q := a.counts(); return q == 1 })
+
+	drained := a.drain()
+	if err := <-queued; !errors.Is(err, ErrDraining) {
+		t.Fatalf("queued waiter after drain = %v, want ErrDraining", err)
+	}
+	if err := a.acquire(context.Background(), time.Minute); !errors.Is(err, ErrDraining) {
+		t.Fatalf("acquire after drain = %v, want ErrDraining", err)
+	}
+	select {
+	case <-drained:
+		t.Fatal("drained closed while a query is still running")
+	case <-time.After(10 * time.Millisecond):
+	}
+	a.release()
+	select {
+	case <-drained:
+	case <-time.After(time.Second):
+		t.Fatal("drained did not close after the last release")
+	}
+	// Idempotent: a second drain returns the same closed channel.
+	select {
+	case <-a.drain():
+	default:
+		t.Fatal("second drain returned an open channel")
+	}
+}
+
+func TestAdmissionDrainEmptyClosesImmediately(t *testing.T) {
+	a := newAdmission(2, 2)
+	select {
+	case <-a.drain():
+	case <-time.After(time.Second):
+		t.Fatal("drain with nothing running did not close immediately")
+	}
+}
+
+// TestAdmissionStress hammers acquire/release from many goroutines with
+// tiny timeouts and cancellations, checking the concurrency invariant.
+// Its real value shows under -race.
+func TestAdmissionStress(t *testing.T) {
+	const maxInflight = 4
+	a := newAdmission(maxInflight, 8)
+	var inflight, peak atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 50; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(),
+					time.Duration(rng.Intn(3000))*time.Microsecond)
+				err := a.acquire(ctx, time.Duration(rng.Intn(2000))*time.Microsecond)
+				cancel()
+				if err != nil {
+					continue
+				}
+				n := inflight.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+				inflight.Add(-1)
+				a.release()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > maxInflight {
+		t.Fatalf("observed %d concurrent holders, limit is %d", p, maxInflight)
+	}
+	if r, q := a.counts(); r != 0 || q != 0 {
+		t.Fatalf("counts after stress = (%d, %d), want (0, 0)", r, q)
+	}
+}
+
+// waitFor polls cond for up to 2 seconds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	t.Fatal("condition not reached within 2s")
+}

@@ -54,6 +54,7 @@ import (
 	"sama/internal/rdf"
 	"sama/internal/rdf/ntriples"
 	"sama/internal/rdf/turtle"
+	"sama/internal/server"
 	"sama/internal/sparql"
 	"sama/internal/storage"
 	"sama/internal/textindex"
@@ -111,6 +112,18 @@ type (
 	MetricsRegistry = obs.Registry
 	// DebugServer is a running debug HTTP server (DB.ServeDebug).
 	DebugServer = obs.DebugServer
+	// ServerOptions configure the network query server (DB.Handler,
+	// DB.Serve): concurrency limit, wait-queue bound, queue timeout,
+	// per-request timeout cap, k defaults and body limit.
+	ServerOptions = server.Options
+	// QueryHandler is the network query server's http.Handler:
+	// POST /query with admission control, /healthz, /readyz, and the
+	// debug tree mounted under /metrics and /debug/. It also owns the
+	// graceful-drain lifecycle (Drain, CancelInflight, Shutdown).
+	QueryHandler = server.Handler
+	// QueryServer is a running network query server (DB.Serve), wrapping
+	// a QueryHandler in an http.Server with hardened timeouts.
+	QueryServer = server.Server
 )
 
 // StopReason values.
@@ -494,6 +507,51 @@ func (db *DB) DebugHandler() http.Handler { return obs.DebugMux(db.reg, db.lastq
 // returned server; closing the DB does not stop it.
 func (db *DB) ServeDebug(addr string) (*DebugServer, error) {
 	return obs.ServeDebug(addr, db.DebugHandler())
+}
+
+// Handler returns the network query server handler over this database:
+// POST /query (SPARQL text in, JSON ranked answers + per-phase stats
+// out, with ?k= and ?timeout= honoured up to the server caps), GET
+// /healthz and /readyz, and the debug tree (/metrics, /debug/pprof,
+// /debug/vars, /debug/lastqueries). Admission control bounds concurrent
+// execution at opts.MaxInflight with a bounded FIFO wait queue;
+// requests beyond both are shed with 503 + Retry-After. Request
+// deadlines thread into the engine's context checkpoints, so a request
+// that runs out of budget receives its best-so-far answers with the
+// partial flag set. Mount it on any server, or use DB.Serve.
+func (db *DB) Handler(opts ServerOptions) *QueryHandler {
+	return server.New(server.Backend{
+		Query: func(ctx context.Context, src string, k int) (*server.QueryOutcome, error) {
+			// Classify parse failures before execution so the server can
+			// answer 400 instead of 500. The engine reparses; query
+			// texts are tiny and the index work dwarfs the second pass.
+			if _, err := sparql.Parse(src); err != nil {
+				return nil, &server.BadRequestError{Err: err}
+			}
+			res, err := db.QuerySPARQLContext(ctx, src, k)
+			if err != nil {
+				return nil, err
+			}
+			return &server.QueryOutcome{
+				Answers:    res.Answers,
+				Vars:       res.Vars,
+				Partial:    res.Partial,
+				StopReason: string(res.StopReason),
+				Stats:      res.Stats,
+			}, nil
+		},
+		Debug:   db.DebugHandler(),
+		Metrics: db.reg,
+	}, opts)
+}
+
+// Serve starts the network query server on addr (port 0 picks a free
+// port; QueryServer.Addr reports it). Stop it with
+// QueryServer.Shutdown, which drains in-flight queries up to the
+// context deadline; closing the DB does not stop the server, so drain
+// first, then Close the DB.
+func (db *DB) Serve(addr string, opts ServerOptions) (*QueryServer, error) {
+	return db.Handler(opts).Serve(addr)
 }
 
 // DropCache empties the buffer pool (cold-cache state).
