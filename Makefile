@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet build bins test race bench serve-smoke
+.PHONY: check fmt vet build bins test race race-hot bench serve-smoke
 
 # check is the tier-1 gate: formatting, static analysis, a full build
-# (packages and both binaries), and the race-enabled test suite. CI and
-# pre-commit both run this.
-check: fmt vet build bins race
+# (packages and both binaries), and the race-enabled test suite, with an
+# extra race pass over the concurrency-hot packages. CI and pre-commit
+# both run this.
+check: fmt vet build bins race race-hot
 
 fmt:
 	@files=$$(gofmt -l .); \
@@ -33,9 +34,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-hot re-runs the packages where caching, epoch invalidation and
+# request coalescing interleave — a second -count pass varies goroutine
+# scheduling beyond what one ./... sweep exercises.
+race-hot:
+	$(GO) test -race -count=2 ./internal/cache ./internal/core ./internal/server
+
 # bench is the smoke harness: one pass over every benchmark, with
-# BenchmarkPhaseBreakdown writing per-phase medians from the query
-# traces to results/bench_latest.json.
+# BenchmarkPhaseBreakdown writing per-phase medians and the warm-cache
+# hit ratio + cached-vs-uncached medians from the query traces to
+# results/bench_latest.json.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 	@echo "phase medians written to results/bench_latest.json"

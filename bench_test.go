@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"sama/internal/align"
+	"sama/internal/core"
 	"sama/internal/datasets"
 	"sama/internal/eval"
 	"sama/internal/experiments"
@@ -358,11 +359,22 @@ type benchPhaseRow struct {
 	TotalNS int64            `json:"total_median_ns"`
 }
 
+// benchCacheReport records the warm-cache measurement: the same query
+// set through a cache-enabled engine, cold (miss, populating) vs warm
+// (answer-cache hits), with the observed hit ratio.
+type benchCacheReport struct {
+	UncachedMedianNS int64   `json:"uncached_median_ns"`
+	CachedMedianNS   int64   `json:"cached_median_ns"`
+	Speedup          float64 `json:"speedup"`
+	HitRate          float64 `json:"hit_rate"`
+}
+
 // benchPhaseReport is the file schema for results/bench_latest.json.
 type benchPhaseReport struct {
-	Dataset string          `json:"dataset"`
-	Triples int             `json:"triples"`
-	Queries []benchPhaseRow `json:"queries"`
+	Dataset string            `json:"dataset"`
+	Triples int               `json:"triples"`
+	Queries []benchPhaseRow   `json:"queries"`
+	Cache   *benchCacheReport `json:"cache,omitempty"`
 }
 
 func medianDuration(ds []time.Duration) int64 {
@@ -423,6 +435,45 @@ func BenchmarkPhaseBreakdown(b *testing.B) {
 		report.Queries = append(report.Queries, row)
 		b.ReportMetric(float64(row.TotalNS), q.ID+"-median-ns")
 	}
+	// Warm-cache measurement: the same queries through a cache-enabled
+	// engine over the same index. The first pass misses and populates;
+	// the warm passes must hit (no writes happen between them).
+	cacheEng := core.New(sys.Index(), core.Options{AnswerCacheEntries: 256, AlignCacheMB: 16})
+	var uncached, cached []time.Duration
+	for _, q := range queries {
+		_, st, err := cacheEng.QueryWithStats(q.Pattern, experiments.TopK)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.CacheHit {
+			b.Fatal("cold pass hit the cache")
+		}
+		uncached = append(uncached, st.Elapsed)
+	}
+	for i := 0; i < 5; i++ {
+		for _, q := range queries {
+			_, st, err := cacheEng.QueryWithStats(q.Pattern, experiments.TopK)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !st.CacheHit {
+				b.Fatal("warm pass missed the cache")
+			}
+			cached = append(cached, st.Elapsed)
+		}
+	}
+	cr := &benchCacheReport{
+		UncachedMedianNS: medianDuration(uncached),
+		CachedMedianNS:   medianDuration(cached),
+		HitRate:          cacheEng.CacheStats()["answer"].HitRate(),
+	}
+	if cr.CachedMedianNS > 0 {
+		cr.Speedup = float64(cr.UncachedMedianNS) / float64(cr.CachedMedianNS)
+	}
+	report.Cache = cr
+	b.ReportMetric(cr.Speedup, "cache-speedup")
+	b.ReportMetric(cr.HitRate, "cache-hit-rate")
+
 	if err := os.MkdirAll("results", 0o755); err != nil {
 		b.Fatal(err)
 	}

@@ -17,7 +17,10 @@
 // both receive 503 with a Retry-After hint. Per-request deadlines
 // (?timeout=, capped by -max-timeout) thread into the engine, so a
 // request that exceeds its budget gets its best-so-far answers with the
-// partial flag set. SIGINT/SIGTERM starts a graceful drain: the server
+// partial flag set. -cache-answers and -cache-align-mb enable the
+// answer cache and alignment memo (invalidated by index writes);
+// -coalesce collapses identical in-flight queries into one execution.
+// SIGINT/SIGTERM starts a graceful drain: the server
 // stops admitting, finishes in-flight queries up to -drain-timeout,
 // then cancels the stragglers (their clients still receive partial
 // results). A second signal forces an immediate stop.
@@ -100,6 +103,9 @@ func startDaemon(args []string, logger *log.Logger) (*daemon, error) {
 	poolPages := fs.Int("pool-pages", 0, "buffer pool capacity in 8 KiB pages (0 = library default)")
 	slow := fs.Duration("slow-query", 0, "log queries slower than this threshold (0 = off)")
 	queryLog := fs.Int("query-log", 32, "recent query traces kept for /debug/lastqueries")
+	cacheAnswers := fs.Int("cache-answers", 0, "answer cache capacity in entries; any index write invalidates it (0 = off)")
+	cacheAlignMB := fs.Int("cache-align-mb", 0, "alignment memo budget in MiB, reused across queries sharing path shapes (0 = off)")
+	coalesce := fs.Bool("coalesce", false, "collapse identical in-flight /query requests into one execution")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -114,6 +120,12 @@ func startDaemon(args []string, logger *log.Logger) (*daemon, error) {
 	}
 	if *poolPages > 0 {
 		opts = append(opts, sama.WithPoolPages(*poolPages))
+	}
+	if *cacheAnswers > 0 {
+		opts = append(opts, sama.WithAnswerCache(*cacheAnswers))
+	}
+	if *cacheAlignMB > 0 {
+		opts = append(opts, sama.WithAlignmentCache(*cacheAlignMB))
 	}
 	if *slow > 0 {
 		opts = append(opts, sama.WithSlowQueryLog(*slow, func(tr *sama.Trace) {
@@ -132,6 +144,7 @@ func startDaemon(args []string, logger *log.Logger) (*daemon, error) {
 		DefaultTimeout: *defaultTimeout,
 		DefaultK:       *defaultK,
 		MaxK:           *maxK,
+		Coalesce:       *coalesce,
 	}
 	if *maxQueue >= 0 {
 		sopts.MaxQueue = *maxQueue

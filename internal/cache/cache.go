@@ -1,0 +1,245 @@
+// Package cache provides the sharded, epoch-validated LRU that backs
+// the engine's answer cache and alignment memo. The package is generic
+// on purpose: values are opaque `any`, keys are strings, and freshness
+// is expressed as a caller-supplied epoch — a monotonic counter the
+// owner bumps on every mutation of the underlying data. An entry
+// stores the epoch it was computed at; a lookup presenting a different
+// epoch treats the entry as stale, removes it, and reports a miss.
+// That single rule is the whole invalidation story: a hit can never
+// return a value computed before the last write.
+//
+// Capacity is bounded two ways, each optional: a maximum entry count
+// (answer caches, where entries are roughly the same size) and a
+// maximum byte budget fed by caller-supplied size hints (alignment
+// memos, whose values vary from a few dozen bytes to kilobytes).
+// Either bound evicts least-recently-used entries first.
+//
+// The cache is safe for concurrent use. It is sharded by key hash so
+// parallel cluster builds don't serialise on one mutex, and the
+// hit/miss/eviction/invalidation counters are atomics readable at any
+// rate without touching the shard locks.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// shardCount is the fixed number of shards. 16 keeps lock contention
+// negligible for the engine's worst case (one goroutine per query path,
+// typically < 8) without wasting memory on tiny caches.
+const shardCount = 16
+
+// entryOverhead approximates the bookkeeping bytes per entry (map cell,
+// list element, entry struct) charged on top of the caller's size hint.
+const entryOverhead = 96
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts lookups that returned a fresh value.
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups that found nothing (stale entries included:
+	// an invalidation is also a miss).
+	Misses uint64 `json:"misses"`
+	// Evictions counts entries dropped to stay within the entry or byte
+	// budget.
+	Evictions uint64 `json:"evictions"`
+	// Invalidations counts entries dropped because their epoch no longer
+	// matched the caller's.
+	Invalidations uint64 `json:"invalidations"`
+	// Entries is the number of live entries.
+	Entries int `json:"entries"`
+	// Bytes is the charged size of the live entries (size hints plus
+	// per-entry overhead).
+	Bytes int64 `json:"bytes"`
+}
+
+// HitRate returns hits / (hits + misses), or 0 with no traffic.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a sharded LRU keyed by string with epoch-checked freshness.
+// The zero value is not usable; construct with New. A nil *Cache is
+// valid and behaves as an always-miss cache that stores nothing, so
+// callers can leave caching disabled without guarding every call site.
+type Cache struct {
+	shards [shardCount]shard
+
+	maxEntries int   // per cache, 0 = unbounded
+	maxBytes   int64 // per cache, 0 = unbounded
+
+	hits, misses, evictions, invalidations atomic.Uint64
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+	bytes   int64
+}
+
+type entry struct {
+	key   string
+	epoch uint64
+	value any
+	size  int64
+}
+
+// New returns a cache bounded by maxEntries entries and maxBytes
+// charged bytes; either bound may be 0 for "unbounded in that
+// dimension", but not both — an unbounded cache is a leak, so New
+// falls back to a 4096-entry bound when neither is set.
+func New(maxEntries int, maxBytes int64) *Cache {
+	if maxEntries <= 0 && maxBytes <= 0 {
+		maxEntries = 4096
+	}
+	c := &Cache{maxEntries: maxEntries, maxBytes: maxBytes}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*list.Element)
+		c.shards[i].lru = list.New()
+	}
+	return c
+}
+
+// fnv1a hashes the key for shard selection (FNV-1a, 32 bit).
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (c *Cache) shard(key string) *shard {
+	return &c.shards[fnv1a(key)%shardCount]
+}
+
+// Get returns the cached value for key if it was stored at exactly the
+// given epoch. A stale entry (any other epoch) is removed and counted
+// as an invalidation plus a miss.
+func (c *Cache) Get(key string, epoch uint64) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	el, ok := sh.entries[key]
+	if !ok {
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	en := el.Value.(*entry)
+	if en.epoch != epoch {
+		sh.remove(el, en)
+		sh.mu.Unlock()
+		c.invalidations.Add(1)
+		c.misses.Add(1)
+		return nil, false
+	}
+	sh.lru.MoveToFront(el)
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return en.value, true
+}
+
+// Put stores value under key at the given epoch, replacing any previous
+// entry for key. size is the caller's estimate of the value's bytes
+// (ignored when the cache has no byte budget); the per-entry overhead
+// and key length are charged on top. The value must be treated as
+// read-only by everyone from here on: hits share it across goroutines.
+func (c *Cache) Put(key string, epoch uint64, value any, size int) {
+	if c == nil {
+		return
+	}
+	charged := int64(size) + int64(len(key)) + entryOverhead
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if el, ok := sh.entries[key]; ok {
+		sh.remove(el, el.Value.(*entry))
+	}
+	en := &entry{key: key, epoch: epoch, value: value, size: charged}
+	sh.entries[key] = sh.lru.PushFront(en)
+	sh.bytes += charged
+	// Evict LRU entries until this shard is within its slice of the
+	// budget. Budgets divide evenly across shards; the hash spreads keys
+	// uniformly enough that the global bound holds to within a shard.
+	maxE, maxB := c.maxEntries/shardCount, c.maxBytes/shardCount
+	if c.maxEntries > 0 && maxE < 1 {
+		maxE = 1
+	}
+	for (c.maxEntries > 0 && sh.lru.Len() > maxE) ||
+		(c.maxBytes > 0 && sh.bytes > maxB && sh.lru.Len() > 1) {
+		victim := sh.lru.Back()
+		sh.remove(victim, victim.Value.(*entry))
+		c.evictions.Add(1)
+	}
+	sh.mu.Unlock()
+}
+
+// remove unlinks an entry. Caller holds sh.mu.
+func (sh *shard) remove(el *list.Element, en *entry) {
+	sh.lru.Remove(el)
+	delete(sh.entries, en.key)
+	sh.bytes -= en.size
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the counters. Safe to call at any rate; the counter
+// fields are read without the shard locks, so a snapshot taken during
+// concurrent traffic is consistent per field, not across fields.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	st := Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.Entries += sh.lru.Len()
+		st.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// Purge drops every entry (counters are kept).
+func (c *Cache) Purge() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.entries = make(map[string]*list.Element)
+		sh.lru.Init()
+		sh.bytes = 0
+		sh.mu.Unlock()
+	}
+}

@@ -1,0 +1,155 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New(8, 0)
+	if _, ok := c.Get("a", 1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", 1, "va", 0)
+	v, ok := c.Get("a", 1)
+	if !ok || v.(string) != "va" {
+		t.Fatalf("Get(a,1) = %v, %v; want va, true", v, ok)
+	}
+	// Replacement under the same key.
+	c.Put("a", 1, "vb", 0)
+	if v, _ := c.Get("a", 1); v.(string) != "vb" {
+		t.Fatalf("after replace: got %v, want vb", v)
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+}
+
+func TestEpochMismatchInvalidates(t *testing.T) {
+	c := New(8, 0)
+	c.Put("a", 1, "va", 0)
+	if _, ok := c.Get("a", 2); ok {
+		t.Fatal("hit across an epoch bump")
+	}
+	// The stale entry must be gone: storing at the old epoch again must
+	// not resurrect it, and the counters must record the invalidation.
+	if _, ok := c.Get("a", 1); ok {
+		t.Fatal("stale entry survived its invalidating lookup")
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 {
+		t.Fatalf("Invalidations = %d, want 1", st.Invalidations)
+	}
+	if st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("Hits/Misses = %d/%d, want 0/2", st.Hits, st.Misses)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("Entries = %d, want 0", st.Entries)
+	}
+}
+
+func TestEntryBudgetEvictsLRU(t *testing.T) {
+	// All keys land in one shard only by luck, so drive a single shard
+	// deliberately: with maxEntries = shardCount each shard holds one
+	// entry, and the second insert into a shard evicts the first.
+	c := New(shardCount, 0)
+	sh := c.shard("first")
+	var second string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.shard(k) == sh && k != "first" {
+			second = k
+			break
+		}
+	}
+	c.Put("first", 1, 1, 0)
+	c.Put(second, 1, 2, 0)
+	if _, ok := c.Get("first", 1); ok {
+		t.Fatal("LRU entry survived an over-budget insert")
+	}
+	if v, ok := c.Get(second, 1); !ok || v.(int) != 2 {
+		t.Fatal("most recent entry was evicted instead of the LRU one")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestByteBudgetEvicts(t *testing.T) {
+	// A tight byte budget: each entry charges size + key + overhead,
+	// far over the per-shard slice, so every shard keeps at most the
+	// single most recent entry it saw (the eviction loop never drops
+	// the entry just inserted).
+	c := New(0, shardCount*32)
+	for i := 0; i < 64; i++ {
+		c.Put(fmt.Sprintf("k%d", i), 1, i, 1024)
+	}
+	st := c.Stats()
+	if st.Entries > shardCount {
+		t.Fatalf("Entries = %d, want <= %d under the byte budget", st.Entries, shardCount)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions under a byte budget 64 entries overflow")
+	}
+}
+
+func TestNilCacheIsInert(t *testing.T) {
+	var c *Cache
+	c.Put("a", 1, "v", 0)
+	if _, ok := c.Get("a", 1); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if c.Len() != 0 || c.Stats() != (Stats{}) {
+		t.Fatal("nil cache reported state")
+	}
+	c.Purge()
+}
+
+func TestPurge(t *testing.T) {
+	c := New(64, 0)
+	for i := 0; i < 32; i++ {
+		c.Put(fmt.Sprintf("k%d", i), 1, i, 8)
+	}
+	c.Purge()
+	if n := c.Len(); n != 0 {
+		t.Fatalf("Len after Purge = %d, want 0", n)
+	}
+	if st := c.Stats(); st.Bytes != 0 {
+		t.Fatalf("Bytes after Purge = %d, want 0", st.Bytes)
+	}
+}
+
+// TestConcurrentHammer exercises every operation from many goroutines;
+// its value is under -race, plus the invariant that a hit at epoch e
+// only ever sees a value stored at epoch e.
+func TestConcurrentHammer(t *testing.T) {
+	c := New(128, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("k%d", i%97)
+				epoch := uint64(i % 3)
+				if v, ok := c.Get(key, epoch); ok {
+					if v.(uint64) != epoch {
+						t.Errorf("hit at epoch %d returned value stored at epoch %v", epoch, v)
+						return
+					}
+				} else {
+					c.Put(key, epoch, epoch, 16)
+				}
+				if i%501 == 0 {
+					c.Stats()
+					c.Len()
+				}
+				if g == 0 && i%1999 == 0 {
+					c.Purge()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -100,7 +100,10 @@ func (e *Engine) clusterTraced(ctx context.Context, pre *Preprocessed, parent *o
 }
 
 // buildCluster retrieves, aligns and ranks the candidates for one query
-// path.
+// path. With the alignment memo enabled, a candidate aligned against
+// this query-path shape by any earlier query skips both the disk read
+// and the alignment; memo entries are epoch-checked, so an insert (new
+// paths) or a compaction (renumbered PathIDs) orphans them all.
 func (e *Engine) buildCluster(ctx context.Context, qi int, q paths.Path) (Cluster, error) {
 	ids := e.retrieve(q)
 	if len(ids) == 0 {
@@ -111,22 +114,43 @@ func (e *Engine) buildCluster(ctx context.Context, qi int, q paths.Path) (Cluste
 	items := make([]ClusterItem, 0, len(ids))
 	var shorter []ClusterItem
 	aligner := align.NewGreedy(e.par)
+	var qsig string
+	var epoch uint64
+	if e.alignMemo != nil {
+		// Epoch before the reads: a write racing this loop makes the
+		// entries stored below stale, never the reverse.
+		epoch = e.idx.Epoch()
+		qsig = q.Key()
+	}
 	for _, id := range ids {
 		if ctx.Err() != nil {
 			break // partial cluster: best-effort candidates aligned so far
 		}
-		p, err := e.idx.Path(id)
-		if err != nil {
-			return Cluster{}, fmt.Errorf("core: cluster for query path %d: %w", qi, err)
+		var item ClusterItem
+		if e.alignMemo != nil {
+			if v, ok := e.alignMemo.Get(memoKey(qsig, id), epoch); ok {
+				mi := v.(*memoItem)
+				item = ClusterItem{ID: id, Path: mi.path, Alignment: mi.al}
+			}
 		}
-		item := ClusterItem{ID: id, Path: p, Alignment: aligner.Align(p, q)}
+		if item.Alignment == nil {
+			p, err := e.idx.PathContext(ctx, id)
+			if err != nil {
+				return Cluster{}, fmt.Errorf("core: cluster for query path %d: %w", qi, err)
+			}
+			item = ClusterItem{ID: id, Path: p, Alignment: aligner.Align(p, q)}
+			if e.alignMemo != nil {
+				e.alignMemo.Put(memoKey(qsig, id), epoch,
+					&memoItem{path: p, al: item.Alignment}, memoSize(p, item.Alignment))
+			}
+		}
 		// Figure 3 clusters only paths at least as long as the query
 		// path (insertions into q are allowed, deletions are not):
 		// cl1 holds the six 4-node paths only, while cl2 also keeps
 		// them next to its 3-node exact matches. Shorter paths are
 		// kept as a fallback so a cluster never comes back empty
 		// when the data offers only truncated matches.
-		if p.Length() < q.Length() {
+		if item.Path.Length() < q.Length() {
 			shorter = append(shorter, item)
 			continue
 		}
@@ -195,7 +219,12 @@ func (e *Engine) preRank(ids []index.PathID, q paths.Path) []index.PathID {
 	return ids[:budget]
 }
 
-// retrieve returns the candidate path IDs for one query path.
+// retrieve returns the candidate path IDs for one query path. The
+// strategies run in order — sink postings, whole-path containment of
+// the sink or of the first constant from the end, constant edge labels,
+// and finally the bounded fallback scan — and every strategy falls
+// through to the next when it comes back empty, so a query path only
+// contributes zero candidates when the index itself has no live paths.
 func (e *Engine) retrieve(q paths.Path) []index.PathID {
 	sink := q.Sink()
 	if sink.IsConstant() {
@@ -204,13 +233,15 @@ func (e *Engine) retrieve(q paths.Path) []index.PathID {
 		}
 		// No path ends at a matching sink: degrade to containment so the
 		// approximate search still has material to work with.
-		return e.idx.PathsByLabel(sink.Label())
+		if ids := e.idx.PathsByLabel(sink.Label()); len(ids) > 0 {
+			return ids
+		}
+	} else if v, ok := q.FirstConstantFromEnd(); ok {
+		if ids := e.idx.PathsByLabel(v.Label()); len(ids) > 0 {
+			return ids
+		}
 	}
-	if v, ok := q.FirstConstantFromEnd(); ok {
-		return e.idx.PathsByLabel(v.Label())
-	}
-	// All-variable query path: try constant edge labels, then give up
-	// with a bounded scan of the index.
+	// Constant edge labels, scanned from the sink end like the nodes.
 	for i := len(q.Edges) - 1; i >= 0; i-- {
 		if q.Edges[i].IsConstant() {
 			if ids := e.idx.PathsByLabel(q.Edges[i].Label()); len(ids) > 0 {
@@ -218,11 +249,31 @@ func (e *Engine) retrieve(q paths.Path) []index.PathID {
 			}
 		}
 	}
+	return e.fallbackScan()
+}
+
+// fallbackScan collects up to MaxClusterFallback live path IDs sampled
+// uniformly across the whole ID space: with stride s = ceil(N/max) it
+// takes every s-th ID starting at offset 0, then offset 1, and so on,
+// so the sample reaches the high end of the ID range even when earlier
+// IDs were tombstoned by deletions or renumbered by compaction (a scan
+// that always starts at zero re-collects the same low IDs forever and
+// never surfaces later inserts). The result is deterministic for a
+// given index state; the worst case — most paths tombstoned — visits
+// all N liveness bits, and never reads disk.
+func (e *Engine) fallbackScan() []index.PathID {
 	max := e.opts.maxFallback()
+	n := e.idx.NumPaths()
 	ids := make([]index.PathID, 0, max)
-	for i := 0; i < e.idx.NumPaths() && len(ids) < max; i++ {
-		if e.idx.Live(index.PathID(i)) {
-			ids = append(ids, index.PathID(i))
+	stride := (n + max - 1) / max
+	if stride < 1 {
+		stride = 1
+	}
+	for start := 0; start < stride && len(ids) < max; start++ {
+		for i := start; i < n && len(ids) < max; i += stride {
+			if e.idx.Live(index.PathID(i)) {
+				ids = append(ids, index.PathID(i))
+			}
 		}
 	}
 	return ids

@@ -101,5 +101,8 @@ func (ix *Index) Compact() error {
 	ix.dict = reopened.dict
 	ix.stats = reopened.stats
 	ix.stats.DiskBytes = ix.diskBytes()
+	// Compaction renumbers PathIDs, so any cache entry naming one is
+	// garbage now; the epoch bump invalidates them all.
+	ix.epoch++
 	return nil
 }

@@ -2,6 +2,7 @@ package index
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -89,6 +90,12 @@ type Index struct {
 	// deleted tombstones paths invalidated by incremental updates; the
 	// record store is append-only, so their bytes stay until a rebuild.
 	deleted []bool
+	// epoch counts the mutations applied to this index: InsertTriples
+	// and Compact bump it under ix.mu. Caches key their entries by the
+	// epoch they were computed at and reject them on mismatch, so a
+	// cache hit can never surface answers that predate a write (or
+	// PathIDs that Compact renumbered).
+	epoch uint64
 	// dict interns terms when the index is compressed; nil otherwise.
 	dict *Dictionary
 	// graph is the indexed data graph, retained by Build (and by
@@ -461,16 +468,38 @@ func (ix *Index) Stats() Stats {
 	return ix.stats
 }
 
+// Epoch returns the index's mutation counter (see the epoch field).
+// Capture it before a computation whose result will be cached: a write
+// landing mid-computation bumps the epoch, which marks the cached
+// entry stale the moment it is stored.
+func (ix *Index) Epoch() uint64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.epoch
+}
+
 // Path reads the path with the given ID from disk (through the buffer
 // pool).
 func (ix *Index) Path(id PathID) (paths.Path, error) {
+	return ix.PathContext(context.Background(), id)
+}
+
+// PathContext is Path with the page accesses additionally charged to
+// the context's I/O tally (see storage.WithTally), so concurrent
+// queries each see their own reads.
+func (ix *Index) PathContext(ctx context.Context, id PathID) (paths.Path, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return ix.pathLocked(id)
+	return ix.pathTally(storage.TallyFrom(ctx), id)
 }
 
 // pathLocked is Path for callers already holding ix.mu.
 func (ix *Index) pathLocked(id PathID) (paths.Path, error) {
+	return ix.pathTally(nil, id)
+}
+
+// pathTally reads and decodes one path, charging t. Caller holds ix.mu.
+func (ix *Index) pathTally(t *storage.IOTally, id PathID) (paths.Path, error) {
 	ix.mPathReads.Inc()
 	if int(id) >= len(ix.rids) {
 		return paths.Path{}, fmt.Errorf("index: path %d out of range (%d paths)", id, len(ix.rids))
@@ -478,7 +507,7 @@ func (ix *Index) pathLocked(id PathID) (paths.Path, error) {
 	if ix.deleted[id] {
 		return paths.Path{}, fmt.Errorf("index: path %d was invalidated by an update", id)
 	}
-	data, err := ix.store.Read(ix.rids[id])
+	data, err := ix.store.ReadTally(t, ix.rids[id])
 	if err != nil {
 		return paths.Path{}, fmt.Errorf("index: read path %d: %w", id, err)
 	}

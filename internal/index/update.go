@@ -66,6 +66,10 @@ func (ix *Index) InsertTriples(ts []rdf.Triple) error {
 	if len(ts) == 0 {
 		return nil
 	}
+	// Bump the epoch before mutating anything: a failed insert may have
+	// partially applied (graph edges added, paths tombstoned), so caches
+	// must treat the index as changed either way.
+	ix.epoch++
 	g := ix.graph
 	hadSources := len(g.Sources()) > 0
 	preNodes := g.NodeCount()

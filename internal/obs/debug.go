@@ -10,16 +10,25 @@ import (
 	"time"
 )
 
+// DebugVar is one extra section of the /debug/vars document, rendered
+// next to the process-wide expvar globals (cmdline, memstats). Value is
+// evaluated per request and must return a JSON-marshalable value —
+// e.g. the database exposes its cache counters as {"sama_cache": {...}}.
+type DebugVar struct {
+	Name  string
+	Value func() any
+}
+
 // DebugMux builds the debug HTTP handler tree:
 //
 //	/metrics            Prometheus text exposition of reg
-//	/debug/vars         expvar JSON (cmdline, memstats)
+//	/debug/vars         expvar JSON (cmdline, memstats) merged with extras
 //	/debug/lastqueries  JSON array of the most recent query traces
 //	/debug/pprof/*      net/http/pprof profiles
 //	/                   plain-text index of the endpoints
 //
 // reg and log may be nil; their endpoints then serve empty documents.
-func DebugMux(reg *Registry, log *QueryLog) *http.ServeMux {
+func DebugMux(reg *Registry, log *QueryLog, extras ...DebugVar) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -27,7 +36,32 @@ func DebugMux(reg *Registry, log *QueryLog) *http.ServeMux {
 			reg.WritePrometheus(w)
 		}
 	})
-	mux.Handle("/debug/vars", expvar.Handler())
+	// The stdlib expvar handler renders a fixed document, so the extras
+	// are merged by hand into one JSON object (expvar values stringify
+	// to valid JSON by contract).
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprint(w, "{")
+		first := true
+		field := func(key string, val []byte) {
+			if !first {
+				fmt.Fprint(w, ",")
+			}
+			first = false
+			fmt.Fprintf(w, "\n%q: %s", key, val)
+		}
+		expvar.Do(func(kv expvar.KeyValue) {
+			field(kv.Key, []byte(kv.Value.String()))
+		})
+		for _, ev := range extras {
+			b, err := json.Marshal(ev.Value())
+			if err != nil {
+				b, _ = json.Marshal("marshal: " + err.Error())
+			}
+			field(ev.Name, b)
+		}
+		fmt.Fprint(w, "\n}\n")
+	})
 	mux.HandleFunc("/debug/lastqueries", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Request coalescing (Options.Coalesce): when N identical /query
+// requests are in flight at once, only the first — the leader —
+// acquires an admission slot and executes; the others ride its flight
+// and fan the one outcome out. Identity is the query text plus k (the
+// timeout is deliberately excluded: a waiter with a shorter deadline
+// still benefits from a longer-budgeted leader, and honors its own
+// deadline while waiting). The layer sits ahead of admission, so a
+// burst of one hot query consumes one execution slot instead of
+// saturating the queue with duplicate work.
+
+// outcome is everything needed to render one execution's response:
+// exactly one of shedErr (admission refused), err (backend failure) or
+// out is meaningful.
+type outcome struct {
+	out       *QueryOutcome
+	err       error
+	shedErr   error
+	queueWait time.Duration
+}
+
+// flight is one in-progress execution. done closes after res is set;
+// res is immutable from then on, shared read-only by every waiter.
+type flight struct {
+	done chan struct{}
+	res  outcome
+}
+
+// coalescer tracks the in-flight executions by key.
+type coalescer struct {
+	mu       sync.Mutex
+	inflight map[string]*flight
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{inflight: make(map[string]*flight)}
+}
+
+func coalesceKey(src string, k int) string {
+	return strconv.Itoa(k) + "\x00" + src
+}
+
+// join returns the flight for key and whether the caller is its leader
+// (first in, responsible for executing and finishing the flight).
+func (c *coalescer) join(key string) (f *flight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.inflight[key]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	return f, true
+}
+
+// finish publishes the leader's outcome and releases the waiters. The
+// flight is unregistered before done closes, so a request arriving
+// after the result is settled starts a fresh execution instead of
+// reading a completed one (the cache layer, not coalescing, is what
+// serves repeats).
+func (c *coalescer) finish(key string, f *flight, res outcome) {
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	f.res = res
+	close(f.done)
+}

@@ -1,0 +1,238 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sama/internal/obs"
+)
+
+// TestCoalesceSingleExecution: N identical requests arriving while one
+// is executing must produce exactly one backend call, with every caller
+// receiving the shared result.
+func TestCoalesceSingleExecution(t *testing.T) {
+	var calls atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	reg := obs.NewRegistry()
+	h := New(Backend{
+		Metrics: reg,
+		Query: func(ctx context.Context, src string, k int) (*QueryOutcome, error) {
+			if calls.Add(1) == 1 {
+				close(entered)
+			}
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return testOutcome(false), nil
+		},
+	}, Options{Coalesce: true})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	post := func() (int, string) {
+		resp, err := http.Post(ts.URL+"/query?k=3&timeout=5s",
+			"application/sparql-query", strings.NewReader("SELECT ?x WHERE { ?x <p> ?y }"))
+		if err != nil {
+			t.Error(err)
+			return 0, ""
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	const waiters = 7
+	var wg sync.WaitGroup
+	codes := make([]int, waiters+1)
+	bodies := make([]string, waiters+1)
+	wg.Add(1)
+	go func() { defer wg.Done(); codes[0], bodies[0] = post() }()
+	<-entered // the leader is inside the backend, its flight registered
+	for i := 1; i <= waiters; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); codes[i], bodies[i] = post() }(i)
+	}
+	// Give the waiters time to reach the handler and join the flight;
+	// any that arrive after release would start a second execution and
+	// fail the calls assertion below.
+	time.Sleep(300 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("backend executed %d times for %d identical requests, want 1", got, waiters+1)
+	}
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Errorf("request %d: status %d, want 200", i, code)
+		}
+		if !strings.Contains(bodies[i], `"alice"`) && !strings.Contains(bodies[i], "alice") {
+			t.Errorf("request %d body misses the shared answer: %s", i, bodies[i])
+		}
+	}
+	if got := reg.Counter("sama_server_coalesced_total", "", "outcome", obs.CoalesceLeader).Value(); got != 1 {
+		t.Errorf("leader outcomes = %d, want 1", got)
+	}
+	if got := reg.Counter("sama_server_coalesced_total", "", "outcome", obs.CoalesceShared).Value(); got != waiters {
+		t.Errorf("shared outcomes = %d, want %d", got, waiters)
+	}
+}
+
+// TestCoalesceWaiterOwnDeadline: a waiter with a short timeout must get
+// its own 503 while the long-budgeted leader keeps executing to success.
+func TestCoalesceWaiterOwnDeadline(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	reg := obs.NewRegistry()
+	h := New(Backend{
+		Metrics: reg,
+		Query: func(ctx context.Context, src string, k int) (*QueryOutcome, error) {
+			close(entered)
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return testOutcome(false), nil
+		},
+	}, Options{Coalesce: true})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	leaderDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/query?k=3&timeout=10s",
+			"application/sparql-query", strings.NewReader("q"))
+		if err != nil {
+			t.Error(err)
+			leaderDone <- 0
+			return
+		}
+		resp.Body.Close()
+		leaderDone <- resp.StatusCode
+	}()
+	<-entered
+
+	// Identical query and k, much shorter budget: rides the flight but
+	// must give up on its own clock.
+	resp, err := http.Post(ts.URL+"/query?k=3&timeout=50ms",
+		"application/sparql-query", strings.NewReader("q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("waiter status = %d, want 503 (body %s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("waiter 503 misses Retry-After")
+	}
+
+	close(release)
+	if code := <-leaderDone; code != http.StatusOK {
+		t.Errorf("leader status = %d, want 200", code)
+	}
+	if got := reg.Counter("sama_server_coalesced_total", "", "outcome", obs.CoalesceWaitExpired).Value(); got != 1 {
+		t.Errorf("wait_expired outcomes = %d, want 1", got)
+	}
+}
+
+// TestCoalesceDistinctRequestsNotShared: a different body or a
+// different k must never ride another query's flight.
+func TestCoalesceDistinctRequestsNotShared(t *testing.T) {
+	var calls atomic.Int64
+	entered := make(chan struct{}, 3)
+	release := make(chan struct{})
+	h := New(Backend{
+		Query: func(ctx context.Context, src string, k int) (*QueryOutcome, error) {
+			calls.Add(1)
+			entered <- struct{}{}
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return testOutcome(false), nil
+		},
+	}, Options{Coalesce: true, MaxInflight: 4}) // explicit: GOMAXPROCS may be 1
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	post := func(path, body string) {
+		defer wg.Done()
+		resp, err := http.Post(ts.URL+path, "application/sparql-query", strings.NewReader(body))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		resp.Body.Close()
+	}
+	wg.Add(3)
+	go post("/query?k=3&timeout=5s", "q1")
+	go post("/query?k=3&timeout=5s", "q2") // different body
+	go post("/query?k=4&timeout=5s", "q1") // different k
+	for i := 0; i < 3; i++ {
+		<-entered // all three are distinct flights executing concurrently
+	}
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got != 3 {
+		t.Errorf("backend executed %d times, want 3 distinct executions", got)
+	}
+}
+
+// TestCoalesceOffByDefault: without the option, identical concurrent
+// requests each execute.
+func TestCoalesceOffByDefault(t *testing.T) {
+	var calls atomic.Int64
+	entered := make(chan struct{}, 2)
+	release := make(chan struct{})
+	h := New(Backend{
+		Query: func(ctx context.Context, src string, k int) (*QueryOutcome, error) {
+			calls.Add(1)
+			entered <- struct{}{}
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return testOutcome(false), nil
+		},
+	}, Options{MaxInflight: 2}) // explicit: GOMAXPROCS may be 1
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/query?k=3&timeout=5s",
+				"application/sparql-query", strings.NewReader("q"))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+		}()
+	}
+	<-entered
+	<-entered
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got != 2 {
+		t.Errorf("backend executed %d times, want 2 without coalescing", got)
+	}
+}

@@ -66,6 +66,13 @@ type Options struct {
 	// RetryAfter is the backoff hint stamped on 503 responses (default
 	// 1s, rendered as whole seconds, minimum 1).
 	RetryAfter time.Duration
+	// Coalesce collapses identical in-flight queries (same body and k)
+	// into one execution whose result fans out to every caller; each
+	// waiter still honors its own deadline. A leader's execution is
+	// detached from its client's disconnect (waiters may be riding it),
+	// so it runs to its timeout, the drain deadline, or completion.
+	// Off by default.
+	Coalesce bool
 }
 
 func (o Options) withDefaults() Options {
@@ -137,6 +144,8 @@ type Handler struct {
 	opts    Options
 	backend Backend
 	met     *obs.ServerMetrics
+	// co is the request-coalescing layer; nil unless Options.Coalesce.
+	co *coalescer
 
 	// stopCtx is cancelled by CancelInflight to reclaim queries that
 	// outlive the drain deadline.
@@ -157,6 +166,9 @@ func New(b Backend, opts Options) *Handler {
 		opts:    opts,
 		backend: b,
 		met:     obs.NewServerMetrics(b.Metrics),
+	}
+	if opts.Coalesce {
+		h.co = newCoalescer()
 	}
 	h.stopCtx, h.stopCancel = context.WithCancel(context.Background())
 	h.met.SetAdmissionFuncs(
@@ -287,21 +299,74 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Admission: get an execution slot or degrade with an honest 503.
-	if err := h.adm.acquire(r.Context(), h.opts.QueueTimeout); err != nil {
-		h.shed(w, err)
+	if h.co != nil {
+		key := coalesceKey(src, k)
+		f, leader := h.co.join(key)
+		if !leader {
+			h.waitFlight(w, r, f, timeout, start)
+			return
+		}
+		h.met.Coalesced(obs.CoalesceLeader).Inc()
+		res := h.execute(r, src, k, timeout)
+		h.co.finish(key, f, res)
+		h.renderOutcome(w, res, res.queueWait)
+		if res.shedErr == nil {
+			h.met.RequestSeconds.Observe(time.Since(start).Seconds())
+		}
 		return
+	}
+
+	res := h.execute(r, src, k, timeout)
+	h.renderOutcome(w, res, res.queueWait)
+	if res.shedErr == nil {
+		h.met.RequestSeconds.Observe(time.Since(start).Seconds())
+	}
+}
+
+// waitFlight rides an identical in-flight execution: the waiter gets
+// the shared outcome, or — if its own deadline fires first — a 503 with
+// the usual Retry-After hint. The waiter never touches admission; its
+// reported queue wait is the time spent riding.
+func (h *Handler) waitFlight(w http.ResponseWriter, r *http.Request, f *flight, timeout time.Duration, start time.Time) {
+	wctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	select {
+	case <-f.done:
+		h.met.Coalesced(obs.CoalesceShared).Inc()
+		h.renderOutcome(w, f.res, time.Since(start))
+	case <-wctx.Done():
+		h.met.Coalesced(obs.CoalesceWaitExpired).Inc()
+		h.writeErr(w, http.StatusServiceUnavailable,
+			"deadline expired while waiting for an identical in-flight query")
+	}
+}
+
+// execute runs admission and the backend query, reporting the result as
+// an outcome instead of writing it, so coalescing can fan one outcome
+// out to several responses. With coalescing on, both the slot wait and
+// the execution are detached from the requesting client's disconnect:
+// waiters may be riding this flight, so only the request timeout, the
+// queue timeout and the drain deadline bound it.
+func (h *Handler) execute(r *http.Request, src string, k int, timeout time.Duration) outcome {
+	start := time.Now()
+	base := r.Context()
+	if h.co != nil {
+		base = context.WithoutCancel(base)
+	}
+
+	// Admission: get an execution slot or degrade with an honest 503.
+	if err := h.adm.acquire(base, h.opts.QueueTimeout); err != nil {
+		return outcome{shedErr: err}
 	}
 	defer h.adm.release()
 	queueWait := time.Since(start)
 	h.met.Admitted.Inc()
 	h.met.QueueSeconds.Observe(queueWait.Seconds())
-	defer func() { h.met.RequestSeconds.Observe(time.Since(start).Seconds()) }()
 
-	// The query context combines the client's disconnect signal, the
-	// per-request deadline, and the server's straggler reclamation at
-	// the drain deadline.
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	// The query context combines the client's disconnect signal (unless
+	// detached for coalescing), the per-request deadline, and the
+	// server's straggler reclamation at the drain deadline.
+	ctx, cancel := context.WithTimeout(base, timeout)
 	defer cancel()
 	var done atomic.Bool
 	unregister := context.AfterFunc(h.stopCtx, func() {
@@ -314,16 +379,26 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	out, err := h.backend.Query(ctx, src, k)
 	done.Store(true)
-	if err != nil {
+	return outcome{out: out, err: err, queueWait: queueWait}
+}
+
+// renderOutcome writes one execution outcome as the HTTP response.
+// queueWait is per response: the leader's slot wait, or a waiter's time
+// riding the flight.
+func (h *Handler) renderOutcome(w http.ResponseWriter, res outcome, queueWait time.Duration) {
+	switch {
+	case res.shedErr != nil:
+		h.shed(w, res.shedErr)
+	case res.err != nil:
 		var bad *BadRequestError
-		if errors.As(err, &bad) {
+		if errors.As(res.err, &bad) {
 			h.writeErr(w, http.StatusBadRequest, bad.Error())
-			return
+		} else {
+			h.writeErr(w, http.StatusInternalServerError, res.err.Error())
 		}
-		h.writeErr(w, http.StatusInternalServerError, err.Error())
-		return
+	default:
+		h.writeJSON(w, http.StatusOK, toWire(res.out, queueWait))
 	}
-	h.writeJSON(w, http.StatusOK, toWire(out, queueWait))
 }
 
 // shed maps an admission failure to a 503 (or notes a vanished client)

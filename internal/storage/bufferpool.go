@@ -122,12 +122,14 @@ func (bp *BufferPool) SetRetryPolicy(retries int, backoff time.Duration) {
 }
 
 // retryIO runs op, retrying transient failures per the pool's policy.
-// Caller holds bp.mu.
-func (bp *BufferPool) retryIO(op func() error) error {
+// Retries are charged to the global counters and, when non-nil, to the
+// caller's per-operation tally. Caller holds bp.mu.
+func (bp *BufferPool) retryIO(t *IOTally, op func() error) error {
 	err := op()
 	delay := bp.backoff
 	for attempt := 0; attempt < bp.retries && errors.Is(err, ErrTransient); attempt++ {
 		bp.stats.retries.Add(1)
+		t.addRetry()
 		if delay > 0 {
 			time.Sleep(delay)
 			delay *= 2
@@ -145,7 +147,7 @@ func (bp *BufferPool) Get(id PageID, buf []byte) error {
 	if bp.closed {
 		return ErrClosed
 	}
-	fr, err := bp.frame(id)
+	fr, err := bp.frame(id, nil)
 	if err != nil {
 		return err
 	}
@@ -161,7 +163,7 @@ func (bp *BufferPool) Put(id PageID, buf []byte) error {
 	if bp.closed {
 		return ErrClosed
 	}
-	fr, err := bp.frame(id)
+	fr, err := bp.frame(id, nil)
 	if err != nil {
 		return err
 	}
@@ -178,7 +180,7 @@ func (bp *BufferPool) Update(id PageID, fn func(page []byte) error) error {
 	if bp.closed {
 		return ErrClosed
 	}
-	fr, err := bp.frame(id)
+	fr, err := bp.frame(id, nil)
 	if err != nil {
 		return err
 	}
@@ -192,12 +194,20 @@ func (bp *BufferPool) Update(id PageID, fn func(page []byte) error) error {
 // View applies fn to a read-only view of page id. fn must not retain the
 // slice.
 func (bp *BufferPool) View(id PageID, fn func(page []byte) error) error {
+	return bp.ViewTally(nil, id, fn)
+}
+
+// ViewTally is View with the page access additionally charged to the
+// per-operation tally (nil counts nothing). The query read path uses it
+// so concurrent queries can each report their own I/O instead of a
+// slice of the global counters.
+func (bp *BufferPool) ViewTally(t *IOTally, id PageID, fn func(page []byte) error) error {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	if bp.closed {
 		return ErrClosed
 	}
-	fr, err := bp.frame(id)
+	fr, err := bp.frame(id, t)
 	if err != nil {
 		return err
 	}
@@ -216,26 +226,29 @@ func (bp *BufferPool) Alloc() (PageID, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := bp.install(id, &frame{id: id}); err != nil {
+	if err := bp.install(id, &frame{id: id}, nil); err != nil {
 		return 0, err
 	}
 	return id, nil
 }
 
-// frame returns the cached frame for id, faulting it in if needed.
-// Caller holds bp.mu.
-func (bp *BufferPool) frame(id PageID) (*frame, error) {
+// frame returns the cached frame for id, faulting it in if needed,
+// charging the access to the global counters and the tally (nil counts
+// nothing). Caller holds bp.mu.
+func (bp *BufferPool) frame(id PageID, t *IOTally) (*frame, error) {
 	if el, ok := bp.frames[id]; ok {
 		bp.stats.hits.Add(1)
+		t.addHit()
 		bp.lru.MoveToFront(el)
 		return el.Value.(*frame), nil
 	}
 	bp.stats.misses.Add(1)
+	t.addMiss()
 	fr := &frame{id: id}
-	if err := bp.retryIO(func() error { return bp.file.Read(id, fr.data[:]) }); err != nil {
+	if err := bp.retryIO(t, func() error { return bp.file.Read(id, fr.data[:]) }); err != nil {
 		return nil, err
 	}
-	if err := bp.install(id, fr); err != nil {
+	if err := bp.install(id, fr, t); err != nil {
 		return nil, err
 	}
 	return fr, nil
@@ -243,12 +256,12 @@ func (bp *BufferPool) frame(id PageID) (*frame, error) {
 
 // install inserts a frame, evicting the LRU victim if at capacity.
 // Caller holds bp.mu.
-func (bp *BufferPool) install(id PageID, fr *frame) error {
+func (bp *BufferPool) install(id PageID, fr *frame, t *IOTally) error {
 	for bp.lru.Len() >= bp.capacity {
 		victim := bp.lru.Back()
 		vf := victim.Value.(*frame)
 		if vf.dirty {
-			if err := bp.retryIO(func() error { return bp.file.Write(vf.id, vf.data[:]) }); err != nil {
+			if err := bp.retryIO(t, func() error { return bp.file.Write(vf.id, vf.data[:]) }); err != nil {
 				return err
 			}
 			bp.stats.flushes.Add(1)
@@ -275,7 +288,7 @@ func (bp *BufferPool) flushLocked() error {
 	for el := bp.lru.Front(); el != nil; el = el.Next() {
 		fr := el.Value.(*frame)
 		if fr.dirty {
-			if err := bp.retryIO(func() error { return bp.file.Write(fr.id, fr.data[:]) }); err != nil {
+			if err := bp.retryIO(nil, func() error { return bp.file.Write(fr.id, fr.data[:]) }); err != nil {
 				return err
 			}
 			fr.dirty = false

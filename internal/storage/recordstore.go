@@ -178,10 +178,16 @@ func (rs *RecordStore) appendChunk(payload []byte, next RID) (RID, error) {
 
 // Read returns the record stored at rid.
 func (rs *RecordStore) Read(rid RID) ([]byte, error) {
+	return rs.ReadTally(nil, rid)
+}
+
+// ReadTally is Read with the page accesses charged to the
+// per-operation tally (nil counts nothing).
+func (rs *RecordStore) ReadTally(t *IOTally, rid RID) ([]byte, error) {
 	var out []byte
 	for !rid.IsZero() {
 		var next RID
-		err := rs.pool.View(rid.Page, func(p []byte) error {
+		err := rs.pool.ViewTally(t, rid.Page, func(p []byte) error {
 			nslots := pageSlotCount(p)
 			if rid.Slot >= nslots {
 				return fmt.Errorf("storage: %v: slot beyond slot count %d", rid, nslots)

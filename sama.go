@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"sama/internal/align"
+	"sama/internal/cache"
 	"sama/internal/core"
 	"sama/internal/index"
 	"sama/internal/obs"
@@ -112,6 +113,9 @@ type (
 	MetricsRegistry = obs.Registry
 	// DebugServer is a running debug HTTP server (DB.ServeDebug).
 	DebugServer = obs.DebugServer
+	// CacheStats snapshots one cache's counters (DB.CacheStats,
+	// /debug/vars "sama_cache" section).
+	CacheStats = cache.Stats
 	// ServerOptions configure the network query server (DB.Handler,
 	// DB.Serve): concurrency limit, wait-queue bound, queue timeout,
 	// per-request timeout cap, k defaults and body limit.
@@ -198,6 +202,23 @@ func WithSearchBudget(maxCandidatesPerCluster, maxCombinations int) Option {
 		c.engine.MaxCandidatesPerCluster = maxCandidatesPerCluster
 		c.engine.MaxCombinations = maxCombinations
 	}
+}
+
+// WithAnswerCache enables the answer cache: completed query results
+// are retained (up to entries of them, LRU) and served again without
+// re-running the engine when the identical query arrives at the same
+// index epoch. Any write to the index invalidates every cached answer.
+// entries ≤ 0 leaves the cache disabled (the default).
+func WithAnswerCache(entries int) Option {
+	return func(c *config) { c.engine.AnswerCacheEntries = entries }
+}
+
+// WithAlignmentCache enables the alignment memo: per (query path, data
+// path) alignments are retained up to a byte budget of mb MiB (LRU) and
+// reused across queries sharing a path shape, skipping the edit-cost
+// computation. mb ≤ 0 leaves the memo disabled (the default).
+func WithAlignmentCache(mb int) Option {
+	return func(c *config) { c.engine.AlignCacheMB = mb }
 }
 
 // WithCompression stores paths as dictionary-interned ID sequences,
@@ -496,11 +517,22 @@ func (db *DB) Metrics() *MetricsRegistry { return db.reg }
 // first. The traces are read-only.
 func (db *DB) LastQueries() []*Trace { return db.lastq.Snapshot() }
 
+// CacheStats returns a live snapshot of the enabled caches' counters,
+// keyed "answer" and "align". Disabled caches are absent from the map;
+// with no cache enabled the map is empty.
+func (db *DB) CacheStats() map[string]CacheStats { return db.engine.CacheStats() }
+
 // DebugHandler returns the debug HTTP handler tree: /metrics
-// (Prometheus text), /debug/vars (expvar), /debug/lastqueries (recent
-// traces as JSON) and /debug/pprof/* — mountable under any server or
-// httptest.
-func (db *DB) DebugHandler() http.Handler { return obs.DebugMux(db.reg, db.lastq) }
+// (Prometheus text), /debug/vars (expvar plus a "sama_cache" section
+// with the answer/alignment cache counters), /debug/lastqueries
+// (recent traces as JSON) and /debug/pprof/* — mountable under any
+// server or httptest.
+func (db *DB) DebugHandler() http.Handler {
+	return obs.DebugMux(db.reg, db.lastq, obs.DebugVar{
+		Name:  "sama_cache",
+		Value: func() any { return db.engine.CacheStats() },
+	})
+}
 
 // ServeDebug starts the debug HTTP server on addr (port 0 picks a free
 // port; the bound address is DebugServer.Addr). The caller closes the
