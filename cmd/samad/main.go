@@ -20,6 +20,8 @@
 // partial flag set. -cache-answers and -cache-align-mb enable the
 // answer cache and alignment memo (invalidated by index writes);
 // -coalesce collapses identical in-flight queries into one execution.
+// -parallelism sizes the engine's alignment worker pool (default
+// GOMAXPROCS); it changes scheduling only, never the ranked answers.
 // SIGINT/SIGTERM starts a graceful drain: the server
 // stops admitting, finishes in-flight queries up to -drain-timeout,
 // then cancels the stragglers (their clients still receive partial
@@ -106,6 +108,7 @@ func startDaemon(args []string, logger *log.Logger) (*daemon, error) {
 	cacheAnswers := fs.Int("cache-answers", 0, "answer cache capacity in entries; any index write invalidates it (0 = off)")
 	cacheAlignMB := fs.Int("cache-align-mb", 0, "alignment memo budget in MiB, reused across queries sharing path shapes (0 = off)")
 	coalesce := fs.Bool("coalesce", false, "collapse identical in-flight /query requests into one execution")
+	parallelism := fs.Int("parallelism", 0, "alignment worker pool size per query; answers are identical at every setting (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -126,6 +129,9 @@ func startDaemon(args []string, logger *log.Logger) (*daemon, error) {
 	}
 	if *cacheAlignMB > 0 {
 		opts = append(opts, sama.WithAlignmentCache(*cacheAlignMB))
+	}
+	if *parallelism > 0 {
+		opts = append(opts, sama.WithParallelism(*parallelism))
 	}
 	if *slow > 0 {
 		opts = append(opts, sama.WithSlowQueryLog(*slow, func(tr *sama.Trace) {

@@ -17,12 +17,17 @@ type pair struct {
 // backwardPairs returns the (edge, node) pairs of p from the sink toward
 // the source.
 func backwardPairs(p paths.Path) []pair {
+	return backwardPairsInto(nil, p)
+}
+
+// backwardPairsInto is backwardPairs appending into dst's capacity, so
+// a long-lived aligner can reuse one scratch slice across calls.
+func backwardPairsInto(dst []pair, p paths.Path) []pair {
 	k := len(p.Nodes)
-	out := make([]pair, 0, k-1)
 	for t := k - 2; t >= 0; t-- {
-		out = append(out, pair{edge: p.Edges[t], node: p.Nodes[t]})
+		dst = append(dst, pair{edge: p.Edges[t], node: p.Nodes[t]})
 	}
-	return out
+	return dst
 }
 
 func pairCost(pp, qp pair, par Params) float64 {
@@ -36,8 +41,16 @@ func pairCost(pp, qp pair, par Params) float64 {
 // local disagreement by preferring, in order: a zero-cost pairing, an
 // insertion/deletion that re-synchronises the scan on the next pair, and
 // finally whichever of substitution or indel is cheaper under Params.
+// A GreedyAligner carries reusable pair scratch across Align calls, so
+// it is NOT safe for concurrent use — the engine's worker pool gives
+// each worker its own instance.
 type GreedyAligner struct {
 	Params Params
+	// pp, qp are backward-pair scratch reused across Align calls. The
+	// window search reuses suffixes of pp for the trimmed anchors, so
+	// one Align computes each path's pairs exactly once instead of once
+	// per anchor.
+	pp, qp []pair
 }
 
 // NewGreedy returns a GreedyAligner with the given parameters.
@@ -52,16 +65,28 @@ func NewGreedy(par Params) *GreedyAligner { return &GreedyAligner{Params: par} }
 // Each anchored scan is O(|p|+|q|) and p is bounded by the indexing
 // MaxLength, keeping Align linear in practice.
 func (g *GreedyAligner) Align(p, q paths.Path) *Alignment {
-	return alignBestWindow(g.alignAnchored, p, q, g.Params)
+	if len(p.Nodes) == 0 || len(q.Nodes) == 0 {
+		return g.alignAnchored(p, q)
+	}
+	g.pp = backwardPairsInto(g.pp[:0], p)
+	g.qp = backwardPairsInto(g.qp[:0], q)
+	// Trimming p at anchor t keeps its first t+1 nodes, whose backward
+	// pairs are exactly the last t entries of the full pair sequence —
+	// each anchor reuses the one scratch fill above.
+	core := func(t int) *Alignment {
+		return g.alignPairs(p.Nodes[t], q.Sink(), g.pp[len(g.pp)-t:], g.qp)
+	}
+	return alignBestWindow(core, p, q, g.Params)
 }
 
-// alignAnchored is the sink-to-sink backward scan.
+// alignAnchored is the sink-to-sink backward scan (allocating variant;
+// the hot path goes through Align's scratch-reusing closures).
 func (g *GreedyAligner) alignAnchored(p, q paths.Path) *Alignment {
 	par := g.Params
-	al := &Alignment{Subst: rdf.Substitution{}}
 	if len(p.Nodes) == 0 || len(q.Nodes) == 0 {
 		// Degenerate: treat every element of the non-empty side as an
 		// insertion (p side) or deletion (q side).
+		al := &Alignment{Subst: rdf.Substitution{}}
 		for _, n := range p.Nodes {
 			al.record(OpNodeInsert, rdf.Term{}, n)
 		}
@@ -77,12 +102,18 @@ func (g *GreedyAligner) alignAnchored(p, q paths.Path) *Alignment {
 		al.addCost(par)
 		return al
 	}
+	return g.alignPairs(p.Sink(), q.Sink(), backwardPairs(p), backwardPairs(q))
+}
+
+// alignPairs runs the §4.3 backward scan over precomputed pair
+// sequences, anchored at the given sink labels.
+func (g *GreedyAligner) alignPairs(pSink, qSink rdf.Term, pp, qp []pair) *Alignment {
+	par := g.Params
+	al := &Alignment{Subst: rdf.Substitution{}}
 
 	// Anchor at the sinks.
-	al.record(nodeStep(p.Sink(), q.Sink()), q.Sink(), p.Sink())
+	al.record(nodeStep(pSink, qSink), qSink, pSink)
 
-	pp := backwardPairs(p)
-	qp := backwardPairs(q)
 	i, j := 0, 0
 	indel := par.B + par.D // cost of inserting a (edge, node) pair into q
 	drop := par.A + par.C  // cost of deleting a (edge, node) pair from q
@@ -152,12 +183,16 @@ func minf(a, b float64) float64 {
 
 // alignBestWindow tries the sink-to-sink anchoring and every interior
 // anchor (query sink at position t of p; p's suffix past t is free
-// context) and returns the cheapest alignment. Ties prefer the anchor
-// closest to p's sink, so the paper's examples keep their canonical
-// alignments. Anchors at t = 0 are skipped for multi-edge queries: a
-// one-node window cannot carry a structural match.
-func alignBestWindow(core func(p, q paths.Path) *Alignment, p, q paths.Path, par Params) *Alignment {
-	best := core(p, q)
+// context) and returns the cheapest alignment. core(t) aligns q
+// against p trimmed to its first t+1 nodes (t = len(p.Nodes)-1 is the
+// untrimmed path) — an index contract rather than a trimmed paths.Path
+// so the greedy aligner can reuse precomputed pair scratch per anchor.
+// Ties prefer the anchor closest to p's sink, so the paper's examples
+// keep their canonical alignments. Anchors at t = 0 are skipped for
+// multi-edge queries: a one-node window cannot carry a structural
+// match.
+func alignBestWindow(core func(t int) *Alignment, p, q paths.Path, par Params) *Alignment {
+	best := core(len(p.Nodes) - 1)
 	if len(q.Nodes) == 0 || len(p.Nodes) < 2 {
 		return best
 	}
@@ -170,8 +205,7 @@ func alignBestWindow(core func(p, q paths.Path) *Alignment, p, q paths.Path, par
 		if best.Cost == 0 {
 			break // a free alignment has no mismatches to improve
 		}
-		trimmed := paths.Path{Nodes: p.Nodes[:t+1], Edges: p.Edges[:t]}
-		alt := core(trimmed, q)
+		alt := core(t)
 		if alt.Cost > best.Cost {
 			continue
 		}

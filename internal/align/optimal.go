@@ -20,7 +20,14 @@ func NewOptimal(par Params) *OptimalAligner { return &OptimalAligner{Params: par
 // Align implements Aligner, running the same best-window anchor search
 // as the greedy aligner with the DP core.
 func (o *OptimalAligner) Align(p, q paths.Path) *Alignment {
-	return alignBestWindow(o.alignAnchored, p, q, o.Params)
+	core := func(t int) *Alignment {
+		if t == len(p.Nodes)-1 {
+			return o.alignAnchored(p, q)
+		}
+		trimmed := paths.Path{Nodes: p.Nodes[:t+1], Edges: p.Edges[:t]}
+		return o.alignAnchored(trimmed, q)
+	}
+	return alignBestWindow(core, p, q, o.Params)
 }
 
 func (o *OptimalAligner) alignAnchored(p, q paths.Path) *Alignment {

@@ -46,9 +46,12 @@ type Cluster struct {
 // when the sink is a variable, the first constant value occurring in q
 // scanning from the end is used instead, matching any path containing
 // that label. Query paths with no constants fall back to a bounded scan.
-// Clusters are built concurrently, one goroutine per query path — the
-// index is read-only at query time, which is the parallelism §6.1 calls
-// out (“supporting parallel implementations”).
+// Clusters are built concurrently, one goroutine per query path, and
+// each cluster's alignment loop additionally fans out across the
+// engine's worker pool (Options.Parallelism) — the index is read-only
+// at query time, which is the parallelism §6.1 calls out (“supporting
+// parallel implementations”). One large cluster therefore no longer
+// serialises the phase on a single core.
 func (e *Engine) Cluster(pre *Preprocessed) ([]Cluster, error) {
 	return e.ClusterContext(context.Background(), pre)
 }
@@ -99,11 +102,25 @@ func (e *Engine) clusterTraced(ctx context.Context, pre *Preprocessed, parent *o
 	return clusters, nil
 }
 
+// minAlignChunk is the smallest alignment chunk worth handing to a
+// pool worker; below it the claim/wake overhead exceeds the work.
+const minAlignChunk = 16
+
 // buildCluster retrieves, aligns and ranks the candidates for one query
 // path. With the alignment memo enabled, a candidate aligned against
 // this query-path shape by any earlier query skips both the disk read
 // and the alignment; memo entries are epoch-checked, so an insert (new
 // paths) or a compaction (renumbered PathIDs) orphans them all.
+//
+// Memo misses are materialised in one page-locality batched read and
+// aligned in parallel across the engine's worker pool: candidates are
+// split into contiguous chunks, each participant aligns chunks with its
+// own scratch-carrying aligner, and results land in a positional
+// staging slice — so the final stable sort sees the same sequence at
+// every Parallelism setting and the ranked cluster is identical.
+// Cancellation is cooperative per candidate: unprocessed entries stay
+// nil and are dropped, yielding the same partial best-so-far cluster
+// semantics as the serial loop.
 func (e *Engine) buildCluster(ctx context.Context, qi int, q paths.Path) (Cluster, error) {
 	ids := e.retrieve(q)
 	if len(ids) == 0 {
@@ -111,9 +128,6 @@ func (e *Engine) buildCluster(ctx context.Context, qi int, q paths.Path) (Cluste
 	}
 	retrieved := len(ids)
 	ids = e.preRank(ids, q)
-	items := make([]ClusterItem, 0, len(ids))
-	var shorter []ClusterItem
-	aligner := align.NewGreedy(e.par)
 	var qsig string
 	var epoch uint64
 	if e.alignMemo != nil {
@@ -122,27 +136,71 @@ func (e *Engine) buildCluster(ctx context.Context, qi int, q paths.Path) (Cluste
 		epoch = e.idx.Epoch()
 		qsig = q.Key()
 	}
-	for _, id := range ids {
-		if ctx.Err() != nil {
-			break // partial cluster: best-effort candidates aligned so far
-		}
-		var item ClusterItem
+
+	// Positional staging: staged[i] belongs to ids[i] no matter which
+	// worker computes it, keeping the cluster deterministic.
+	staged := make([]ClusterItem, len(ids))
+	var missIdx []int
+	var missIDs []index.PathID
+	for i, id := range ids {
 		if e.alignMemo != nil {
 			if v, ok := e.alignMemo.Get(memoKey(qsig, id), epoch); ok {
 				mi := v.(*memoItem)
-				item = ClusterItem{ID: id, Path: mi.path, Alignment: mi.al}
+				staged[i] = ClusterItem{ID: id, Path: mi.path, Alignment: mi.al}
+				continue
 			}
 		}
+		missIdx = append(missIdx, i)
+		missIDs = append(missIDs, id)
+	}
+
+	if len(missIDs) > 0 {
+		ps, err := e.idx.ReadPathsBatched(ctx, missIDs)
+		if err != nil && ctx.Err() == nil {
+			return Cluster{}, fmt.Errorf("core: cluster for query path %d: %w", qi, err)
+		}
+		if ps == nil {
+			// Cancelled before anything was materialised.
+			ps = make([]paths.Path, len(missIDs))
+		}
+		workers := e.pool.size
+		// Aim for a few chunks per worker so a straggler chunk cannot
+		// serialise the tail, with a floor that keeps tiny clusters from
+		// paying coordination overhead.
+		chunk := (len(missIDs) + 4*workers - 1) / (4 * workers)
+		if chunk < minAlignChunk {
+			chunk = minAlignChunk
+		}
+		nchunks := (len(missIDs) + chunk - 1) / chunk
+		e.alignParallel(nchunks, func(al *align.GreedyAligner, c int) {
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > len(missIDs) {
+				hi = len(missIDs)
+			}
+			for m := lo; m < hi; m++ {
+				if ctx.Err() != nil {
+					return // unaligned entries stay nil and are dropped
+				}
+				p := ps[m]
+				if len(p.Nodes) == 0 {
+					continue // not materialised: batch read was cancelled
+				}
+				id := missIDs[m]
+				item := ClusterItem{ID: id, Path: p, Alignment: al.Align(p, q)}
+				staged[missIdx[m]] = item
+				if e.alignMemo != nil {
+					e.alignMemo.Put(memoKey(qsig, id), epoch,
+						&memoItem{path: p, al: item.Alignment}, memoSize(p, item.Alignment))
+				}
+			}
+		})
+	}
+
+	items := make([]ClusterItem, 0, len(staged))
+	var shorter []ClusterItem
+	for _, item := range staged {
 		if item.Alignment == nil {
-			p, err := e.idx.PathContext(ctx, id)
-			if err != nil {
-				return Cluster{}, fmt.Errorf("core: cluster for query path %d: %w", qi, err)
-			}
-			item = ClusterItem{ID: id, Path: p, Alignment: aligner.Align(p, q)}
-			if e.alignMemo != nil {
-				e.alignMemo.Put(memoKey(qsig, id), epoch,
-					&memoItem{path: p, al: item.Alignment}, memoSize(p, item.Alignment))
-			}
+			continue // skipped by cancellation
 		}
 		// Figure 3 clusters only paths at least as long as the query
 		// path (insertions into q are allowed, deletions are not):

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"sama/internal/align"
+	"sama/internal/datasets"
+	"sama/internal/index"
+	"sama/internal/workload"
+)
+
+// TestParallelEquivalence is the determinism harness for the alignment
+// worker pool: over a seeded LUBM workload, Parallelism: 1 and
+// Parallelism: 8 must produce identical ranked answers — same scores,
+// same order, same substitutions. The cluster build stages results
+// positionally and merges with a stable sort, so the outcome may not
+// depend on how chunks were scheduled. Runs under -race via make
+// check's race-hot pass.
+func TestParallelEquivalence(t *testing.T) {
+	g := datasets.LUBM{}.Generate(4000, 7)
+	base := filepath.Join(t.TempDir(), "lubm")
+	ix, err := index.Build(base, g, index.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	serial := New(ix, Options{Parallelism: 1})
+	parallel := New(ix, Options{Parallelism: 8})
+	defer serial.Close()
+	defer parallel.Close()
+
+	for _, q := range workload.LUBMQueries() {
+		sa, err := serial.Query(q.Pattern, 10)
+		if err != nil {
+			t.Fatalf("%s serial: %v", q.ID, err)
+		}
+		pa, err := parallel.Query(q.Pattern, 10)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", q.ID, err)
+		}
+		if len(sa) != len(pa) {
+			t.Errorf("%s: serial %d answers, parallel %d", q.ID, len(sa), len(pa))
+			continue
+		}
+		for i := range sa {
+			if sa[i].Score != pa[i].Score || sa[i].Lambda != pa[i].Lambda ||
+				sa[i].Psi != pa[i].Psi || sa[i].Degree != pa[i].Degree {
+				t.Errorf("%s answer %d: serial (score %v λ %v ψ %v deg %v) != parallel (score %v λ %v ψ %v deg %v)",
+					q.ID, i, sa[i].Score, sa[i].Lambda, sa[i].Psi, sa[i].Degree,
+					pa[i].Score, pa[i].Lambda, pa[i].Psi, pa[i].Degree)
+			}
+			if !reflect.DeepEqual(sa[i].Subst, pa[i].Subst) {
+				t.Errorf("%s answer %d: substitutions differ:\nserial   %v\nparallel %v",
+					q.ID, i, sa[i].Subst, pa[i].Subst)
+			}
+			for pi := range sa[i].Pairs {
+				if sa[i].Pairs[pi].Data.Key() != pa[i].Pairs[pi].Data.Key() {
+					t.Errorf("%s answer %d pair %d: different data paths", q.ID, i, pi)
+				}
+			}
+		}
+	}
+}
+
+// TestOptionsClampFallback pins the options normaliser: a hand-built
+// Options with a zero or negative MaxClusterFallback must clamp to the
+// default instead of reaching fallbackScan's stride division.
+func TestOptionsClampFallback(t *testing.T) {
+	for _, raw := range []int{0, -1, -100} {
+		o := Options{MaxClusterFallback: raw}
+		if got := o.maxFallback(); got != 256 {
+			t.Errorf("maxFallback(%d) = %d, want 256", raw, got)
+		}
+	}
+	// End to end: an engine built with a negative fallback must still
+	// answer constant-free queries through the fallback scan.
+	e := newTestEngine(t, Options{MaxClusterFallback: -3})
+	defer e.Close()
+	ids := e.fallbackScan()
+	if len(ids) == 0 {
+		t.Fatal("fallback scan returned nothing under a negative MaxClusterFallback")
+	}
+}
+
+// TestOptionsClampCandidates pins the 2^20 candidate bound that keeps
+// any per-candidate index comfortably inside the scorer's flat key
+// space (and, historically, inside the 20-bit packed memo key).
+func TestOptionsClampCandidates(t *testing.T) {
+	if got := (Options{MaxCandidatesPerCluster: 1 << 30}).maxCandidates(); got != maxCandidatesBound {
+		t.Errorf("maxCandidates(1<<30) = %d, want %d", got, maxCandidatesBound)
+	}
+	if got := (Options{MaxCandidatesPerCluster: 7}).maxCandidates(); got != 7 {
+		t.Errorf("maxCandidates(7) = %d, want 7", got)
+	}
+	if got := (Options{}).maxCandidates(); got != 512 {
+		t.Errorf("maxCandidates(0) = %d, want 512", got)
+	}
+}
+
+func TestAlignParallelRunsEveryChunkOnce(t *testing.T) {
+	for _, par := range []int{1, 2, 8} {
+		for _, nchunks := range []int{0, 1, 3, 64} {
+			e := newTestEngine(t, Options{Parallelism: par})
+			counts := make([]atomic.Int32, nchunks)
+			e.alignParallel(nchunks, func(al *align.GreedyAligner, c int) {
+				if al == nil {
+					t.Errorf("par=%d chunks=%d: nil aligner", par, nchunks)
+				}
+				counts[c].Add(1)
+			})
+			for c := range counts {
+				if got := counts[c].Load(); got != 1 {
+					t.Errorf("par=%d chunks=%d: chunk %d ran %d times, want 1", par, nchunks, c, got)
+				}
+			}
+			e.Close()
+		}
+	}
+}
+
+func TestAlignParallelPanicPropagates(t *testing.T) {
+	e := newTestEngine(t, Options{Parallelism: 4})
+	defer e.Close()
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("worker panic was swallowed")
+		}
+	}()
+	e.alignParallel(32, func(al *align.GreedyAligner, c int) {
+		if c == 17 {
+			panic(fmt.Sprintf("chunk %d", c))
+		}
+	})
+}
+
+// TestAlignParallelClosedPoolFallsBack: after Close, cluster builds
+// must still complete (serially) instead of deadlocking on helpers
+// that will never run.
+func TestAlignParallelClosedPoolFallsBack(t *testing.T) {
+	e := newTestEngine(t, Options{Parallelism: 4})
+	e.Close()
+	var ran atomic.Int32
+	e.alignParallel(8, func(al *align.GreedyAligner, c int) { ran.Add(1) })
+	if got := ran.Load(); got != 8 {
+		t.Errorf("ran %d chunks after Close, want 8", got)
+	}
+	// And a full query still works.
+	answers, err := e.Query(queryQ1(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) == 0 {
+		t.Error("no answers after Close")
+	}
+}
+
+// TestHashIdxSuccessor pins the in-place successor hashing: bumping
+// index ci must hash identically to materialising the successor vector.
+func TestHashIdxSuccessor(t *testing.T) {
+	idx := []int{0, 3, 511, 70000}
+	for ci := range idx {
+		succ := append([]int(nil), idx...)
+		succ[ci]++
+		if hashIdx(idx, ci) != hashIdx(succ, -1) {
+			t.Errorf("bump at %d hashes differently from the materialised successor", ci)
+		}
+		if hashIdx(idx, ci) == hashIdx(idx, -1) {
+			t.Errorf("bump at %d collides with the base vector", ci)
+		}
+	}
+	// Distinct vectors hash apart (spot check, not a collision proof).
+	if hashIdx([]int{1, 0}, -1) == hashIdx([]int{0, 1}, -1) {
+		t.Error("transposed vectors collide")
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sama/internal/align"
+)
+
+// alignPool is the engine-owned worker pool behind the intra-cluster
+// alignment parallelism (§6.1: path-at-a-time clustering "supports
+// parallel implementations"). Workers are started lazily on the first
+// parallel cluster build and live until the engine is closed, so the
+// steady state pays no goroutine churn per query.
+//
+// The pool never blocks a submitter: trySubmit is best-effort, and the
+// chunk-claiming scheme in Engine.alignParallel means a declined or
+// lagging helper simply leaves more chunks to the caller, which always
+// participates. That keeps cancellation semantics simple — there is no
+// queue of per-query work to drain, only helpers that run out of
+// chunks and return.
+type alignPool struct {
+	size  int
+	tasks chan func()
+	quit  chan struct{}
+	start sync.Once
+	stop  sync.Once
+	busy  atomic.Int64
+}
+
+func newAlignPool(size int) *alignPool {
+	if size < 1 {
+		size = 1
+	}
+	return &alignPool{
+		size: size,
+		// A shallow buffer decouples submission bursts (several cluster
+		// builds fanning out at once) from worker wake-up latency.
+		tasks: make(chan func(), 4*size),
+		quit:  make(chan struct{}),
+	}
+}
+
+// ensure starts the workers; idempotent.
+func (p *alignPool) ensure() {
+	p.start.Do(func() {
+		for i := 0; i < p.size; i++ {
+			go p.worker()
+		}
+	})
+}
+
+func (p *alignPool) worker() {
+	for {
+		select {
+		case <-p.quit:
+			return
+		case fn := <-p.tasks:
+			p.busy.Add(1)
+			fn()
+			p.busy.Add(-1)
+		}
+	}
+}
+
+// trySubmit offers fn to the pool without blocking; false means the
+// queue is full (or the pool is closed) and the caller should run the
+// work itself.
+func (p *alignPool) trySubmit(fn func()) bool {
+	p.ensure()
+	select {
+	case <-p.quit:
+		return false
+	default:
+	}
+	select {
+	case p.tasks <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// close stops the workers; idempotent. Tasks already dequeued finish;
+// queued-but-unstarted tasks are abandoned, which is safe because every
+// submitted helper is optional (the submitting query completes the work
+// itself and only waits on chunk completion, not helper exit).
+func (p *alignPool) close() {
+	p.stop.Do(func() { close(p.quit) })
+}
+
+// busyWorkers returns the number of workers currently running a task.
+func (p *alignPool) busyWorkers() int64 { return p.busy.Load() }
+
+// queueDepth returns the number of submitted-but-unclaimed tasks.
+func (p *alignPool) queueDepth() int { return len(p.tasks) }
+
+// alignParallel runs fn(aligner, chunk) for every chunk in [0, nchunks)
+// across the caller plus up to size-1 pool helpers. Each participant
+// gets its own GreedyAligner (the aligner carries scratch and is not
+// concurrency-safe); chunks are claimed from a shared atomic counter,
+// so work naturally balances across however many helpers actually get
+// scheduled. The call returns when every chunk has completed — it waits
+// on chunk completion, not helper exit, so a helper that never starts
+// cannot delay the caller. A panic in any chunk is re-raised on the
+// caller's goroutine once the remaining chunks finish.
+func (e *Engine) alignParallel(nchunks int, fn func(al *align.GreedyAligner, chunk int)) {
+	if nchunks <= 0 {
+		return
+	}
+	helpers := 0
+	if e.pool != nil {
+		helpers = e.pool.size - 1
+	}
+	if helpers > nchunks-1 {
+		helpers = nchunks - 1
+	}
+	if helpers <= 0 {
+		al := align.NewGreedy(e.par)
+		for c := 0; c < nchunks; c++ {
+			fn(al, c)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		done     atomic.Int64
+		finished = make(chan struct{})
+		panicked atomic.Value
+	)
+	loop := func() {
+		al := align.NewGreedy(e.par)
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= nchunks {
+				return
+			}
+			func() {
+				defer func() {
+					// A panic must still count the chunk as done, or the
+					// caller would wait forever; it is re-raised below so
+					// the cluster goroutine's recover turns it into an
+					// error exactly as in the serial path.
+					if r := recover(); r != nil {
+						panicked.CompareAndSwap(nil, r)
+					}
+					if done.Add(1) == int64(nchunks) {
+						close(finished)
+					}
+				}()
+				fn(al, c)
+			}()
+		}
+	}
+	for i := 0; i < helpers; i++ {
+		if !e.pool.trySubmit(loop) {
+			break // full queue: the caller picks up the slack
+		}
+	}
+	loop()
+	<-finished
+	if r := panicked.Load(); r != nil {
+		panic(r)
+	}
+}

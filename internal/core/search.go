@@ -71,7 +71,25 @@ func (e *Engine) searchTraced(ctx context.Context, pre *Preprocessed, clusters [
 	start := combo{idx: make([]int, len(eff))}
 	start.lambda = e.comboLambda(eff, start.idx) + basePenalty
 	heap.Push(frontier, start)
-	seen := map[string]bool{start.key(): true}
+	// visited replaces the old string-keyed seen map: combinations are
+	// identified by a 64-bit FNV-1a hash of their index vector, so
+	// dedup costs no per-combination string allocation. Successor keys
+	// are hashed in place (hashIdx's bump argument) without
+	// materialising the candidate slice.
+	visitedSet := map[uint64]struct{}{hashIdx(start.idx, -1): {}}
+
+	// Successor index slices are recycled through a free list: a slice
+	// leaves the list when pushed on the frontier and returns when its
+	// combination is evicted from (or never makes) the top k.
+	var idxFree [][]int
+	getIdx := func() []int {
+		if n := len(idxFree); n > 0 {
+			s := idxFree[n-1]
+			idxFree = idxFree[:n-1]
+			return s
+		}
+		return make([]int, len(eff))
+	}
 
 	type scored struct {
 		idx         []int
@@ -85,6 +103,29 @@ func (e *Engine) searchTraced(ctx context.Context, pre *Preprocessed, clusters [
 			return -1
 		}
 		return results[k-1].score
+	}
+	// addResult inserts sorted by (score asc, degree desc) and returns
+	// the index slice the top-k cut displaced (s's own when it did not
+	// qualify), for the free list — nil when nothing was displaced.
+	addResult := func(s scored) []int {
+		pos := sort.Search(len(results), func(i int) bool {
+			if results[i].score != s.score {
+				return results[i].score > s.score
+			}
+			return results[i].degree < s.degree
+		})
+		if k > 0 && len(results) >= k && pos >= k {
+			return s.idx
+		}
+		results = append(results, scored{})
+		copy(results[pos+1:], results[pos:])
+		results[pos] = s
+		if k > 0 && len(results) > k {
+			evicted := results[k].idx
+			results = results[:k]
+			return evicted
+		}
+		return nil
 	}
 
 	visited := 0
@@ -114,42 +155,37 @@ func (e *Engine) searchTraced(ctx context.Context, pre *Preprocessed, clusters [
 			}
 		}
 		visited++
+
+		// Expand successors before handing c.idx to the result list —
+		// addResult may recycle the slice, and the expansion must read
+		// it. worst() is unaffected by the ordering: successors carry a
+		// lambda ≥ c.lambda, so the bound check at their own pop is
+		// what prunes them.
+		for ci := range c.idx {
+			if c.idx[ci]+1 >= len(eff[ci].Items) {
+				continue
+			}
+			h := hashIdx(c.idx, ci)
+			if _, ok := visitedSet[h]; ok {
+				continue
+			}
+			visitedSet[h] = struct{}{}
+			next := combo{idx: getIdx()}
+			copy(next.idx, c.idx)
+			next.idx[ci]++
+			next.lambda = e.comboLambda(eff, next.idx) + basePenalty
+			heap.Push(frontier, next)
+		}
+
 		psi, degree := sc.score(c.idx)
-		s := scored{
+		if recycled := addResult(scored{
 			idx:    c.idx,
 			lambda: c.lambda,
 			psi:    psi,
 			degree: degree,
 			score:  c.lambda + psi,
-		}
-		// Insert sorted by (score asc, degree desc).
-		pos := sort.Search(len(results), func(i int) bool {
-			if results[i].score != s.score {
-				return results[i].score > s.score
-			}
-			return results[i].degree < s.degree
-		})
-		results = append(results, scored{})
-		copy(results[pos+1:], results[pos:])
-		results[pos] = s
-		if k > 0 && len(results) > k {
-			results = results[:k]
-		}
-
-		// Expand successors: advance one cluster's candidate index.
-		for ci := range c.idx {
-			if c.idx[ci]+1 >= len(eff[ci].Items) {
-				continue
-			}
-			next := combo{idx: append([]int(nil), c.idx...)}
-			next.idx[ci]++
-			key := next.key()
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			next.lambda = e.comboLambda(eff, next.idx) + basePenalty
-			heap.Push(frontier, next)
+		}); recycled != nil {
+			idxFree = append(idxFree, recycled)
 		}
 	}
 
@@ -163,26 +199,18 @@ func (e *Engine) searchTraced(ctx context.Context, pre *Preprocessed, clusters [
 	joined := 0
 	if !cancelled {
 		for _, idx := range e.joinCombos(eff, sc) {
-			key := combo{idx: idx}.key()
-			if seen[key] {
+			h := hashIdx(idx, -1)
+			if _, ok := visitedSet[h]; ok {
 				continue
 			}
-			seen[key] = true
+			visitedSet[h] = struct{}{}
 			joined++
 			lambda := e.comboLambda(eff, idx) + basePenalty
 			psi, degree := sc.score(idx)
-			s := scored{idx: idx, lambda: lambda, psi: psi, degree: degree, score: lambda + psi}
-			pos := sort.Search(len(results), func(i int) bool {
-				if results[i].score != s.score {
-					return results[i].score > s.score
-				}
-				return results[i].degree < s.degree
-			})
-			results = append(results, scored{})
-			copy(results[pos+1:], results[pos:])
-			results[pos] = s
-			if k > 0 && len(results) > k {
-				results = results[:k]
+			if recycled := addResult(scored{
+				idx: idx, lambda: lambda, psi: psi, degree: degree, score: lambda + psi,
+			}); recycled != nil {
+				idxFree = append(idxFree, recycled)
 			}
 		}
 	}
@@ -331,6 +359,14 @@ func (e *Engine) joinCombos(eff []Cluster, sc *comboScorer) [][]int {
 // comboScorer memoises the pairwise ψ/degree contributions: the same
 // (cluster, item) pair recurs across thousands of combinations, but its
 // conformity only depends on the two chosen items.
+//
+// The memo is addressed by a flat linear index off[pi] + ii*stride[pi]
+// + jj — collision-free by construction for any cluster size, unlike
+// the bit-packed uint64 key it replaces (pi<<40|ii<<20|jj silently
+// collided once a cluster passed 2^20 items). Small key spaces use a
+// dense value slice with a presence bitset (no hashing, no per-entry
+// allocation); spaces past denseMemoEntries fall back to a map over
+// the same linear index.
 type comboScorer struct {
 	e   *Engine
 	eff []Cluster
@@ -338,8 +374,22 @@ type comboScorer struct {
 	// have an effective cluster, as (effective-cluster index, query
 	// path) pairs.
 	pairs []scorerPair
-	memo  map[uint64][2]float64
+	// off and stride address pair pi's (ii, jj) block in the flat key
+	// space: key = off[pi] + ii*stride[pi] + jj.
+	off    []int
+	stride []int
+	// Dense representation (small key spaces): vals holds (ψ, degree)
+	// at 2*key, set bit key marks presence.
+	vals []float64
+	set  []uint64
+	// Sparse fallback (huge key spaces), keyed by the linear index.
+	memo map[uint64][2]float64
 }
+
+// denseMemoEntries bounds the dense memo: past 2^20 (ψ, degree) slots
+// (16 MiB of values) the scorer switches to the sparse map, which only
+// pays for combinations actually visited.
+const denseMemoEntries = 1 << 20
 
 type scorerPair struct {
 	ci, cj int
@@ -351,7 +401,7 @@ func newComboScorer(e *Engine, pre *Preprocessed, eff []Cluster) *comboScorer {
 	for i, cl := range eff {
 		byQueryIndex[cl.QueryIndex] = i
 	}
-	sc := &comboScorer{e: e, eff: eff, memo: make(map[uint64][2]float64)}
+	sc := &comboScorer{e: e, eff: eff}
 	for qi, edges := range pre.IG {
 		ci, ok := byQueryIndex[qi]
 		if !ok {
@@ -371,6 +421,20 @@ func newComboScorer(e *Engine, pre *Preprocessed, eff []Cluster) *comboScorer {
 			})
 		}
 	}
+	sc.off = make([]int, len(sc.pairs))
+	sc.stride = make([]int, len(sc.pairs))
+	total := 0
+	for pi, pr := range sc.pairs {
+		sc.off[pi] = total
+		sc.stride[pi] = len(eff[pr.cj].Items)
+		total += len(eff[pr.ci].Items) * len(eff[pr.cj].Items)
+	}
+	if total <= denseMemoEntries {
+		sc.vals = make([]float64, 2*total)
+		sc.set = make([]uint64, (total+63)/64)
+	} else {
+		sc.memo = make(map[uint64][2]float64)
+	}
 	return sc
 }
 
@@ -379,8 +443,14 @@ func (sc *comboScorer) score(idx []int) (float64, float64) {
 	var psi, degree float64
 	for pi, pr := range sc.pairs {
 		ii, jj := idx[pr.ci], idx[pr.cj]
-		key := uint64(pi)<<40 | uint64(ii)<<20 | uint64(jj)
-		if v, ok := sc.memo[key]; ok {
+		key := sc.off[pi] + ii*sc.stride[pi] + jj
+		if sc.vals != nil {
+			if sc.set[key>>6]&(1<<(uint(key)&63)) != 0 {
+				psi += sc.vals[2*key]
+				degree += sc.vals[2*key+1]
+				continue
+			}
+		} else if v, ok := sc.memo[uint64(key)]; ok {
 			psi += v[0]
 			degree += v[1]
 			continue
@@ -397,7 +467,13 @@ func (sc *comboScorer) score(idx []int) (float64, float64) {
 			d = align.PsiDegreeAligned(pr.qi, pr.qj, a.Alignment.Subst, b.Alignment.Subst,
 				a.Path, b.Path)
 		}
-		sc.memo[key] = [2]float64{p, d}
+		if sc.vals != nil {
+			sc.vals[2*key] = p
+			sc.vals[2*key+1] = d
+			sc.set[key>>6] |= 1 << (uint(key) & 63)
+		} else {
+			sc.memo[uint64(key)] = [2]float64{p, d}
+		}
 		psi += p
 		degree += d
 	}
@@ -463,16 +539,29 @@ type combo struct {
 	lambda float64
 }
 
-func (c combo) key() string {
-	b := make([]byte, 0, len(c.idx)*3)
-	for _, i := range c.idx {
-		for i > 0x7f {
-			b = append(b, byte(i&0x7f)|0x80)
-			i >>= 7
+// hashIdx identifies a combination by the 64-bit FNV-1a hash of its
+// index vector, feeding each index as four little-endian bytes
+// (cluster sizes are bounded well below 2^32 by maxCandidatesBound).
+// bump ≥ 0 hashes the vector with idx[bump] incremented by one — the
+// successor's identity without materialising its slice; bump < 0
+// hashes idx as is. Replaces the varint string keys the frontier's
+// seen map used to allocate per successor.
+func hashIdx(idx []int, bump int) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i, v := range idx {
+		if i == bump {
+			v++
 		}
-		b = append(b, byte(i), 0xff)
+		h = (h ^ uint64(v&0xff)) * fnvPrime
+		h = (h ^ uint64((v>>8)&0xff)) * fnvPrime
+		h = (h ^ uint64((v>>16)&0xff)) * fnvPrime
+		h = (h ^ uint64((v>>24)&0xff)) * fnvPrime
 	}
-	return string(b)
+	return h
 }
 
 type comboHeap []combo

@@ -1,0 +1,81 @@
+package index
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"sama/internal/storage"
+)
+
+func TestReadPathsBatchedMatchesPath(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		ix := buildTestIndex(t, Options{Compress: compress})
+		ids := make([]PathID, 0, ix.NumPaths())
+		// Reverse order, so positional results must survive the page sort.
+		for id := ix.NumPaths() - 1; id >= 0; id-- {
+			ids = append(ids, PathID(id))
+		}
+		got, err := ix.ReadPathsBatched(context.Background(), ids)
+		if err != nil {
+			t.Fatalf("compress=%v: %v", compress, err)
+		}
+		for i, id := range ids {
+			want, err := ix.Path(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got[i], want) {
+				t.Errorf("compress=%v: path %d mismatch:\n got %v\nwant %v", compress, id, got[i], want)
+			}
+		}
+	}
+}
+
+func TestReadPathsBatchedRejectsStaleIDs(t *testing.T) {
+	ix := buildTestIndex(t, Options{})
+	if _, err := ix.ReadPathsBatched(context.Background(), []PathID{PathID(ix.NumPaths())}); err == nil {
+		t.Error("out-of-range ID accepted")
+	}
+	ix.deleted[0] = true
+	if _, err := ix.ReadPathsBatched(context.Background(), []PathID{0}); err == nil {
+		t.Error("tombstoned ID accepted")
+	}
+}
+
+func TestReadPathsBatchedCancelled(t *testing.T) {
+	ix := buildTestIndex(t, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ids := []PathID{0, 1, 2}
+	got, err := ix.ReadPathsBatched(ctx, ids)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, p := range got {
+		if len(p.Nodes) != 0 {
+			t.Errorf("path %d materialised despite cancelled context", i)
+		}
+	}
+}
+
+func TestReadPathsBatchedChargesTally(t *testing.T) {
+	ix := buildTestIndex(t, Options{})
+	ids := make([]PathID, ix.NumPaths())
+	for i := range ids {
+		ids[i] = PathID(i)
+	}
+	var tally storage.IOTally
+	ctx := storage.WithTally(context.Background(), &tally)
+	if _, err := ix.ReadPathsBatched(ctx, ids); err != nil {
+		t.Fatal(err)
+	}
+	if tally.Hits()+tally.Misses() == 0 {
+		t.Error("batched read charged nothing to the context tally")
+	}
+	st := ix.BatchedReads()
+	if st.Reads != 1 || st.Paths != uint64(len(ids)) || st.Pages == 0 {
+		t.Errorf("BatchedReads() = %+v, want 1 read, %d paths, >0 pages", st, len(ids))
+	}
+}

@@ -214,6 +214,31 @@ func (bp *BufferPool) ViewTally(t *IOTally, id PageID, fn func(page []byte) erro
 	return fn(fr.data[:])
 }
 
+// ViewBatchTally applies fn to read-only views of the given pages, in
+// order, under a single lock acquisition — the batched-read fast path:
+// one lock round-trip and one LRU pass per page group instead of one
+// per record. Accesses are charged to the global counters and to t
+// (nil counts nothing). fn must not retain the page slice; any data it
+// needs after the call must be copied out. An fn error aborts the batch
+// and is returned verbatim.
+func (bp *BufferPool) ViewBatchTally(t *IOTally, ids []PageID, fn func(i int, page []byte) error) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if bp.closed {
+		return ErrClosed
+	}
+	for i, id := range ids {
+		fr, err := bp.frame(id, t)
+		if err != nil {
+			return err
+		}
+		if err := fn(i, fr.data[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Alloc allocates a fresh page in the underlying file and caches its
 // (zeroed) frame.
 func (bp *BufferPool) Alloc() (PageID, error) {

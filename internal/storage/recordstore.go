@@ -1,8 +1,11 @@
 package storage
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"sort"
 )
 
 // RID is a record identifier: the page and slot of the record's first
@@ -179,6 +182,146 @@ func (rs *RecordStore) appendChunk(payload []byte, next RID) (RID, error) {
 // Read returns the record stored at rid.
 func (rs *RecordStore) Read(rid RID) ([]byte, error) {
 	return rs.ReadTally(nil, rid)
+}
+
+// errBatchStop aborts a ViewBatchTally pass early without surfacing a
+// storage error; the caller translates it back into the context error.
+var errBatchStop = errors.New("storage: batch read stopped")
+
+// RecordError attributes a batch-read failure to one input record, so
+// callers holding higher-level names for the records (the index knows
+// which PathID each RID backs) can report which one failed instead of
+// an anonymous whole-batch error.
+type RecordError struct {
+	// Index is the record's position in the input RID slice.
+	Index int
+	// RID is the failing record.
+	RID RID
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *RecordError) Error() string {
+	return fmt.Sprintf("record %d (%v): %v", e.Index, e.RID, e.Err)
+}
+
+func (e *RecordError) Unwrap() error { return e.Err }
+
+// ReadBatchTally reads several records in one page-locality pass: the
+// RIDs are sorted by (page, slot), each distinct page is visited once
+// through a single buffer-pool batch view, and every first chunk
+// resident on it is copied out under that one lock acquisition.
+// Overflow chains (records spanning pages) are completed afterwards
+// with per-record reads — the common case of one-chunk records never
+// touches a page twice.
+//
+// Results are returned in input order. The int result is the number of
+// distinct first-chunk pages visited. If ctx is cancelled mid-batch,
+// records not yet fully materialised are left nil in the result and
+// the context error is returned alongside the partial results; a nil
+// entry therefore means "not read", while a non-nil empty slice is a
+// genuinely empty record. Page accesses are charged to t (nil counts
+// nothing).
+func (rs *RecordStore) ReadBatchTally(ctx context.Context, t *IOTally, rids []RID) ([][]byte, int, error) {
+	out := make([][]byte, len(rids))
+	if len(rids) == 0 {
+		return out, 0, nil
+	}
+
+	type ent struct {
+		idx  int // position in rids / out
+		rid  RID
+		next RID // overflow link recorded during the batch pass
+		read bool
+	}
+	ents := make([]ent, len(rids))
+	for i, rid := range rids {
+		ents[i] = ent{idx: i, rid: rid}
+	}
+	sort.Slice(ents, func(a, b int) bool {
+		if ents[a].rid.Page != ents[b].rid.Page {
+			return ents[a].rid.Page < ents[b].rid.Page
+		}
+		return ents[a].rid.Slot < ents[b].rid.Slot
+	})
+
+	pages := make([]PageID, 0, len(ents))
+	for _, e := range ents {
+		if n := len(pages); n == 0 || pages[n-1] != e.rid.Page {
+			pages = append(pages, e.rid.Page)
+		}
+	}
+
+	// One pass over the distinct pages: pin each once, copy out every
+	// first chunk resident on it. The payload copies happen under the
+	// pool lock because frames may be rewritten after it is released.
+	cur := 0
+	npages := 0
+	err := rs.pool.ViewBatchTally(t, pages, func(i int, p []byte) error {
+		if ctx.Err() != nil {
+			return errBatchStop
+		}
+		npages++
+		nslots := pageSlotCount(p)
+		for cur < len(ents) && ents[cur].rid.Page == pages[i] {
+			e := &ents[cur]
+			cur++
+			if e.rid.Slot >= nslots {
+				return &RecordError{Index: e.idx, RID: e.rid,
+					Err: fmt.Errorf("storage: %v: slot beyond slot count %d", e.rid, nslots)}
+			}
+			off, length := slotEntry(p, e.rid.Slot)
+			if int(off)+int(length) > PageSize || length < chunkHdrSize {
+				return &RecordError{Index: e.idx, RID: e.rid,
+					Err: fmt.Errorf("storage: %v: corrupt slot entry", e.rid)}
+			}
+			chunk := p[off : off+length]
+			e.next = RID{
+				Page: PageID(binary.LittleEndian.Uint32(chunk[0:4])),
+				Slot: binary.LittleEndian.Uint16(chunk[4:6]),
+			}
+			payload := make([]byte, len(chunk)-chunkHdrSize)
+			copy(payload, chunk[chunkHdrSize:])
+			out[e.idx] = payload
+			e.read = true
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errBatchStop) {
+		// A page fault surfaces from the pool before fn sees the page;
+		// attribute it to the first unprocessed record, which is the
+		// head of the failing page's group.
+		var re *RecordError
+		if !errors.As(err, &re) && cur < len(ents) {
+			err = &RecordError{Index: ents[cur].idx, RID: ents[cur].rid, Err: err}
+		}
+		return nil, npages, err
+	}
+	stopped := errors.Is(err, errBatchStop)
+
+	// Complete overflow chains. A record interrupted mid-chain would be
+	// silently truncated, so on cancellation incomplete entries are
+	// reset to nil rather than returned partial.
+	for i := range ents {
+		e := &ents[i]
+		if !e.read || e.next.IsZero() {
+			continue
+		}
+		if stopped || ctx.Err() != nil {
+			stopped = true
+			out[e.idx] = nil
+			continue
+		}
+		rest, rerr := rs.ReadTally(t, e.next)
+		if rerr != nil {
+			return nil, npages, &RecordError{Index: e.idx, RID: e.rid, Err: rerr}
+		}
+		out[e.idx] = append(out[e.idx], rest...)
+	}
+	if stopped {
+		return out, npages, ctx.Err()
+	}
+	return out, npages, nil
 }
 
 // ReadTally is Read with the page accesses charged to the

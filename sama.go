@@ -213,6 +213,14 @@ func WithAnswerCache(entries int) Option {
 	return func(c *config) { c.engine.AnswerCacheEntries = entries }
 }
 
+// WithParallelism bounds the engine's alignment worker pool: cluster
+// builds fan candidate alignments out over up to n workers. n ≤ 0 (the
+// default) sizes the pool to GOMAXPROCS. Parallelism only changes
+// scheduling — ranked answers are identical at every setting.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.engine.Parallelism = n }
+}
+
 // WithAlignmentCache enables the alignment memo: per (query path, data
 // path) alignments are retained up to a byte budget of mb MiB (LRU) and
 // reused across queries sharing a path shape, skipping the edit-cost
@@ -524,13 +532,22 @@ func (db *DB) CacheStats() map[string]CacheStats { return db.engine.CacheStats()
 
 // DebugHandler returns the debug HTTP handler tree: /metrics
 // (Prometheus text), /debug/vars (expvar plus a "sama_cache" section
-// with the answer/alignment cache counters), /debug/lastqueries
+// with the answer/alignment cache counters and a "sama_align" section
+// with the worker-pool and batched-read state), /debug/lastqueries
 // (recent traces as JSON) and /debug/pprof/* — mountable under any
 // server or httptest.
 func (db *DB) DebugHandler() http.Handler {
 	return obs.DebugMux(db.reg, db.lastq, obs.DebugVar{
 		Name:  "sama_cache",
 		Value: func() any { return db.engine.CacheStats() },
+	}, obs.DebugVar{
+		Name: "sama_align",
+		Value: func() any {
+			return struct {
+				Pool         core.ParallelStats     `json:"pool"`
+				BatchedReads index.BatchedReadStats `json:"batched_reads"`
+			}{db.engine.ParallelStats(), db.idx.BatchedReads()}
+		},
 	})
 }
 
@@ -601,6 +618,7 @@ func (db *DB) Close() error {
 	if db.closed.Swap(true) {
 		return nil
 	}
+	db.engine.Close()
 	return db.idx.Close()
 }
 
