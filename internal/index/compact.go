@@ -1,34 +1,96 @@
 package index
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"time"
 
+	"sama/internal/paths"
 	"sama/internal/storage"
 	"sama/internal/textindex"
 )
 
-// Compact rewrites the index files keeping only live paths, reclaiming
-// the space held by tombstoned records (the record store is append-only,
-// so InsertTriples can only grow the files). The index must be the sole
-// user of its files during compaction. On success the index serves from
-// the compacted files; on failure the original files remain intact and
-// the index stays usable.
-func (ix *Index) Compact() error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	tmpBase := ix.base + ".compact"
-	fail := func(file *storage.PageFile, err error) error {
-		if file != nil {
-			file.Close()
-		}
-		os.Remove(pagesPath(tmpBase))
-		os.Remove(metaPath(tmpBase))
-		return err
+// DefaultCompactBatch is the number of live paths copied per bounded
+// step of an incremental compaction.
+const DefaultCompactBatch = 1024
+
+// CompactStats reports what an incremental compaction did. Pauses is
+// the distribution the write path cares about: every entry is one
+// interval the compaction held an index lock (read locks for the batch
+// copies, the write lock for the final swap), which is exactly how
+// long concurrent queries or inserts could have been stalled.
+type CompactStats struct {
+	// Live is the number of paths in the compacted index.
+	Live int `json:"live"`
+	// Copied is the number of paths copied by the concurrent batch
+	// phase; DeltaCopied were appended by writes racing the compaction
+	// and copied under the final write lock.
+	Copied      int `json:"copied"`
+	DeltaCopied int `json:"delta_copied"`
+	// Batches is the number of bounded copy steps.
+	Batches int `json:"batches"`
+	// Pauses are the individual lock-hold durations; MaxPause is their
+	// maximum (the worst single stall the compaction induced).
+	Pauses   []time.Duration `json:"-"`
+	MaxPause time.Duration   `json:"max_pause_ns"`
+	// Elapsed is the whole compaction's wall-clock time.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+func (cs *CompactStats) pause(d time.Duration) {
+	cs.Pauses = append(cs.Pauses, d)
+	if d > cs.MaxPause {
+		cs.MaxPause = d
 	}
+}
+
+// Compact rewrites the index files keeping only live paths, reclaiming
+// the space held by tombstoned records. It is CompactIncremental with
+// the default batch size; see there for the concurrency contract.
+func (ix *Index) Compact() error {
+	_, err := ix.CompactIncremental(context.Background(), 0)
+	return err
+}
+
+// CompactIncremental rewrites the index in bounded steps while queries
+// and writes proceed. The bulk of the copy runs under short read locks
+// — batch live paths are materialised per step, the lock released
+// between steps — so in-flight queries keep reading the consistent
+// pre-compaction state (their epoch snapshot) throughout. Only the
+// final phase takes the write lock: paths appended by writes that
+// raced the copy are carried over, paths tombstoned during it are
+// re-tombstoned in the new files, the files are swapped (rename), and
+// the epoch bumps — invalidating every cache entry that names an old
+// PathID. With a WAL the swap doubles as a checkpoint: the new
+// metadata carries the applied watermark and the log's applied prefix
+// is reclaimed.
+//
+// batch ≤ 0 selects DefaultCompactBatch. One compaction runs at a
+// time; a second concurrent call fails immediately. On any failure the
+// original files remain intact and the index stays usable.
+func (ix *Index) CompactIncremental(ctx context.Context, batch int) (cs CompactStats, err error) {
+	start := time.Now()
+	if batch <= 0 {
+		batch = DefaultCompactBatch
+	}
+	if !ix.compacting.CompareAndSwap(false, true) {
+		return cs, fmt.Errorf("index: compaction already in progress")
+	}
+	defer ix.compacting.Store(false)
+
+	ix.mu.RLock()
+	if ix.recoverNeeded {
+		ix.mu.RUnlock()
+		return cs, ErrNeedsRecovery
+	}
+	startLen := len(ix.rids)
+	ix.mu.RUnlock()
+
+	tmpBase := ix.base + ".compact"
 	file, err := storage.CreatePageFile(pagesPath(tmpBase))
 	if err != nil {
-		return err
+		return cs, err
 	}
 	next := &Index{
 		base:    tmpBase,
@@ -37,58 +99,143 @@ func (ix *Index) Compact() error {
 		sinks:   textindex.New(ix.thes),
 		labels:  textindex.New(ix.thes),
 		sources: textindex.New(nil),
-		graph:   ix.graph,
 		pathCfg: ix.pathCfg,
 	}
 	if ix.dict != nil {
 		next.dict = NewDictionary()
 	}
 	next.store = storage.NewRecordStore(next.pool)
+	fail := func(err error) (CompactStats, error) {
+		file.Close()
+		os.Remove(pagesPath(tmpBase))
+		os.Remove(metaPath(tmpBase))
+		os.Remove(metaPath(tmpBase) + ".tmp")
+		return cs, err
+	}
 
-	for id := 0; id < len(ix.rids); id++ {
+	// Phase 1 — concurrent bounded copy. Each step materialises up to
+	// `batch` live paths under a read lock, then appends them to the
+	// new files with no lock held. `copied` maps the new index's dense
+	// IDs (its append order) back to the old IDs, so the final phase
+	// can re-tombstone paths deleted while the copy ran.
+	var copied []PathID
+	for lo := 0; lo < startLen; lo += batch {
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+		hi := lo + batch
+		if hi > startLen {
+			hi = startLen
+		}
+		type pathCopy struct {
+			id PathID
+			p  paths.Path
+		}
+		var got []pathCopy
+		held := time.Now()
+		ix.mu.RLock()
+		for id := lo; id < hi; id++ {
+			if ix.deleted[id] {
+				continue
+			}
+			p, err := ix.pathLocked(PathID(id))
+			if err != nil {
+				ix.mu.RUnlock()
+				return fail(fmt.Errorf("index: compact: read path %d: %w", id, err))
+			}
+			got = append(got, pathCopy{id: PathID(id), p: p})
+		}
+		ix.mu.RUnlock()
+		cs.pause(time.Since(held))
+		cs.Batches++
+		for _, pc := range got {
+			if err := next.addPath(pc.p); err != nil {
+				return fail(fmt.Errorf("index: compact: rewrite path %d: %w", pc.id, err))
+			}
+			copied = append(copied, pc.id)
+		}
+	}
+	cs.Copied = len(copied)
+
+	// Phase 2 — the swap, under the write lock: carry over the delta
+	// (paths appended during phase 1), re-tombstone what was deleted
+	// under us, persist, and adopt the new files.
+	held := time.Now()
+	ix.mu.Lock()
+	defer func() {
+		ix.mu.Unlock()
+		cs.pause(time.Since(held))
+		cs.Elapsed = time.Since(start)
+	}()
+	for id := startLen; id < len(ix.rids); id++ {
 		if ix.deleted[id] {
 			continue
 		}
 		p, err := ix.pathLocked(PathID(id))
 		if err != nil {
-			return fail(file, fmt.Errorf("index: compact: read path %d: %w", id, err))
+			return fail(fmt.Errorf("index: compact: read delta path %d: %w", id, err))
 		}
 		if err := next.addPath(p); err != nil {
-			return fail(file, fmt.Errorf("index: compact: rewrite path %d: %w", id, err))
+			return fail(fmt.Errorf("index: compact: rewrite delta path %d: %w", id, err))
+		}
+		copied = append(copied, PathID(id))
+		cs.DeltaCopied++
+	}
+	for j, oldID := range copied {
+		if ix.deleted[oldID] {
+			next.deleted[j] = true
 		}
 	}
+	next.graph = ix.graph
 	next.stats = ix.stats
-	next.stats.Paths = len(next.rids)
+	next.stats.Paths = next.livePathsLocked()
 	next.stats.HE = next.stats.Triples + next.stats.Paths
+	// The new metadata must carry the WAL linkage and watermark, so a
+	// crash right after the swap recovers against the compacted files.
+	next.walDir = ix.walDir
+	next.applied.watermark = ix.applied.watermark
+	if ix.wal != nil && len(ix.sinceCheckpoint) > 0 {
+		// Checkpoint discipline: the sidecar must cover everything the
+		// new metadata reflects before the WAL prefix is reclaimed.
+		if err := appendSidecar(sidecarPath(ix.base), ix.sinceCheckpoint); err != nil {
+			return fail(err)
+		}
+		ix.sinceCheckpoint = nil
+	}
 	if err := next.pool.Flush(); err != nil {
-		return fail(file, err)
+		return fail(err)
 	}
 	if err := next.writeMeta(); err != nil {
-		return fail(file, err)
+		return fail(err)
 	}
 	if err := file.Close(); err != nil {
-		return fail(nil, err)
+		return fail(err)
 	}
 
-	// Swap the files under the live index.
 	if err := ix.pool.Close(); err != nil {
-		return err
+		return cs, err
 	}
 	if err := ix.file.Close(); err != nil {
-		return err
+		return cs, err
 	}
+	// The pages rename is the swap's commit point: recoverCompactSwap
+	// finishes the meta rename if a crash lands between the two.
 	if err := os.Rename(pagesPath(tmpBase), pagesPath(ix.base)); err != nil {
-		return fmt.Errorf("index: compact: swap pages: %w", err)
+		return cs, fmt.Errorf("index: compact: swap pages: %w", err)
 	}
 	if err := os.Rename(metaPath(tmpBase), metaPath(ix.base)); err != nil {
-		return fmt.Errorf("index: compact: swap meta: %w", err)
+		return cs, fmt.Errorf("index: compact: swap meta: %w", err)
 	}
-	reopened, err := Open(ix.base, Options{Paths: ix.pathCfg, Thesaurus: ix.thes, WrapIO: ix.wrapIO})
+	if err := syncDirOf(metaPath(ix.base)); err != nil {
+		return cs, fmt.Errorf("index: compact: sync dir: %w", err)
+	}
+	reopened, err := openIndex(ix.base, Options{Paths: ix.pathCfg, Thesaurus: ix.thes, WrapIO: ix.wrapIO}, false)
 	if err != nil {
-		return fmt.Errorf("index: compact: reopen: %w", err)
+		return cs, fmt.Errorf("index: compact: reopen: %w", err)
 	}
 	// Adopt the reopened state field by field: ix.mu is held and must
-	// not be overwritten.
+	// not be overwritten, and the WAL handle, graph, and watermark
+	// survive the swap.
 	ix.file = reopened.file
 	ix.pool = reopened.pool
 	ix.store = reopened.store
@@ -101,8 +248,15 @@ func (ix *Index) Compact() error {
 	ix.dict = reopened.dict
 	ix.stats = reopened.stats
 	ix.stats.DiskBytes = ix.diskBytes()
+	cs.Live = ix.livePathsLocked()
 	// Compaction renumbers PathIDs, so any cache entry naming one is
 	// garbage now; the epoch bump invalidates them all.
 	ix.epoch++
-	return nil
+	if ix.wal != nil {
+		if err := ix.wal.Checkpoint(ix.applied.watermark); err != nil {
+			return cs, fmt.Errorf("index: compact: wal checkpoint: %w", err)
+		}
+		ix.store.SealCurrentPage()
+	}
+	return cs, nil
 }

@@ -1,6 +1,9 @@
 package index
 
 import (
+	"context"
+	"fmt"
+	"os"
 	"path/filepath"
 	"sort"
 	"testing"
@@ -112,4 +115,265 @@ func TestCompactCompressedIndex(t *testing.T) {
 	if got := livePathKeys(t, back); len(got) != len(after) {
 		t.Errorf("reopened compacted index paths = %d, want %d", len(got), len(after))
 	}
+}
+
+func TestCompactIncrementalStats(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "inc")
+	ix, err := Build(base, figure1Graph(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if err := ix.InsertTriples([]rdf.Triple{
+		{S: iri("CarlaBunes"), P: iri("sponsor"), O: iri("A8000")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	liveBefore := ix.LivePaths()
+	cs, err := ix.CompactIncremental(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Batches < 2 {
+		t.Errorf("batch=2 over %d paths ran %d batches, want several", liveBefore, cs.Batches)
+	}
+	if cs.Live != liveBefore {
+		t.Errorf("Live = %d, want %d", cs.Live, liveBefore)
+	}
+	if cs.Copied+cs.DeltaCopied < liveBefore {
+		t.Errorf("Copied %d + DeltaCopied %d < %d live paths", cs.Copied, cs.DeltaCopied, liveBefore)
+	}
+	// One pause per batch plus the final write-locked swap.
+	if len(cs.Pauses) != cs.Batches+1 {
+		t.Errorf("pauses = %d, want batches+1 = %d", len(cs.Pauses), cs.Batches+1)
+	}
+	if cs.MaxPause <= 0 || cs.Elapsed < cs.MaxPause {
+		t.Errorf("MaxPause %v / Elapsed %v inconsistent", cs.MaxPause, cs.Elapsed)
+	}
+}
+
+func TestCompactIncrementalContextCancel(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "cancel")
+	ix, err := Build(base, figure1Graph(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	want := livePathKeys(t, ix)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ix.CompactIncremental(ctx, 1); err == nil {
+		t.Fatal("cancelled compaction reported success")
+	}
+	if got := livePathKeys(t, ix); !equalKeys(got, want) {
+		t.Fatal("cancelled compaction changed the index")
+	}
+	// The failed pass released the compaction slot and left the files
+	// intact: a retry succeeds.
+	if _, err := ix.CompactIncremental(context.Background(), 0); err != nil {
+		t.Fatalf("compaction after cancelled pass: %v", err)
+	}
+}
+
+func TestCompactIncrementalExclusive(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "excl")
+	ix, err := Build(base, figure1Graph(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	ix.compacting.Store(true)
+	if _, err := ix.CompactIncremental(context.Background(), 0); err == nil {
+		t.Fatal("second concurrent compaction did not fail")
+	}
+	ix.compacting.Store(false)
+}
+
+// TestCompactIncrementalConcurrentInserts races a fine-grained
+// compaction against a stream of inserts and checks the final live
+// path set is exactly what the final graph enumerates — every insert
+// landed either in the batch copy, the delta copy, or after the swap,
+// never lost or duplicated.
+func TestCompactIncrementalConcurrentInserts(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "race")
+	g := figure1Graph()
+	ix, err := Build(base, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	done := make(chan struct{})
+	var insertErr error
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			tr := rdf.Triple{
+				S: iri(fmt.Sprintf("Racer%02d", i)),
+				P: iri("sponsor"),
+				O: iri("B1432"),
+			}
+			if err := ix.InsertTriples([]rdf.Triple{tr}); err != nil {
+				insertErr = err
+				return
+			}
+		}
+	}()
+	for {
+		if _, err := ix.CompactIncremental(context.Background(), 1); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-done:
+			if insertErr != nil {
+				t.Fatal(insertErr)
+			}
+			// One final pass over the quiesced index.
+			if _, err := ix.CompactIncremental(context.Background(), 1); err != nil {
+				t.Fatal(err)
+			}
+			got := livePathKeys(t, ix)
+			refBase := filepath.Join(t.TempDir(), "ref")
+			ref, err := Build(refBase, ix.Graph(), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ref.Close()
+			if want := livePathKeys(t, ref); !equalKeys(got, want) {
+				t.Fatalf("after concurrent compact+insert: %d live paths, reference enumerates %d",
+					len(got), len(want))
+			}
+			if ix.NumPaths() != ix.LivePaths() {
+				t.Error("final compaction left tombstones")
+			}
+			return
+		default:
+		}
+	}
+}
+
+// TestCompactSwapCrashRecovery drives Open through both halves of the
+// swap's crash window: temporaries from before the commit point are
+// discarded (the original index answers), a meta rename lost after the
+// pages rename is completed (the compacted index answers).
+func TestCompactSwapCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "ix")
+	ix, err := Build(base, figure1Graph(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.InsertTriples([]rdf.Triple{
+		{S: iri("CarlaBunes"), P: iri("sponsor"), O: iri("A8000")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := livePathKeys(t, ix)
+	preSlots := ix.NumPaths()
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-commit crash: both temporaries exist, originals untouched.
+	copyTree(t, pagesPath(base), pagesPath(base+".compact"))
+	copyTree(t, metaPath(base), metaPath(base+".compact"))
+	re, err := Open(base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := livePathKeys(t, re); !equalKeys(got, want) {
+		t.Fatal("pre-commit crash recovery changed the answers")
+	}
+	if re.NumPaths() != preSlots {
+		t.Fatalf("pre-commit recovery slots = %d, want the uncompacted %d", re.NumPaths(), preSlots)
+	}
+	if _, err := os.Stat(pagesPath(base + ".compact")); !os.IsNotExist(err) {
+		t.Error("pre-commit temporaries not discarded")
+	}
+
+	// Post-commit crash: compact fully, then reconstruct the state a
+	// kill between the two renames leaves — new pages in place, OLD
+	// meta in place, new meta still under the temporary name.
+	oldMeta, err := os.ReadFile(metaPath(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	postSlots := re.NumPaths()
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(metaPath(base), metaPath(base+".compact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(metaPath(base), oldMeta, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := Open(base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if got := livePathKeys(t, re2); !equalKeys(got, want) {
+		t.Fatal("post-commit crash recovery changed the answers")
+	}
+	if re2.NumPaths() != postSlots {
+		t.Fatalf("post-commit recovery slots = %d, want the compacted %d", re2.NumPaths(), postSlots)
+	}
+}
+
+// TestCompactIncrementalWithWAL: compaction on a WAL-enabled index
+// keeps the log linkage — the swap checkpoints, and a crash after it
+// recovers against the compacted files with the same answers.
+func TestCompactIncrementalWithWAL(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "ix")
+	walDir := filepath.Join(dir, "wal")
+	ix, err := Build(base, figure1Graph(), Options{WALDir: walDir, CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.InsertTriples(walTestTriples); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := ix.CompactIncremental(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Live != ix.LivePaths() {
+		t.Errorf("Live = %d, want %d", cs.Live, ix.LivePaths())
+	}
+	st, ok := ix.WALStats()
+	if !ok {
+		t.Fatal("WAL detached by compaction")
+	}
+	if st.Checkpoints == 0 {
+		t.Error("compaction swap did not checkpoint the WAL")
+	}
+	// Insert after the swap, then crash: the record must replay against
+	// the compacted files.
+	if err := ix.InsertTriples([]rdf.Triple{
+		{S: iri("PostSwap"), P: iri("sponsor"), O: iri("A0056")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := livePathKeys(t, ix)
+	finalGraph := ix.Graph()
+	cb, cw := crashClone(t, base, walDir)
+	ix.Close()
+
+	re, err := Open(cb, Options{WALDir: cw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, err := re.Recover(figure1Graph()); err != nil {
+		t.Fatalf("Recover after compact+crash: %v", err)
+	}
+	if got := livePathKeys(t, re); !equalKeys(got, want) {
+		t.Fatalf("answers diverge after compact+crash+recover: %d vs %d paths", len(got), len(want))
+	}
+	_ = finalGraph
 }

@@ -1,0 +1,302 @@
+package index
+
+import (
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+// The crash matrix kills a WAL-enabled index at every stage of the
+// write path — before the WAL append, mid-append (torn record), during
+// the group-commit fsync, after the acknowledged insert, at both
+// half-checkpoint states, and mid-compaction — and asserts the
+// recovered index answers queries exactly as a consistent state would:
+// the post-insert state wherever the insert was acknowledged, either
+// consistent state where it was still in flight, and never anything
+// torn. "Kills" are on-disk snapshots: everything visible at the kill
+// instant is copied to a fresh directory and reopened there, exactly
+// what a process killed at that instant would find on restart.
+
+// crashRig is one WAL-enabled index under crash testing plus the
+// consistent states recovery is allowed to land in.
+type crashRig struct {
+	base, walDir string
+	ix           *Index
+	preKeys      []string // live paths before the test batch
+	postKeys     []string // live paths after the test batch
+}
+
+// newCrashRig builds a figure-1 index with a WAL (manual checkpoints
+// only, so the test controls exactly what is on disk) and records the
+// pre-insert answer state. syncHook, when non-nil, interposes on every
+// WAL commit fsync.
+func newCrashRig(t *testing.T, syncHook func() error) *crashRig {
+	t.Helper()
+	dir := t.TempDir()
+	r := &crashRig{
+		base:   filepath.Join(dir, "ix"),
+		walDir: filepath.Join(dir, "wal"),
+	}
+	ix, err := Build(r.base, figure1Graph(), Options{
+		WALDir:          r.walDir,
+		CheckpointBytes: -1,
+		WALSyncHook:     syncHook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	r.ix = ix
+	r.preKeys = livePathKeys(t, ix)
+	return r
+}
+
+// insertBatch applies the matrix's test batch and records the
+// post-insert answer state.
+func (r *crashRig) insertBatch(t *testing.T) {
+	t.Helper()
+	if err := r.ix.InsertTriples(walTestTriples); err != nil {
+		t.Fatal(err)
+	}
+	r.postKeys = livePathKeys(t, r.ix)
+}
+
+// recoverClone reopens a crash snapshot and runs recovery, returning
+// the recovered answer state.
+func recoverClone(t *testing.T, base, walDir string) []string {
+	t.Helper()
+	re, err := Open(base, Options{WALDir: walDir, CheckpointBytes: -1})
+	if err != nil {
+		t.Fatalf("open crash snapshot: %v", err)
+	}
+	t.Cleanup(func() { re.Close() })
+	if _, err := re.Recover(figure1Graph()); err != nil {
+		t.Fatalf("recover crash snapshot: %v", err)
+	}
+	return livePathKeys(t, re)
+}
+
+func TestCrashMatrixBeforeWALAppend(t *testing.T) {
+	r := newCrashRig(t, nil)
+	// Kill before the append: the batch left no trace anywhere.
+	cb, cw := crashClone(t, r.base, r.walDir)
+	r.insertBatch(t)
+	if got := recoverClone(t, cb, cw); !equalKeys(got, r.preKeys) {
+		t.Fatalf("recovered state is not the pre-insert state: %d vs %d paths", len(got), len(r.preKeys))
+	}
+}
+
+func TestCrashMatrixDuringWALAppend(t *testing.T) {
+	// Kill mid-append: snapshot while the record bytes are being
+	// written (inside the commit, pre-fsync), then tear the tail of the
+	// snapshot's newest segment — the on-disk picture of a crash that
+	// caught the kernel mid-write. The unacknowledged batch must be
+	// truncated away, never half-replayed.
+	var snapBase, snapWAL string
+	var armed atomic.Bool
+	var r *crashRig
+	hook := func() error {
+		if armed.CompareAndSwap(true, false) {
+			snapBase, snapWAL = crashClone(t, r.base, r.walDir)
+		}
+		return nil
+	}
+	r = newCrashRig(t, hook)
+	armed.Store(true)
+	r.insertBatch(t)
+	if snapBase == "" {
+		t.Fatal("sync hook never fired")
+	}
+	// Tear: chop a few bytes off the newest segment so the record's
+	// frame is incomplete.
+	segs, err := filepath.Glob(filepath.Join(snapWAL, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments in snapshot: %v", err)
+	}
+	last := segs[len(segs)-1]
+	info, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	got := recoverClone(t, snapBase, snapWAL)
+	if !equalKeys(got, r.preKeys) {
+		t.Fatalf("torn append not rolled back: %d vs %d paths", len(got), len(r.preKeys))
+	}
+}
+
+func TestCrashMatrixDuringGroupCommitFsync(t *testing.T) {
+	// Kill during the fsync: the record bytes are fully written but not
+	// yet acknowledged. Recovery may land on either side of the batch —
+	// both are consistent — but never between.
+	var snapBase, snapWAL string
+	var armed atomic.Bool
+	var r *crashRig
+	hook := func() error {
+		if armed.CompareAndSwap(true, false) {
+			snapBase, snapWAL = crashClone(t, r.base, r.walDir)
+		}
+		return nil
+	}
+	r = newCrashRig(t, hook)
+	armed.Store(true)
+	r.insertBatch(t)
+	if snapBase == "" {
+		t.Fatal("sync hook never fired")
+	}
+	got := recoverClone(t, snapBase, snapWAL)
+	if !equalKeys(got, r.preKeys) && !equalKeys(got, r.postKeys) {
+		t.Fatalf("recovered state is neither pre (%d paths) nor post (%d): got %d",
+			len(r.preKeys), len(r.postKeys), len(got))
+	}
+}
+
+func TestCrashMatrixAfterAcknowledgedInsert(t *testing.T) {
+	// Kill after InsertTriples returned: the batch was acknowledged, so
+	// recovery MUST surface it — durability is the whole contract.
+	r := newCrashRig(t, nil)
+	r.insertBatch(t)
+	cb, cw := crashClone(t, r.base, r.walDir)
+	if got := recoverClone(t, cb, cw); !equalKeys(got, r.postKeys) {
+		t.Fatalf("acknowledged insert lost: %d vs %d paths", len(got), len(r.postKeys))
+	}
+}
+
+func TestCrashMatrixMidCheckpoint(t *testing.T) {
+	// The checkpoint's on-disk protocol is: (1) flush pages, (2) append
+	// + fsync the sidecar, (3) atomically replace the metadata, (4)
+	// truncate the WAL. A kill between any two steps must recover to
+	// the post-insert state — the batch was acknowledged long before.
+	// The two observable intermediate states are reconstructed by
+	// mixing the files of a pre-checkpoint and a post-checkpoint
+	// snapshot.
+	r := newCrashRig(t, nil)
+	r.insertBatch(t)
+	preB, preW := crashClone(t, r.base, r.walDir) // checkpoint not started
+	if err := r.ix.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	postB, postW := crashClone(t, r.base, r.walDir) // checkpoint complete
+
+	t.Run("after-sidecar-before-meta", func(t *testing.T) {
+		// Sidecar written, metadata still old, WAL untruncated: the
+		// record replays on top of the sidecar's triples; both paths
+		// re-derive the same answers (replay is idempotent).
+		dir := t.TempDir()
+		base, wal := filepath.Join(dir, "ix"), filepath.Join(dir, "wal")
+		copyTree(t, pagesPath(preB), pagesPath(base))
+		copyTree(t, metaPath(preB), metaPath(base))
+		copyTree(t, sidecarPath(postB), sidecarPath(base))
+		copyTree(t, preW, wal)
+		if got := recoverClone(t, base, wal); !equalKeys(got, r.postKeys) {
+			t.Fatalf("mid-checkpoint (sidecar flushed) lost the batch: %d vs %d paths", len(got), len(r.postKeys))
+		}
+	})
+	t.Run("after-meta-before-truncate", func(t *testing.T) {
+		// Metadata committed, WAL truncation lost: records at or below
+		// the watermark are skipped on replay, not applied twice.
+		dir := t.TempDir()
+		base, wal := filepath.Join(dir, "ix"), filepath.Join(dir, "wal")
+		copyTree(t, pagesPath(postB), pagesPath(base))
+		copyTree(t, metaPath(postB), metaPath(base))
+		copyTree(t, sidecarPath(postB), sidecarPath(base))
+		copyTree(t, preW, wal) // the untruncated, pre-checkpoint log
+		if got := recoverClone(t, base, wal); !equalKeys(got, r.postKeys) {
+			t.Fatalf("mid-checkpoint (meta committed) diverged: %d vs %d paths", len(got), len(r.postKeys))
+		}
+	})
+	_ = postW
+}
+
+func TestCrashMatrixMidCompaction(t *testing.T) {
+	// Kill during an incremental compaction, at both sides of the
+	// swap's commit point. The WAL-specific states (pre-commit
+	// temporaries discarded, post-commit meta rename completed) are
+	// synthesised the same way TestCompactSwapCrashRecovery does for
+	// the plain index, here with the log attached.
+	r := newCrashRig(t, nil)
+	r.insertBatch(t)
+	if err := r.ix.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("during-copy-phase", func(t *testing.T) {
+		// Phase 1 writes only <base>.compact.pages; a kill there leaves
+		// the original files authoritative and the temporary is garbage.
+		cb, cw := crashClone(t, r.base, r.walDir)
+		if err := os.WriteFile(pagesPath(cb+".compact"), []byte("partial compaction output"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got := recoverClone(t, cb, cw); !equalKeys(got, r.postKeys) {
+			t.Fatalf("mid-copy crash diverged: %d vs %d paths", len(got), len(r.postKeys))
+		}
+		if _, err := os.Stat(pagesPath(cb + ".compact")); !os.IsNotExist(err) {
+			t.Error("phase-1 temporary survived recovery")
+		}
+	})
+
+	t.Run("between-swap-renames", func(t *testing.T) {
+		// Compact for real, then reconstruct the kill between the pages
+		// rename and the meta rename: new pages in place, old meta in
+		// place, new meta still under the temporary name.
+		oldMeta, err := os.ReadFile(metaPath(r.base))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.ix.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		want := livePathKeys(t, r.ix)
+		cb, cw := crashClone(t, r.base, r.walDir)
+		if err := os.Rename(metaPath(cb), metaPath(cb+".compact")); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(metaPath(cb), oldMeta, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got := recoverClone(t, cb, cw); !equalKeys(got, want) {
+			t.Fatalf("post-commit compaction crash diverged: %d vs %d paths", len(got), len(want))
+		}
+	})
+}
+
+// TestCrashMatrixTornTailMetrics: the recovery stats report the torn
+// tail repair so operators can see silent data-loss-free repairs.
+func TestCrashMatrixTornTailMetrics(t *testing.T) {
+	r := newCrashRig(t, nil)
+	r.insertBatch(t)
+	cb, cw := crashClone(t, r.base, r.walDir)
+	segs, _ := filepath.Glob(filepath.Join(cw, "wal-*.log"))
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	info, err := os.Stat(segs[len(segs)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[len(segs)-1], info.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(cb, Options{WALDir: cw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	st, ok := re.WALStats()
+	if !ok || !st.TornTailRepaired {
+		t.Fatalf("torn tail repair not reported: ok=%v stats=%+v", ok, st)
+	}
+	rs, err := re.Recover(figure1Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.TornTailRepaired {
+		t.Error("RecoveryStats does not report the torn tail repair")
+	}
+	if got := livePathKeys(t, re); !equalKeys(got, r.preKeys) {
+		t.Fatalf("torn batch half-applied: %d vs %d paths", len(got), len(r.preKeys))
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,31 @@ type Options struct {
 	// a storage.FaultInjector between the pool and the disk. The
 	// wrapper persists across Compact.
 	WrapIO func(storage.PageIO) storage.PageIO
+	// WALDir enables the durable write path: inserts are logged to a
+	// segmented write-ahead log in this directory (group-committed,
+	// fsynced) before any page is touched, and Open replays the log's
+	// unapplied suffix through Recover. An index built with a WAL
+	// records the directory in its metadata, so later Opens reattach
+	// it even when the option is left empty.
+	WALDir string
+	// WALSegmentBytes is the WAL segment rotation threshold
+	// (0: storage.DefaultWALSegmentBytes).
+	WALSegmentBytes int64
+	// CheckpointBytes triggers an automatic checkpoint after an insert
+	// once the WAL reaches this size (0: DefaultCheckpointBytes;
+	// negative: only explicit Checkpoint/Flush/Close checkpoint).
+	CheckpointBytes int64
+	// WALSyncHook interposes on the WAL's commit fsync, like WrapIO
+	// does for page I/O — the crash and group-commit tests use it to
+	// widen the commit window or snapshot the disk state mid-fsync.
+	WALSyncHook func() error
+}
+
+func (o Options) checkpointBytes() int64 {
+	if o.CheckpointBytes == 0 {
+		return DefaultCheckpointBytes
+	}
+	return o.CheckpointBytes
 }
 
 func (o Options) pathConfig() paths.Config {
@@ -108,6 +134,24 @@ type Index struct {
 	thes    *textindex.Thesaurus
 	wrapIO  func(storage.PageIO) storage.PageIO
 	stats   Stats
+	// Durable write path state (nil/zero without a WAL): wal is the
+	// log, walDir its directory (persisted in the metadata), applied
+	// tracks the contiguous-applied LSN watermark the checkpoint
+	// truncates at, sinceCheckpoint accumulates the triples applied
+	// since the last checkpoint for the delta sidecar, pending holds
+	// records decoded at Open that Recover has not replayed yet, and
+	// recoverNeeded blocks inserts until Recover runs.
+	wal             *storage.WAL
+	walDir          string
+	checkpointBytes int64
+	applied         lsnTracker
+	sinceCheckpoint []rdf.Triple
+	pending         []walPending
+	recoverNeeded   bool
+	lastRecovery    RecoveryStats
+	// compacting serialises CompactIncremental runs without holding
+	// ix.mu across the whole pass.
+	compacting atomic.Bool
 	// Observability counters, wired by SetMetrics; nil-safe no-ops
 	// until then (obs handles are nil-safe by contract).
 	mSinkLookups  *obs.Counter
@@ -194,27 +238,54 @@ func Build(base string, g *rdf.Graph, opts Options) (*Index, error) {
 		return nil, err
 	}
 	ix := &Index{
-		base:    base,
-		file:    file,
-		pool:    storage.NewBufferPool(wrapPageIO(file, opts.WrapIO), opts.PoolPages),
-		sinks:   textindex.New(opts.Thesaurus),
-		labels:  textindex.New(opts.Thesaurus),
-		sources: textindex.New(nil),
-		graph:   g,
-		pathCfg: opts.pathConfig(),
-		thes:    opts.Thesaurus,
-		wrapIO:  opts.WrapIO,
+		base:            base,
+		file:            file,
+		pool:            storage.NewBufferPool(wrapPageIO(file, opts.WrapIO), opts.PoolPages),
+		sinks:           textindex.New(opts.Thesaurus),
+		labels:          textindex.New(opts.Thesaurus),
+		sources:         textindex.New(nil),
+		graph:           g,
+		pathCfg:         opts.pathConfig(),
+		thes:            opts.Thesaurus,
+		wrapIO:          opts.WrapIO,
+		walDir:          opts.WALDir,
+		checkpointBytes: opts.checkpointBytes(),
 	}
 	if opts.Compress {
 		ix.dict = NewDictionary()
 	}
 	ix.store = storage.NewRecordStore(ix.pool)
+	if ix.walDir != "" {
+		// A fresh build restarts history: any older log or sidecar
+		// describes an index these files just replaced.
+		w, err := storage.OpenWAL(ix.walDir, storage.WALOptions{
+			SegmentBytes: opts.WALSegmentBytes,
+			SyncHook:     opts.WALSyncHook,
+		})
+		if err != nil {
+			file.Close()
+			return nil, err
+		}
+		if err := w.Reset(1); err != nil {
+			w.Close()
+			file.Close()
+			return nil, err
+		}
+		os.Remove(sidecarPath(base))
+		ix.wal = w
+	}
 
+	fail := func(err error) (*Index, error) {
+		if ix.wal != nil {
+			ix.wal.Close()
+		}
+		file.Close()
+		return nil, err
+	}
 	ps := paths.Enumerate(g, ix.pathCfg)
 	for _, p := range ps {
 		if err := ix.addPath(p); err != nil {
-			file.Close()
-			return nil, err
+			return fail(err)
 		}
 	}
 	ix.stats = Stats{
@@ -225,28 +296,27 @@ func Build(base string, g *rdf.Graph, opts Options) (*Index, error) {
 		BuildTime: time.Since(start),
 	}
 	if err := ix.pool.Flush(); err != nil {
-		file.Close()
-		return nil, err
+		return fail(err)
 	}
 	if err := ix.writeMeta(); err != nil {
-		file.Close()
-		return nil, err
+		return fail(err)
 	}
 	ix.stats.DiskBytes = ix.diskBytes()
 	return ix, nil
 }
 
-func (ix *Index) addPath(p paths.Path) error {
-	var data []byte
+// encodePath serialises one path for the record store.
+func (ix *Index) encodePath(p paths.Path) []byte {
 	if ix.dict != nil {
-		data = EncodePathDict(dictPath{nodes: p.Nodes, edges: p.Edges}, ix.dict)
-	} else {
-		data = EncodePath(p)
+		return EncodePathDict(dictPath{nodes: p.Nodes, edges: p.Edges}, ix.dict)
 	}
-	rid, err := ix.store.Append(data)
-	if err != nil {
-		return err
-	}
+	return EncodePath(p)
+}
+
+// commitPath registers an already-appended path in the in-memory
+// tables. Pure memory: it cannot fail, which is what lets the insert
+// path stage every disk append first and commit atomically after.
+func (ix *Index) commitPath(p paths.Path, rid storage.RID) {
 	id := PathID(len(ix.rids))
 	ix.rids = append(ix.rids, rid)
 	ix.deleted = append(ix.deleted, false)
@@ -263,44 +333,121 @@ func (ix *Index) addPath(p paths.Path) error {
 	for _, e := range p.Edges {
 		ix.labels.Add(e.Label(), uint32(id))
 	}
+}
+
+func (ix *Index) addPath(p paths.Path) error {
+	rid, err := ix.store.Append(ix.encodePath(p))
+	if err != nil {
+		return err
+	}
+	ix.commitPath(p, rid)
 	return nil
 }
 
 // Open loads an index previously written by Build. The pages stay on
 // disk (reads go through a fresh, cold buffer pool); the lookup tables
-// are loaded into memory.
+// are loaded into memory. If the metadata records a WAL (or
+// opts.WALDir names one), the log is scanned — a torn tail is
+// truncated, never replayed — and records after the applied watermark
+// are queued for Recover; InsertTriples refuses to run until Recover
+// hands the index its graph. Temporary files from a crashed compaction
+// are resolved first: a swap that reached its commit point is
+// completed, anything earlier is discarded.
 func Open(base string, opts Options) (*Index, error) {
+	recoverCompactSwap(base)
+	return openIndex(base, opts, true)
+}
+
+// recoverCompactSwap resolves <base>.compact.* leftovers from a
+// compaction interrupted by a crash. The swap renames the new pages
+// file into place first and the new metadata second; the pages rename
+// is the commit point. So: new meta present but new pages gone means
+// the pages were swapped and only the meta rename was lost — finish
+// it. Anything else predates the commit point, and the original files
+// are still the authority — discard the temporaries.
+func recoverCompactSwap(base string) {
+	tmp := base + ".compact"
+	os.Remove(metaPath(tmp) + ".tmp")
+	_, metaErr := os.Stat(metaPath(tmp))
+	_, pagesErr := os.Stat(pagesPath(tmp))
+	if metaErr == nil && os.IsNotExist(pagesErr) {
+		if os.Rename(metaPath(tmp), metaPath(base)) == nil {
+			syncDirOf(metaPath(base))
+		}
+		return
+	}
+	os.Remove(pagesPath(tmp))
+	os.Remove(metaPath(tmp))
+}
+
+// openIndex is Open minus the crash-leftover cleanup, with the WAL
+// attachment optional: CompactIncremental reopens the swapped files
+// through it with attachWAL=false, because the index's WAL handle is
+// already open and stays valid across the swap (opening the log twice
+// would double-own the segment files).
+func openIndex(base string, opts Options, attachWAL bool) (*Index, error) {
 	file, err := storage.OpenPageFile(pagesPath(base))
 	if err != nil {
 		return nil, err
 	}
 	ix := &Index{
-		base:    base,
-		file:    file,
-		pool:    storage.NewBufferPool(wrapPageIO(file, opts.WrapIO), opts.PoolPages),
-		pathCfg: opts.pathConfig(),
-		thes:    opts.Thesaurus,
-		wrapIO:  opts.WrapIO,
+		base:            base,
+		file:            file,
+		pool:            storage.NewBufferPool(wrapPageIO(file, opts.WrapIO), opts.PoolPages),
+		pathCfg:         opts.pathConfig(),
+		thes:            opts.Thesaurus,
+		wrapIO:          opts.WrapIO,
+		checkpointBytes: opts.checkpointBytes(),
 	}
 	ix.store = storage.NewRecordStore(ix.pool)
 	if err := ix.readMeta(opts.Thesaurus); err != nil {
 		file.Close()
 		return nil, fmt.Errorf("index: open %s: %w", base, err)
 	}
+	if opts.WALDir != "" {
+		ix.walDir = opts.WALDir // explicit option wins over the metadata
+	}
+	if attachWAL && ix.walDir != "" {
+		if err := ix.openWAL(opts); err != nil {
+			file.Close()
+			return nil, fmt.Errorf("index: open %s: %w", base, err)
+		}
+	}
 	ix.stats.DiskBytes = ix.diskBytes()
 	return ix, nil
 }
 
-var metaMagic = [8]byte{'S', 'A', 'M', 'A', 'I', 'D', 'X', '3'}
+// metaMagic is the current metadata format ("SAMAIDX4": adds the WAL
+// watermark and directory); metaMagicV3 is the previous format, still
+// readable.
+var (
+	metaMagic   = [8]byte{'S', 'A', 'M', 'A', 'I', 'D', 'X', '4'}
+	metaMagicV3 = [8]byte{'S', 'A', 'M', 'A', 'I', 'D', 'X', '3'}
+)
 
-const metaFlagCompressed = 1
+const (
+	metaFlagCompressed = 1
+	metaFlagWAL        = 2
+)
 
+// writeMeta persists the metadata atomically: the bytes go to a temp
+// file, are fsynced, and replace the old metadata with a rename — a
+// crash mid-write leaves the previous (consistent) metadata in place,
+// never a truncated one. When the index has a WAL the applied LSN
+// watermark and the WAL directory ride along, so a reopen knows where
+// replay starts and reattaches the log without being told.
 func (ix *Index) writeMeta() error {
-	f, err := os.Create(metaPath(ix.base))
+	tmpPath := metaPath(ix.base) + ".tmp"
+	f, err := os.Create(tmpPath)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if f != nil {
+			f.Close()
+			os.Remove(tmpPath)
+		}
+	}()
 	w := bufio.NewWriter(f)
 	if _, err := w.Write(metaMagic[:]); err != nil {
 		return err
@@ -314,8 +461,22 @@ func (ix *Index) writeMeta() error {
 	if ix.dict != nil {
 		flags |= metaFlagCompressed
 	}
+	if ix.walDir != "" {
+		flags |= metaFlagWAL
+	}
 	if err := wu(flags); err != nil {
 		return err
+	}
+	if ix.walDir != "" {
+		if err := wu(ix.applied.watermark); err != nil {
+			return err
+		}
+		if err := wu(uint64(len(ix.walDir))); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(ix.walDir); err != nil {
+			return err
+		}
 	}
 	for _, v := range []uint64{
 		uint64(ix.stats.Triples), uint64(ix.stats.HV), uint64(ix.stats.HE),
@@ -365,7 +526,31 @@ func (ix *Index) writeMeta() error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	return f.Sync()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		f = nil
+		os.Remove(tmpPath)
+		return err
+	}
+	f = nil
+	if err := os.Rename(tmpPath, metaPath(ix.base)); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	return syncDirOf(metaPath(ix.base))
+}
+
+// syncDirOf fsyncs the directory containing path, making a rename into
+// it durable.
+func syncDirOf(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 func (ix *Index) readMeta(thes *textindex.Thesaurus) error {
@@ -379,13 +564,32 @@ func (ix *Index) readMeta(thes *textindex.Thesaurus) error {
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return err
 	}
-	if magic != metaMagic {
+	if magic != metaMagic && magic != metaMagicV3 {
 		return fmt.Errorf("bad meta magic %q", magic)
 	}
 	ru := func() (uint64, error) { return binary.ReadUvarint(r) }
 	flags, err := ru()
 	if err != nil {
 		return err
+	}
+	if magic == metaMagicV3 && flags&metaFlagWAL != 0 {
+		return fmt.Errorf("v3 metadata cannot carry a WAL flag")
+	}
+	if flags&metaFlagWAL != 0 {
+		watermark, err := ru()
+		if err != nil {
+			return err
+		}
+		n, err := ru()
+		if err != nil {
+			return err
+		}
+		dir := make([]byte, n)
+		if _, err := io.ReadFull(r, dir); err != nil {
+			return err
+		}
+		ix.applied.watermark = watermark
+		ix.walDir = string(dir)
 	}
 	vals := make([]uint64, 5)
 	for i := range vals {
@@ -532,14 +736,23 @@ func (ix *Index) pathLocked(id PathID) (paths.Path, error) {
 	return ix.pathTally(nil, id)
 }
 
+// ErrStaleRead marks a read through a PathID that no longer refers to
+// a live path — the index was mutated (an insert tombstoned it, or a
+// compaction renumbered the ID space) after the caller captured the
+// ID under an earlier read lock. The ID set is stale as a whole, not
+// just the one entry: callers should re-run their lookup against the
+// current state rather than skip the path (the engine's query loop
+// does exactly that).
+var ErrStaleRead = errors.New("stale read: path IDs predate an index mutation")
+
 // pathTally reads and decodes one path, charging t. Caller holds ix.mu.
 func (ix *Index) pathTally(t *storage.IOTally, id PathID) (paths.Path, error) {
 	ix.mPathReads.Inc()
 	if int(id) >= len(ix.rids) {
-		return paths.Path{}, fmt.Errorf("index: path %d out of range (%d paths)", id, len(ix.rids))
+		return paths.Path{}, fmt.Errorf("index: path %d out of range (%d paths): %w", id, len(ix.rids), ErrStaleRead)
 	}
 	if ix.deleted[id] {
-		return paths.Path{}, fmt.Errorf("index: path %d was invalidated by an update", id)
+		return paths.Path{}, fmt.Errorf("index: path %d was invalidated by an update: %w", id, ErrStaleRead)
 	}
 	data, err := ix.store.ReadTally(t, ix.rids[id])
 	if err != nil {
@@ -622,8 +835,9 @@ func (ix *Index) ReadPaths(ids []PathID) ([]paths.Path, error) {
 // cancelled mid-batch the context error is returned alongside partial
 // results — paths not yet materialised are left zero (len(Nodes) == 0),
 // which is distinguishable because an indexed path always has at least
-// one node. Out-of-range and tombstoned IDs fail the whole batch, as
-// they indicate the caller holds stale IDs across an index mutation.
+// one node. Out-of-range and tombstoned IDs fail the whole batch with
+// ErrStaleRead, as they indicate the caller holds stale IDs across an
+// index mutation.
 func (ix *Index) ReadPathsBatched(ctx context.Context, ids []PathID) ([]paths.Path, error) {
 	out := make([]paths.Path, len(ids))
 	if len(ids) == 0 {
@@ -634,10 +848,10 @@ func (ix *Index) ReadPathsBatched(ctx context.Context, ids []PathID) ([]paths.Pa
 	rids := make([]storage.RID, len(ids))
 	for i, id := range ids {
 		if int(id) >= len(ix.rids) {
-			return nil, fmt.Errorf("index: path %d out of range (%d paths)", id, len(ix.rids))
+			return nil, fmt.Errorf("index: path %d out of range (%d paths): %w", id, len(ix.rids), ErrStaleRead)
 		}
 		if ix.deleted[id] {
-			return nil, fmt.Errorf("index: path %d was invalidated by an update", id)
+			return nil, fmt.Errorf("index: path %d was invalidated by an update: %w", id, ErrStaleRead)
 		}
 		rids[i] = ix.rids[id]
 	}
@@ -685,11 +899,31 @@ func (ix *Index) DropCache() error { return ix.pool.DropCache() }
 func (ix *Index) PoolStats() storage.PoolStats { return ix.pool.Stats() }
 
 // Close flushes the pages and metadata and closes the index files.
-// Close is idempotent: a second call closes already-closed files, which
-// the storage layer reports as success.
+// With a WAL this is a full checkpoint first, so a clean shutdown
+// reopens with nothing to replay; if the checkpoint fails (a poisoned
+// sync, say) the metadata is NOT advanced — the WAL keeps the records
+// and the next open recovers them. Close is idempotent: a second call
+// closes already-closed files, which the storage layer reports as
+// success.
 func (ix *Index) Close() error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	var firstErr error
+	if ix.wal != nil {
+		if len(ix.pending) == 0 {
+			firstErr = ix.checkpointLocked()
+		}
+		if err := ix.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := ix.pool.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := ix.file.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return firstErr
+	}
 	if err := ix.writeMeta(); err != nil {
 		ix.pool.Close()
 		ix.file.Close()

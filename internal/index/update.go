@@ -5,6 +5,7 @@ import (
 
 	"sama/internal/paths"
 	"sama/internal/rdf"
+	"sama/internal/storage"
 )
 
 // AttachGraph hands a reopened index its data graph so InsertTriples
@@ -51,45 +52,101 @@ func (ix *Index) livePathsLocked() int {
 //     can reach one of them — and intersect it with the graph's path
 //     roots, adding roots created by the new triples themselves;
 //  3. tombstone every indexed path starting at an affected root (the
-//     record store is append-only; the bytes remain until a rebuild);
+//     record store is append-only; the bytes remain until a compaction);
 //  4. re-enumerate and index the paths from the affected roots.
 //
 // Sourceless (hub-rooted) graphs fall back to a full re-enumeration:
 // hub promotion is a global property, so any edge can move the roots.
-// The metadata file is rewritten on Flush or Close.
+//
+// The insert is all-or-nothing with respect to the index: the affected
+// paths are staged to the record store first (a failure there leaves
+// only unreferenced bytes behind) and the in-memory tables — epoch,
+// tombstones, postings — commit last, in a phase that cannot fail. On
+// error the index answers exactly as before the call; the attached
+// graph may have absorbed the triples (graph insertion is idempotent),
+// so retrying the same batch is safe and completes the operation.
+//
+// With a WAL the batch is logged and fsynced before any page is
+// touched. Concurrent inserters meet in the log's group commit and
+// share one fsync. A batch whose log record is durable but whose apply
+// failed is in commit limbo: the caller saw an error and the index
+// skipped it, but a crash before the next checkpoint will replay it —
+// like a timed-out commit, it may land anyway.
 func (ix *Index) InsertTriples(ts []rdf.Triple) error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if ix.graph == nil {
-		return fmt.Errorf("index: no graph attached (Build retains it; after Open call AttachGraph)")
-	}
 	if len(ts) == 0 {
 		return nil
 	}
-	// Bump the epoch before mutating anything: a failed insert may have
-	// partially applied (graph edges added, paths tombstoned), so caches
-	// must treat the index as changed either way.
-	ix.epoch++
+	// Validate before logging: a malformed batch must not enter the WAL.
+	for i, t := range ts {
+		if err := t.Valid(); err != nil {
+			return fmt.Errorf("index: triple %d: %w", i, err)
+		}
+	}
+	ix.mu.RLock()
+	wal := ix.wal
+	recoverNeeded := ix.recoverNeeded
+	attached := ix.graph != nil
+	ix.mu.RUnlock()
+	if recoverNeeded {
+		return ErrNeedsRecovery
+	}
+	if !attached {
+		return fmt.Errorf("index: no graph attached (Build retains it; after Open call AttachGraph or Recover)")
+	}
+	// Log outside the index lock so concurrent inserts actually batch:
+	// while one insert holds ix.mu applying, the others are appending,
+	// and the WAL's flush leader commits them with a single fsync.
+	var lsn uint64
+	if wal != nil {
+		var err error
+		if lsn, err = wal.Append(encodeTriples(ts)); err != nil {
+			return fmt.Errorf("index: wal append: %w", err)
+		}
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	err := ix.applyTriplesLocked(ts)
+	if wal != nil {
+		// Mark even a failed apply: the record is durable regardless,
+		// and an unmarked LSN would stall the watermark (and therefore
+		// WAL truncation) forever.
+		ix.applied.mark(lsn)
+		if err == nil {
+			ix.sinceCheckpoint = append(ix.sinceCheckpoint, ts...)
+			if ix.checkpointBytes > 0 && wal.Size() >= ix.checkpointBytes {
+				if cerr := ix.checkpointLocked(); cerr != nil {
+					return fmt.Errorf("index: auto checkpoint: %w", cerr)
+				}
+			}
+		}
+	}
+	return err
+}
+
+// applyTriplesLocked performs one insert batch under ix.mu. The graph
+// mutation comes first (idempotent, infallible), then everything that
+// can fail — the tombstone scan and the record-store staging — and
+// only then the in-memory commit, which cannot fail. WAL replay calls
+// this too: re-applying a batch re-tombstones and re-enumerates the
+// same roots, so replay is idempotent at the answer level.
+func (ix *Index) applyTriplesLocked(ts []rdf.Triple) error {
 	g := ix.graph
 	hadSources := len(g.Sources()) > 0
 	preNodes := g.NodeCount()
 
 	subjects := make(map[rdf.NodeID]struct{})
-	for i, t := range ts {
-		if err := t.Valid(); err != nil {
-			return fmt.Errorf("index: triple %d: %w", i, err)
-		}
+	for _, t := range ts {
 		g.AddTriple(t)
 		subjects[g.NodeByTerm(t.S)] = struct{}{}
 	}
 
 	var roots []rdf.NodeID
+	var tombs []PathID
+	tombAll := false
 	if !hadSources || len(g.Sources()) == 0 {
 		// Hub-rooted before or after: recompute everything.
 		roots = g.PathRoots()
-		for id := range ix.deleted {
-			ix.deleted[id] = true
-		}
+		tombAll = true
 	} else {
 		affected := reverseClosure(g, subjects)
 		for _, r := range g.PathRoots() {
@@ -98,17 +155,46 @@ func (ix *Index) InsertTriples(ts []rdf.Triple) error {
 				roots = append(roots, r)
 			}
 		}
-		ix.tombstoneByRoots(g, roots)
+		var err error
+		if tombs, err = ix.tombstoneSet(g, roots); err != nil {
+			return err
+		}
 	}
 
-	added := 0
+	// Stage: append every new path to the record store before touching
+	// the in-memory tables. A failure here aborts with the index
+	// unchanged — the appended bytes are unreferenced orphans in an
+	// append-only store, reclaimed by the next compaction.
+	type stagedPath struct {
+		p   paths.Path
+		rid storage.RID
+	}
+	var staged []stagedPath
 	for _, root := range roots {
 		for _, p := range paths.EnumerateFrom(g, root, ix.pathCfg) {
-			if err := ix.addPath(p); err != nil {
-				return err
+			rid, err := ix.store.Append(ix.encodePath(p))
+			if err != nil {
+				return fmt.Errorf("index: stage path: %w", err)
 			}
-			added++
+			staged = append(staged, stagedPath{p: p, rid: rid})
 		}
+	}
+
+	// Commit: pure memory from here on. The epoch bumps only now, so a
+	// failed insert never invalidates caches for a state that did not
+	// change.
+	ix.epoch++
+	if tombAll {
+		for id := range ix.deleted {
+			ix.deleted[id] = true
+		}
+	} else {
+		for _, id := range tombs {
+			ix.deleted[id] = true
+		}
+	}
+	for _, s := range staged {
+		ix.commitPath(s.p, s.rid)
 	}
 	ix.stats.Triples = g.EdgeCount()
 	ix.stats.HV = g.NodeCount()
@@ -140,9 +226,12 @@ func reverseClosure(g *rdf.Graph, seeds map[rdf.NodeID]struct{}) map[rdf.NodeID]
 	return out
 }
 
-// tombstoneByRoots marks every live path whose source term matches one
-// of the roots.
-func (ix *Index) tombstoneByRoots(g *rdf.Graph, roots []rdf.NodeID) {
+// tombstoneSet returns the live paths whose source term matches one of
+// the roots, without mutating anything — the caller applies the
+// tombstones in the commit phase. A read failure aborts the insert
+// instead of silently keeping a stale path alive.
+func (ix *Index) tombstoneSet(g *rdf.Graph, roots []rdf.NodeID) ([]PathID, error) {
+	var out []PathID
 	for _, root := range roots {
 		term := g.Term(root)
 		for _, posting := range ix.sources.LookupExact(term.Label()) {
@@ -152,18 +241,31 @@ func (ix *Index) tombstoneByRoots(g *rdf.Graph, roots []rdf.NodeID) {
 			// Exact-label postings can collide across term kinds;
 			// verify on the stored path.
 			p, err := ix.pathLocked(PathID(posting))
-			if err == nil && p.Source() == term {
-				ix.deleted[posting] = true
+			if err != nil {
+				return nil, fmt.Errorf("index: verify tombstone for path %d: %w", posting, err)
+			}
+			if p.Source() == term {
+				out = append(out, PathID(posting))
 			}
 		}
 	}
+	return out, nil
 }
 
 // Flush persists the metadata (postings, tombstones, statistics) and
-// the dirty pages. Close also flushes.
+// the dirty pages. With a WAL this is a full checkpoint: the applied
+// watermark becomes durable and the log's applied prefix is reclaimed.
+// Close also flushes.
 func (ix *Index) Flush() error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	if ix.wal != nil {
+		if err := ix.checkpointLocked(); err != nil {
+			return err
+		}
+		ix.stats.DiskBytes = ix.diskBytes()
+		return nil
+	}
 	if err := ix.pool.Flush(); err != nil {
 		return err
 	}

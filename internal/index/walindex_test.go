@@ -1,0 +1,382 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"sama/internal/rdf"
+	"sama/internal/storage"
+)
+
+// copyTree copies a file or directory tree — the crash simulation:
+// everything visible on disk at the copy instant is what a process
+// killed at that instant would find on restart.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	info, err := os.Stat(src)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return
+		}
+		t.Fatal(err)
+	}
+	if info.IsDir() {
+		if err := os.MkdirAll(dst, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		ents, err := os.ReadDir(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			copyTree(t, filepath.Join(src, e.Name()), filepath.Join(dst, e.Name()))
+		}
+		return
+	}
+	in, err := os.Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if _, err := io.Copy(out, in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// crashClone snapshots a WAL-enabled index's on-disk state (pages,
+// meta, sidecar, WAL dir) into a fresh directory, as a kill at this
+// instant would leave it.
+func crashClone(t *testing.T, base, walDir string) (cloneBase, cloneWAL string) {
+	t.Helper()
+	dir := t.TempDir()
+	cloneBase = filepath.Join(dir, "ix")
+	cloneWAL = filepath.Join(dir, "wal")
+	copyTree(t, pagesPath(base), pagesPath(cloneBase))
+	copyTree(t, metaPath(base), metaPath(cloneBase))
+	copyTree(t, sidecarPath(base), sidecarPath(cloneBase))
+	copyTree(t, walDir, cloneWAL)
+	return cloneBase, cloneWAL
+}
+
+func equalKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+var walTestTriples = []rdf.Triple{
+	{S: iri("NewSenator"), P: iri("sponsor"), O: iri("B1432")},
+	{S: iri("NewSenator"), P: iri("gender"), O: lit("Female")},
+}
+
+// TestWALDurabilityAcrossCrash: an insert acknowledged by a WAL-enabled
+// index survives a kill with no flush — reopen + Recover replays it.
+func TestWALDurabilityAcrossCrash(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "ix")
+	walDir := filepath.Join(dir, "wal")
+	ix, err := Build(base, figure1Graph(), Options{WALDir: walDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.InsertTriples(walTestTriples); err != nil {
+		t.Fatal(err)
+	}
+	want := livePathKeys(t, ix)
+
+	// Kill: no Flush, no Close — only what Build wrote plus the WAL.
+	cb, cw := crashClone(t, base, walDir)
+	ix.Close()
+
+	re, err := Open(cb, Options{WALDir: cw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if n := re.NeedsRecovery(); n != 1 {
+		t.Fatalf("NeedsRecovery = %d, want 1 pending record", n)
+	}
+	// Writes are refused until the graph is recovered.
+	if err := re.InsertTriples(walTestTriples); !errors.Is(err, ErrNeedsRecovery) {
+		t.Fatalf("insert before Recover: err=%v, want ErrNeedsRecovery", err)
+	}
+	rs, err := re.Recover(figure1Graph())
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rs.Records != 1 || rs.Triples != len(walTestTriples) {
+		t.Fatalf("recovery stats = %+v, want 1 record / %d triples", rs, len(walTestTriples))
+	}
+	if got := livePathKeys(t, re); !equalKeys(got, want) {
+		t.Fatalf("answers after crash+recover diverge:\n got %d paths\nwant %d paths", len(got), len(want))
+	}
+	// Recovered index accepts writes again.
+	if err := re.InsertTriples([]rdf.Triple{
+		{S: iri("Another"), P: iri("sponsor"), O: iri("A0056")},
+	}); err != nil {
+		t.Fatalf("insert after recover: %v", err)
+	}
+}
+
+// TestWALCleanCloseNeedsNoReplay: a checkpointed (cleanly closed) index
+// reopens with zero pending records, and Recover is a cheap attach.
+func TestWALCleanCloseNeedsNoReplay(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "ix")
+	walDir := filepath.Join(dir, "wal")
+	ix, err := Build(base, figure1Graph(), Options{WALDir: walDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.InsertTriples(walTestTriples); err != nil {
+		t.Fatal(err)
+	}
+	want := livePathKeys(t, ix)
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The metadata recorded the WAL dir: no option needed on reopen.
+	re, err := Open(base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if n := re.NeedsRecovery(); n != 0 {
+		t.Fatalf("NeedsRecovery = %d, want 0 after clean close", n)
+	}
+	rs, err := re.Recover(figure1Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Records != 0 {
+		t.Fatalf("replayed %d records after clean close, want 0", rs.Records)
+	}
+	// The sidecar restored the inserted triples to the graph.
+	if rs.SidecarTriples != len(walTestTriples) {
+		t.Fatalf("sidecar triples = %d, want %d", rs.SidecarTriples, len(walTestTriples))
+	}
+	if got := livePathKeys(t, re); !equalKeys(got, want) {
+		t.Fatal("answers after clean close + reopen diverge")
+	}
+	// The recovered graph is complete: inserting more triples that hang
+	// off the sidecar-restored ones works.
+	if err := re.InsertTriples([]rdf.Triple{
+		{S: iri("Third"), P: iri("sponsor"), O: iri("B1432")},
+	}); err != nil {
+		t.Fatalf("insert after sidecar recovery: %v", err)
+	}
+}
+
+// TestInsertTriplesAllOrNothing is the satellite regression test: a
+// mid-insert storage fault must leave the index answering exactly as
+// before — no half-applied tombstones, no phantom paths, no epoch bump.
+// Pre-fix, InsertTriples bumped the epoch and tombstoned in place
+// before the failing append, so this test fails on the old code.
+func TestInsertTriplesAllOrNothing(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "ix")
+	var fi *storage.FaultInjector
+	ix, err := Build(base, figure1Graph(), Options{
+		WrapIO: func(io storage.PageIO) storage.PageIO {
+			fi = storage.NewFaultInjector(io)
+			return fi
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	want := livePathKeys(t, ix)
+	epoch := ix.Epoch()
+	live := ix.LivePaths()
+
+	// Insert a new edge out of an existing root: the update must verify
+	// (read) that root's current paths to tombstone them. With a cold
+	// cache and permanent read faults that verification cannot succeed,
+	// so the insert fails mid-way — exactly the partial-failure window
+	// the old code left half-applied (epoch bumped, errors ignored).
+	if err := ix.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	fi.Inject(storage.Fault{Op: storage.OpRead, Kind: storage.Permanent})
+	err = ix.InsertTriples([]rdf.Triple{
+		{S: iri("CarlaBunes"), P: iri("sponsor"), O: iri("A9999")},
+	})
+	fi.Clear()
+	if err == nil {
+		t.Fatal("insert under permanent read faults succeeded")
+	}
+	if got := ix.Epoch(); got != epoch {
+		t.Fatalf("failed insert bumped the epoch: %d -> %d", epoch, got)
+	}
+	if got := ix.LivePaths(); got != live {
+		t.Fatalf("failed insert changed live paths: %d -> %d", live, got)
+	}
+	if got := livePathKeys(t, ix); !equalKeys(got, want) {
+		t.Fatal("failed insert changed the answer surface")
+	}
+	// The documented retry contract: the graph absorbed the triples
+	// (idempotently), so retrying the same batch completes the insert.
+	if err := ix.InsertTriples([]rdf.Triple{
+		{S: iri("CarlaBunes"), P: iri("sponsor"), O: iri("A9999")},
+	}); err != nil {
+		t.Fatalf("retry after fault cleared: %v", err)
+	}
+	if got := ix.LivePaths(); got <= live {
+		t.Fatalf("retried insert added no paths (%d -> %d)", live, got)
+	}
+}
+
+// TestWALGroupCommitThroughIndex: concurrent InsertTriples share WAL
+// fsyncs through group commit.
+func TestWALGroupCommitThroughIndex(t *testing.T) {
+	dir := t.TempDir()
+	// Batching needs appends to overlap a commit in flight, and on a
+	// fast filesystem the fsync window is too narrow for the scheduler
+	// to hit reliably (under -race goroutines serialise aggressively).
+	// The sync hook widens every commit by a fraction of a millisecond,
+	// so followers pile into the leader's next batch deterministically.
+	ix, err := Build(filepath.Join(dir, "ix"), figure1Graph(), Options{
+		WALDir:      filepath.Join(dir, "wal"),
+		WALSyncHook: func() error { time.Sleep(200 * time.Microsecond); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	const writers, rounds = 8, 20
+	total := 0
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		errs := make([]error, writers)
+		for i := 0; i < writers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for j := 0; j < 10; j++ {
+					errs[i] = ix.InsertTriples([]rdf.Triple{{
+						S: iri(fmt.Sprintf("Sen%d_%d_%d", r, i, j)),
+						P: iri("sponsor"),
+						O: iri("A0056"),
+					}})
+					if errs[i] != nil {
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("round %d writer %d: %v", r, i, err)
+			}
+		}
+		total += writers * 10
+		st, ok := ix.WALStats()
+		if !ok {
+			t.Fatal("no WAL stats on a WAL-enabled index")
+		}
+		if st.Appends != uint64(total) {
+			t.Fatalf("appends = %d, want %d", st.Appends, total)
+		}
+		if st.Syncs < st.Appends {
+			return // at least one group commit batched >1 append
+		}
+	}
+	t.Fatalf("no group commit batching across %d concurrent appends", total)
+}
+
+// TestWALAutoCheckpointTruncates: inserts past CheckpointBytes trigger
+// a checkpoint that shrinks the WAL and survives reopen without replay.
+func TestWALAutoCheckpointTruncates(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "ix")
+	walDir := filepath.Join(dir, "wal")
+	ix, err := Build(base, figure1Graph(), Options{
+		WALDir:          walDir,
+		WALSegmentBytes: 512,
+		CheckpointBytes: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := ix.InsertTriples([]rdf.Triple{{
+			S: iri(fmt.Sprintf("SenatorWithALongIRI%04d", i)),
+			P: iri("sponsor"),
+			O: iri("A0056"),
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, _ := ix.WALStats()
+	if st.Checkpoints == 0 {
+		t.Fatalf("no automatic checkpoint fired: %+v", st)
+	}
+	if uint64(st.Bytes) >= st.AppendedBytes {
+		t.Fatalf("checkpoints reclaimed nothing: live %d of %d appended", st.Bytes, st.AppendedBytes)
+	}
+	want := livePathKeys(t, ix)
+
+	// Kill right after the checkpoints: replay must start at the
+	// watermark, not at LSN 1.
+	cb, cw := crashClone(t, base, walDir)
+	ix.Close()
+	re, err := Open(cb, Options{WALDir: cw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, err := re.Recover(figure1Graph()); err != nil {
+		t.Fatal(err)
+	}
+	if got := livePathKeys(t, re); !equalKeys(got, want) {
+		t.Fatal("answers after checkpointed crash diverge")
+	}
+}
+
+// TestTripleCodecRoundtrip pins the WAL payload format.
+func TestTripleCodecRoundtrip(t *testing.T) {
+	ts := []rdf.Triple{
+		{S: iri("a"), P: iri("p"), O: lit("plain")},
+		{S: rdf.NewBlank("b0"), P: iri("q"), O: rdf.NewTypedLiteral("5", "http://www.w3.org/2001/XMLSchema#int")},
+		{S: iri("c"), P: iri("r"), O: rdf.NewLangLiteral("ciao", "it")},
+	}
+	back, err := decodeTriples(encodeTriples(ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ts) {
+		t.Fatalf("decoded %d triples, want %d", len(back), len(ts))
+	}
+	for i := range ts {
+		if back[i] != ts[i] {
+			t.Fatalf("triple %d: %v != %v", i, back[i], ts[i])
+		}
+	}
+	// Truncations are rejected, not misparsed.
+	enc := encodeTriples(ts)
+	for cut := 1; cut < len(enc); cut += 7 {
+		if _, err := decodeTriples(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package obs
+
+// WALSnapshot is the subset of the write-ahead log's counters the
+// metrics layer exposes; the storage package fills it so obs does not
+// import storage (the dependency runs the other way).
+type WALSnapshot struct {
+	Appends       uint64
+	Syncs         uint64
+	Batches       uint64
+	Bytes         int64
+	AppendedBytes uint64
+	Segments      int
+	Rotations     uint64
+	Checkpoints   uint64
+}
+
+// RegisterWAL publishes the durable write path's instrumentation as
+// scrape-time functions over snap, which is called on every scrape and
+// must be safe for concurrent use:
+//
+//	sama_wal_appends_total       counter  records appended
+//	sama_wal_syncs_total         counter  commit fsyncs (Appends/Syncs > 1
+//	                                      means group commit is batching)
+//	sama_wal_batches_total       counter  group-commit batches flushed
+//	sama_wal_appended_bytes_total counter bytes ever framed into the log
+//	sama_wal_rotations_total     counter  segment rollovers
+//	sama_wal_checkpoints_total   counter  checkpoints that reclaimed log
+//	sama_wal_bytes               gauge    live segment bytes on disk
+//	sama_wal_segments            gauge    live segment files
+//
+// A nil registry registers nothing, matching the package convention.
+func RegisterWAL(r *Registry, snap func() WALSnapshot) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc("sama_wal_appends_total",
+		"WAL records appended.",
+		func() uint64 { return snap().Appends })
+	r.CounterFunc("sama_wal_syncs_total",
+		"WAL commit fsyncs; appends/syncs > 1 means group commit batches.",
+		func() uint64 { return snap().Syncs })
+	r.CounterFunc("sama_wal_batches_total",
+		"WAL group-commit batches flushed.",
+		func() uint64 { return snap().Batches })
+	r.CounterFunc("sama_wal_appended_bytes_total",
+		"Bytes ever framed into the WAL, across checkpoints.",
+		func() uint64 { return snap().AppendedBytes })
+	r.CounterFunc("sama_wal_rotations_total",
+		"WAL segment rollovers.",
+		func() uint64 { return snap().Rotations })
+	r.CounterFunc("sama_wal_checkpoints_total",
+		"Checkpoints that removed or rotated at least one segment.",
+		func() uint64 { return snap().Checkpoints })
+	r.GaugeFunc("sama_wal_bytes",
+		"Live WAL segment bytes on disk.",
+		func() float64 { return float64(snap().Bytes) })
+	r.GaugeFunc("sama_wal_segments",
+		"Live WAL segment files.",
+		func() float64 { return float64(snap().Segments) })
+}

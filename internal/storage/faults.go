@@ -44,13 +44,20 @@ const (
 	OpRead Op = iota
 	// OpWrite matches PageIO.Write calls.
 	OpWrite
+	// OpSync matches PageIO.Sync calls (the Page field is ignored —
+	// a sync covers the whole file).
+	OpSync
 )
 
 func (o Op) String() string {
-	if o == OpWrite {
+	switch o {
+	case OpWrite:
 		return "write"
+	case OpSync:
+		return "sync"
+	default:
+		return "read"
 	}
-	return "read"
 }
 
 // FaultKind selects the failure a Fault injects.
@@ -106,7 +113,7 @@ func (f *Fault) times() int {
 // match reports whether this operation should fail, updating the
 // fault's counters.
 func (f *Fault) match(op Op, id PageID) bool {
-	if f.Op != op || (f.Page != 0 && f.Page != id) {
+	if f.Op != op || (op != OpSync && f.Page != 0 && f.Page != id) {
 		return false
 	}
 	seen := f.seen
@@ -189,8 +196,21 @@ func (fi *FaultInjector) hit(op Op, id PageID) *Fault {
 // Alloc passes through to the wrapped PageIO.
 func (fi *FaultInjector) Alloc() (PageID, error) { return fi.inner.Alloc() }
 
-// Sync passes through to the wrapped PageIO.
-func (fi *FaultInjector) Sync() error { return fi.inner.Sync() }
+// Sync injects sync faults, else passes through. A Torn fault kind is
+// meaningless for a sync and is treated as Transient.
+func (fi *FaultInjector) Sync() error {
+	fi.mu.Lock()
+	f := fi.hit(OpSync, 0)
+	fi.mu.Unlock()
+	if f != nil {
+		kind := f.Kind
+		if kind == Torn {
+			kind = Transient
+		}
+		return fmt.Errorf("storage: injected %s fault on sync: %w", kindName(kind), kindErr(kind))
+	}
+	return fi.inner.Sync()
+}
 
 // Read injects read faults, else passes through.
 func (fi *FaultInjector) Read(id PageID, buf []byte) error {

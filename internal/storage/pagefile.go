@@ -32,12 +32,24 @@ var headerMagic = [8]byte{'S', 'A', 'M', 'A', 'P', 'G', 'F', '1'}
 var ErrClosed = errors.New("storage: closed")
 
 // PageFile is a file of fixed-size pages. It is safe for concurrent use.
+//
+// A failed Sync poisons the file: after fsync fails, the kernel may
+// have discarded the dirty pages it could not write, so "retry the
+// sync" can report success without the data ever reaching the disk
+// (the classic fsyncgate failure). Once poisoned, every Write, Sync,
+// and Close returns the original sync error; the only way forward is
+// to close and recover from the WAL.
 type PageFile struct {
-	mu     sync.Mutex
-	f      *os.File
-	npages uint32 // including the header page
-	closed bool
-	path   string
+	mu      sync.Mutex
+	f       *os.File
+	npages  uint32 // including the header page
+	closed  bool
+	path    string
+	syncErr error // sticky: set by the first failed Sync
+
+	// syncHook, when set, replaces f.Sync. Tests use it to simulate a
+	// failing fsync without a real dying disk.
+	syncHook func() error
 }
 
 // CreatePageFile creates (truncating) a page file at path.
@@ -95,6 +107,9 @@ func (pf *PageFile) Alloc() (PageID, error) {
 	if pf.closed {
 		return 0, ErrClosed
 	}
+	if pf.syncErr != nil {
+		return 0, pf.syncErr
+	}
 	id := PageID(pf.npages)
 	var zero [PageSize]byte
 	if _, err := pf.f.WriteAt(zero[:], int64(id)*PageSize); err != nil {
@@ -126,6 +141,9 @@ func (pf *PageFile) Write(id PageID, buf []byte) error {
 	defer pf.mu.Unlock()
 	if pf.closed {
 		return ErrClosed
+	}
+	if pf.syncErr != nil {
+		return pf.syncErr
 	}
 	if err := pf.check(id); err != nil {
 		return err
@@ -163,17 +181,32 @@ func (pf *PageFile) Size() int64 {
 // Path returns the file path.
 func (pf *PageFile) Path() string { return pf.path }
 
-// Sync flushes the file to stable storage.
+// Sync flushes the file to stable storage. A failure poisons the
+// file — see the PageFile doc comment — and is returned again by
+// every subsequent Write, Sync, and Close.
 func (pf *PageFile) Sync() error {
 	pf.mu.Lock()
 	defer pf.mu.Unlock()
 	if pf.closed {
 		return ErrClosed
 	}
-	return pf.f.Sync()
+	if pf.syncErr != nil {
+		return pf.syncErr
+	}
+	sync := pf.f.Sync
+	if pf.syncHook != nil {
+		sync = pf.syncHook
+	}
+	if err := sync(); err != nil {
+		pf.syncErr = fmt.Errorf("storage: sync %s poisoned: %w", pf.path, err)
+		return pf.syncErr
+	}
+	return nil
 }
 
-// Close syncs and closes the file. Close is idempotent.
+// Close syncs and closes the file, surfacing the sync error if either
+// this final sync or an earlier one failed. Close is idempotent: only
+// the first call reports the error.
 func (pf *PageFile) Close() error {
 	pf.mu.Lock()
 	defer pf.mu.Unlock()
@@ -181,9 +214,18 @@ func (pf *PageFile) Close() error {
 		return nil
 	}
 	pf.closed = true
-	if err := pf.f.Sync(); err != nil {
+	if pf.syncErr != nil {
 		pf.f.Close()
-		return err
+		return pf.syncErr
+	}
+	sync := pf.f.Sync
+	if pf.syncHook != nil {
+		sync = pf.syncHook
+	}
+	if err := sync(); err != nil {
+		pf.syncErr = fmt.Errorf("storage: sync %s poisoned: %w", pf.path, err)
+		pf.f.Close()
+		return pf.syncErr
 	}
 	return pf.f.Close()
 }

@@ -91,6 +91,13 @@ func NewRecordStore(pool *BufferPool) *RecordStore {
 	return &RecordStore{pool: pool}
 }
 
+// SealCurrentPage closes the page open for appends, so the next
+// Append goes to a freshly allocated page. The index calls it after a
+// checkpoint: pages holding only checkpointed (no longer replayable)
+// records are never rewritten afterwards, which keeps a torn page
+// write from destroying records the WAL can no longer restore.
+func (rs *RecordStore) SealCurrentPage() { rs.current = 0 }
+
 // Append stores data and returns its RID.
 func (rs *RecordStore) Append(data []byte) (RID, error) {
 	// Chunks are linked head→tail, so write them in reverse: the tail

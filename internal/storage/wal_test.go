@@ -1,0 +1,335 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openTestWAL(t *testing.T, dir string, opts WALOptions) *WAL {
+	t.Helper()
+	w, err := OpenWAL(dir, opts)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	return w
+}
+
+func collectWAL(t *testing.T, w *WAL, from uint64) map[uint64][]byte {
+	t.Helper()
+	got := map[uint64][]byte{}
+	prev := uint64(0)
+	err := w.Replay(from, func(lsn uint64, payload []byte) error {
+		if lsn <= prev {
+			t.Fatalf("replay out of order: %d after %d", lsn, prev)
+		}
+		prev = lsn
+		got[lsn] = append([]byte(nil), payload...)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got
+}
+
+func TestWALAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir, WALOptions{})
+	want := map[uint64][]byte{}
+	for i := 0; i < 50; i++ {
+		payload := []byte(fmt.Sprintf("record-%03d", i))
+		lsn, err := w.Append(payload)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("Append %d: lsn = %d, want %d", i, lsn, i+1)
+		}
+		want[lsn] = payload
+	}
+	got := collectWAL(t, w, 0)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for lsn, p := range want {
+		if !bytes.Equal(got[lsn], p) {
+			t.Fatalf("lsn %d: payload %q, want %q", lsn, got[lsn], p)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen: same records survive, next LSN continues the sequence.
+	w2 := openTestWAL(t, dir, WALOptions{})
+	defer w2.Close()
+	got = collectWAL(t, w2, 0)
+	if len(got) != len(want) {
+		t.Fatalf("after reopen: %d records, want %d", len(got), len(want))
+	}
+	if lsn, err := w2.Append([]byte("after")); err != nil || lsn != 51 {
+		t.Fatalf("append after reopen: lsn=%d err=%v, want 51", lsn, err)
+	}
+	// Partial replay starts at the requested LSN.
+	part := collectWAL(t, w2, 40)
+	if len(part) != 12 { // 40..51
+		t.Fatalf("partial replay: %d records, want 12", len(part))
+	}
+}
+
+func TestWALSegmentRotationAndCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	// Small segments so a handful of records rotates several times.
+	w := openTestWAL(t, dir, WALOptions{SegmentBytes: 256})
+	payload := bytes.Repeat([]byte("x"), 64)
+	var last uint64
+	for i := 0; i < 20; i++ {
+		lsn, err := w.Append(payload)
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		last = lsn
+	}
+	st := w.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected rotation to leave >=3 segments, got %d", st.Segments)
+	}
+	if st.Rotations == 0 {
+		t.Fatal("expected rotations > 0")
+	}
+
+	// Checkpoint halfway: early segments disappear, later records survive.
+	if err := w.Checkpoint(last / 2); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	got := collectWAL(t, w, 0)
+	for lsn := last/2 + 1; lsn <= last; lsn++ {
+		if got[lsn] == nil {
+			t.Fatalf("lsn %d dropped by checkpoint", lsn)
+		}
+	}
+
+	// Checkpoint everything: the log shrinks to one empty segment.
+	if err := w.Checkpoint(last); err != nil {
+		t.Fatalf("Checkpoint(all): %v", err)
+	}
+	if got := collectWAL(t, w, 0); len(got) != 0 {
+		t.Fatalf("after full checkpoint: %d records remain", len(got))
+	}
+	if st := w.Stats(); st.Segments != 1 {
+		t.Fatalf("after full checkpoint: %d segments, want 1", st.Segments)
+	}
+	// LSNs keep increasing across the checkpoint.
+	if lsn, err := w.Append([]byte("post")); err != nil || lsn != last+1 {
+		t.Fatalf("post-checkpoint append: lsn=%d err=%v, want %d", lsn, err, last+1)
+	}
+	w.Close()
+
+	// Reopen after full checkpoint: LSN continuity preserved.
+	w2 := openTestWAL(t, dir, WALOptions{SegmentBytes: 256})
+	defer w2.Close()
+	if lsn, err := w2.Append([]byte("post2")); err != nil || lsn != last+2 {
+		t.Fatalf("append after reopen: lsn=%d err=%v, want %d", lsn, err, last+2)
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	for _, cut := range []struct {
+		name  string
+		bytes int64 // bytes to keep of the final record (header+payload)
+	}{
+		{"mid-header", 7},
+		{"mid-payload", walRecHdrSize + 3},
+		{"corrupt-crc", -1}, // flip a payload byte instead of truncating
+	} {
+		t.Run(cut.name, func(t *testing.T) {
+			dir := t.TempDir()
+			w := openTestWAL(t, dir, WALOptions{})
+			for i := 0; i < 10; i++ {
+				if _, err := w.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+					t.Fatalf("Append: %v", err)
+				}
+			}
+			w.Close()
+
+			seg := filepath.Join(dir, walSegName(1))
+			info, err := os.Stat(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recSize := int64(walRecHdrSize + len("rec-0"))
+			if cut.bytes >= 0 {
+				// Tear the last record: keep only cut.bytes of it.
+				if err := os.Truncate(seg, info.Size()-recSize+cut.bytes); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				// Flip one byte in the last record's payload.
+				data, err := os.ReadFile(seg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data[len(data)-1] ^= 0xff
+				if err := os.WriteFile(seg, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			w2 := openTestWAL(t, dir, WALOptions{})
+			defer w2.Close()
+			if st := w2.Stats(); !st.TornTailRepaired {
+				t.Fatal("torn tail not reported as repaired")
+			}
+			got := collectWAL(t, w2, 0)
+			if len(got) != 9 {
+				t.Fatalf("replayed %d records after tear, want 9", len(got))
+			}
+			if got[10] != nil {
+				t.Fatal("torn record 10 was replayed")
+			}
+			// The tail is clean again: the next append lands and survives.
+			lsn, err := w2.Append([]byte("fresh"))
+			if err != nil {
+				t.Fatalf("append after repair: %v", err)
+			}
+			if lsn != 10 {
+				t.Fatalf("append after repair: lsn=%d, want 10 (torn LSN reissued)", lsn)
+			}
+		})
+	}
+}
+
+func TestWALCorruptionBeforeTailFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir, WALOptions{SegmentBytes: 128})
+	payload := bytes.Repeat([]byte("y"), 64)
+	for i := 0; i < 8; i++ {
+		if _, err := w.Append(payload); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if w.Stats().Segments < 2 {
+		t.Fatal("test needs >= 2 segments")
+	}
+	w.Close()
+
+	// Damage the FIRST segment: this is not a torn tail, it is data loss.
+	seg := filepath.Join(dir, walSegName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[walSegHdrSize+walRecHdrSize] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(dir, WALOptions{}); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("open over non-tail corruption: err=%v, want ErrWALCorrupt", err)
+	}
+}
+
+func TestWALGroupCommitSharesSyncs(t *testing.T) {
+	dir := t.TempDir()
+	// Widen the commit window so followers deterministically pile into
+	// the in-flight leader's next batch; on a fast filesystem the bare
+	// fsync can be too quick for any append to overlap it.
+	w := openTestWAL(t, dir, WALOptions{
+		SyncHook: func() error { time.Sleep(200 * time.Microsecond); return nil },
+	})
+	defer w.Close()
+
+	const writers = 16
+	const perWriter = 25
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				if _, err := w.Append([]byte(fmt.Sprintf("w%d-%d", i, j))); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	st := w.Stats()
+	if st.Appends != writers*perWriter {
+		t.Fatalf("appends = %d, want %d", st.Appends, writers*perWriter)
+	}
+	if st.Syncs >= st.Appends {
+		t.Fatalf("group commit did not batch: %d syncs for %d appends", st.Syncs, st.Appends)
+	}
+	// Every record survived, in order, with the right LSN set.
+	got := collectWAL(t, w, 0)
+	if uint64(len(got)) != st.Appends {
+		t.Fatalf("replayed %d records, want %d", len(got), st.Appends)
+	}
+	t.Logf("group commit: %d appends, %d syncs (%.1fx batching)",
+		st.Appends, st.Syncs, float64(st.Appends)/float64(st.Syncs))
+}
+
+func TestWALMinNextLSN(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir, WALOptions{MinNextLSN: 100})
+	defer w.Close()
+	if lsn, err := w.Append([]byte("a")); err != nil || lsn != 100 {
+		t.Fatalf("lsn=%d err=%v, want 100", lsn, err)
+	}
+}
+
+func TestWALReset(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir, WALOptions{})
+	defer w.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Reset(1); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if got := collectWAL(t, w, 0); len(got) != 0 {
+		t.Fatalf("after reset: %d records remain", len(got))
+	}
+	if lsn, err := w.Append([]byte("y")); err != nil || lsn != 1 {
+		t.Fatalf("append after reset: lsn=%d err=%v, want 1", lsn, err)
+	}
+}
+
+func TestWALPoisonedAfterSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir, WALOptions{})
+	if _, err := w.Append([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	// Close the segment file behind the WAL's back: the next commit's
+	// write/sync fails like a dying disk would.
+	w.mu.Lock()
+	w.f.Close()
+	w.mu.Unlock()
+	if _, err := w.Append([]byte("boom")); err == nil {
+		t.Fatal("append over closed file succeeded")
+	}
+	// Poisoned: every later append fails fast with ErrWALPoisoned.
+	if _, err := w.Append([]byte("after")); !errors.Is(err, ErrWALPoisoned) {
+		t.Fatalf("append after poison: err=%v, want ErrWALPoisoned", err)
+	}
+	if err := w.Checkpoint(1); !errors.Is(err, ErrWALPoisoned) {
+		t.Fatalf("checkpoint after poison: err=%v, want ErrWALPoisoned", err)
+	}
+}

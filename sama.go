@@ -128,6 +128,15 @@ type (
 	// QueryServer is a running network query server (DB.Serve), wrapping
 	// a QueryHandler in an http.Server with hardened timeouts.
 	QueryServer = server.Server
+	// WALStats snapshots the write-ahead log's counters (DB.WALStats,
+	// /debug/vars "sama_wal" section).
+	WALStats = storage.WALStats
+	// RecoveryStats reports what DB.Recover replayed: sidecar triples,
+	// pending WAL records and whether a torn tail was repaired.
+	RecoveryStats = index.RecoveryStats
+	// CompactStats reports what an incremental compaction did,
+	// including every lock-hold pause it induced on concurrent work.
+	CompactStats = index.CompactStats
 )
 
 // StopReason values.
@@ -142,6 +151,11 @@ const (
 
 // ErrClosed is returned by operations on a closed DB.
 var ErrClosed = errors.New("sama: database is closed")
+
+// ErrNeedsRecovery is returned by Insert on a WAL-enabled database
+// reopened after a crash: the log holds acknowledged batches the index
+// files do not reflect yet. Call Recover with the data graph first.
+var ErrNeedsRecovery = index.ErrNeedsRecovery
 
 // Term constructors, re-exported.
 var (
@@ -166,14 +180,16 @@ var (
 type Option func(*config)
 
 type config struct {
-	params    Params
-	paramsSet bool
-	pathCfg   paths.Config
-	poolPages int
-	thesaurus *textindex.Thesaurus
-	engine    core.Options
-	compress  bool
-	lastN     int
+	params          Params
+	paramsSet       bool
+	pathCfg         paths.Config
+	poolPages       int
+	thesaurus       *textindex.Thesaurus
+	engine          core.Options
+	compress        bool
+	lastN           int
+	walDir          string
+	checkpointBytes int64
 }
 
 // WithParams sets the similarity coefficients. The coefficients are
@@ -251,6 +267,25 @@ func WithSlowQueryLog(threshold time.Duration, fn func(*Trace)) Option {
 // (default 32).
 func WithQueryLogSize(n int) Option { return func(c *config) { c.lastN = n } }
 
+// WithWAL enables the durable write path: every Insert batch is framed
+// into a segmented write-ahead log in dir and fsynced (concurrent
+// inserters share fsyncs through group commit) before any index page
+// is touched, so acknowledged writes survive a crash. A database
+// created with a WAL records dir in its metadata; later Opens reattach
+// the log without the option, and after a crash Insert refuses to run
+// until Recover replays the unapplied records. Checkpoints (automatic
+// by size, or explicit via Checkpoint/Flush/Close) truncate the
+// applied prefix of the log.
+func WithWAL(dir string) Option { return func(c *config) { c.walDir = dir } }
+
+// WithWALCheckpoint sets the automatic checkpoint threshold: once the
+// log reaches bytes after an insert, the index checkpoints and
+// truncates it. 0 keeps the default (16 MiB); negative disables
+// automatic checkpoints (only Checkpoint, Flush and Close truncate).
+func WithWALCheckpoint(bytes int64) Option {
+	return func(c *config) { c.checkpointBytes = bytes }
+}
+
 // DB is an opened Sama database: a disk-resident path index plus the
 // query engine over it. Every DB owns a metrics registry and a ring of
 // recent query traces; ServeDebug exposes both over HTTP.
@@ -276,10 +311,12 @@ func buildConfig(opts []Option) *config {
 func Create(basePath string, g *Graph, opts ...Option) (*DB, error) {
 	c := buildConfig(opts)
 	idx, err := index.Build(basePath, g, index.Options{
-		Paths:     c.pathCfg,
-		PoolPages: c.poolPages,
-		Thesaurus: c.thesaurus,
-		Compress:  c.compress,
+		Paths:           c.pathCfg,
+		PoolPages:       c.poolPages,
+		Thesaurus:       c.thesaurus,
+		Compress:        c.compress,
+		WALDir:          c.walDir,
+		CheckpointBytes: c.checkpointBytes,
 	})
 	if err != nil {
 		return nil, err
@@ -291,8 +328,10 @@ func Create(basePath string, g *Graph, opts ...Option) (*DB, error) {
 func Open(basePath string, opts ...Option) (*DB, error) {
 	c := buildConfig(opts)
 	idx, err := index.Open(basePath, index.Options{
-		PoolPages: c.poolPages,
-		Thesaurus: c.thesaurus,
+		PoolPages:       c.poolPages,
+		Thesaurus:       c.thesaurus,
+		WALDir:          c.walDir,
+		CheckpointBytes: c.checkpointBytes,
 	})
 	if err != nil {
 		return nil, err
@@ -318,6 +357,21 @@ func newDB(idx *index.Index, c *config) *DB {
 		pool(func(s storage.PoolStats) uint64 { return s.Flushes }))
 	reg.CounterFunc("sama_pool_retries_total", "Transient I/O retry attempts.",
 		pool(func(s storage.PoolStats) uint64 { return s.Retries }))
+	if _, ok := idx.WALStats(); ok {
+		obs.RegisterWAL(reg, func() obs.WALSnapshot {
+			st, _ := idx.WALStats()
+			return obs.WALSnapshot{
+				Appends:       st.Appends,
+				Syncs:         st.Syncs,
+				Batches:       st.Batches,
+				Bytes:         st.Bytes,
+				AppendedBytes: st.AppendedBytes,
+				Segments:      st.Segments,
+				Rotations:     st.Rotations,
+				Checkpoints:   st.Checkpoints,
+			}
+		})
+	}
 	engOpts := c.engine
 	engOpts.Params = c.params
 	engOpts.ParamsSet = c.paramsSet
@@ -510,6 +564,49 @@ func (db *DB) Compact() error {
 	return db.idx.Compact()
 }
 
+// CompactIncremental is Compact in bounded steps: live paths are copied
+// in batches of batchSize (0 means a default), and the index stays open
+// for queries and inserts between steps — each pause is one short
+// reader-lock hold instead of a full-rewrite stall. The returned stats
+// report the batch count, pause distribution and the worst pause.
+func (db *DB) CompactIncremental(ctx context.Context, batchSize int) (CompactStats, error) {
+	if db.closed.Load() {
+		return CompactStats{}, ErrClosed
+	}
+	return db.idx.CompactIncremental(ctx, batchSize)
+}
+
+// Checkpoint persists the indexed state (pages, sidecar, metadata) and
+// truncates the write-ahead log up to it. A no-op without a WAL.
+func (db *DB) Checkpoint() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	return db.idx.Checkpoint()
+}
+
+// NeedsRecovery reports how many acknowledged-but-unapplied WAL batches
+// a reopened database is holding: 0 after a clean shutdown, -1 without a
+// WAL. When positive, queries and inserts fail with ErrNeedsRecovery
+// until Recover replays the log.
+func (db *DB) NeedsRecovery() int { return db.idx.NeedsRecovery() }
+
+// Recover replays the write-ahead log's pending batches into the index
+// and attaches g as the database's data graph (like AttachGraph). The
+// graph must be the one the sidecar reconstructs — Open's source graph
+// plus the sidecar's inserts; Recover applies the WAL's tail on top and
+// checkpoints. Safe to call when nothing is pending.
+func (db *DB) Recover(g *Graph) (RecoveryStats, error) {
+	if db.closed.Load() {
+		return RecoveryStats{}, ErrClosed
+	}
+	return db.idx.Recover(g)
+}
+
+// WALStats returns the write-ahead log's counters; ok is false when the
+// database was opened without a WAL.
+func (db *DB) WALStats() (WALStats, bool) { return db.idx.WALStats() }
+
 // Stats returns the index build statistics (Table 1's measurements).
 func (db *DB) Stats() IndexStats { return db.idx.Stats() }
 
@@ -532,8 +629,9 @@ func (db *DB) CacheStats() map[string]CacheStats { return db.engine.CacheStats()
 
 // DebugHandler returns the debug HTTP handler tree: /metrics
 // (Prometheus text), /debug/vars (expvar plus a "sama_cache" section
-// with the answer/alignment cache counters and a "sama_align" section
-// with the worker-pool and batched-read state), /debug/lastqueries
+// with the answer/alignment cache counters, a "sama_align" section
+// with the worker-pool and batched-read state, and a "sama_wal" section
+// with the write-ahead log counters and recovery status), /debug/lastqueries
 // (recent traces as JSON) and /debug/pprof/* — mountable under any
 // server or httptest.
 func (db *DB) DebugHandler() http.Handler {
@@ -547,6 +645,17 @@ func (db *DB) DebugHandler() http.Handler {
 				Pool         core.ParallelStats     `json:"pool"`
 				BatchedReads index.BatchedReadStats `json:"batched_reads"`
 			}{db.engine.ParallelStats(), db.idx.BatchedReads()}
+		},
+	}, obs.DebugVar{
+		Name: "sama_wal",
+		Value: func() any {
+			st, ok := db.idx.WALStats()
+			return struct {
+				Enabled       bool                `json:"enabled"`
+				Stats         storage.WALStats    `json:"stats"`
+				NeedsRecovery int                 `json:"needs_recovery"`
+				LastRecovery  index.RecoveryStats `json:"last_recovery"`
+			}{ok, st, db.idx.NeedsRecovery(), db.idx.LastRecovery()}
 		},
 	})
 }
