@@ -67,8 +67,16 @@ func (ix *Index) Compact() error {
 // is reclaimed.
 //
 // batch ≤ 0 selects DefaultCompactBatch. One compaction runs at a
-// time; a second concurrent call fails immediately. On any failure the
-// original files remain intact and the index stays usable.
+// time; a second concurrent call fails immediately. On a failure
+// before the final swap starts closing the old file handles, the
+// original files remain intact and the index is untouched. A failure
+// during the swap itself (closing the old pool or pages file, either
+// rename, or the reopen) is recovered by rolling the swap forward:
+// the new files are complete and synced before teardown begins, so
+// the renames are finished, the new files reopened and adopted, and
+// the index stays usable — the error is still returned. Only if that
+// recovery reopen also fails is the index left closed, and the error
+// says so explicitly.
 func (ix *Index) CompactIncremental(ctx context.Context, batch int) (cs CompactStats, err error) {
 	start := time.Now()
 	if batch <= 0 {
@@ -194,10 +202,23 @@ func (ix *Index) CompactIncremental(ctx context.Context, batch int) (cs CompactS
 	// crash right after the swap recovers against the compacted files.
 	next.walDir = ix.walDir
 	next.applied.watermark = ix.applied.watermark
-	if ix.wal != nil && len(ix.sinceCheckpoint) > 0 {
+	if ix.wal != nil {
 		// Checkpoint discipline: the sidecar must cover everything the
-		// new metadata reflects before the WAL prefix is reclaimed.
-		if err := appendSidecar(sidecarPath(ix.base), ix.sinceCheckpoint); err != nil {
+		// new metadata reflects before the WAL prefix is reclaimed. The
+		// swap is also where the sidecar stops growing: instead of
+		// appending yet another frame, the accumulated frames plus the
+		// since-checkpoint delta are deduplicated (graph insertion is
+		// idempotent, so repeated triples across frames carry nothing)
+		// and rewritten as one frame via an atomic rename. Recovery then
+		// re-reads O(distinct inserted triples), not O(appends over the
+		// database's lifetime). Both sidecar versions hold the same
+		// logical delta, so a crash on either side of the rename is safe.
+		side, err := loadSidecar(sidecarPath(ix.base))
+		if err != nil {
+			return fail(err)
+		}
+		merged := dedupTriples(append(side, ix.sinceCheckpoint...))
+		if err := rewriteSidecar(sidecarPath(ix.base), merged); err != nil {
 			return fail(err)
 		}
 		ix.sinceCheckpoint = nil
@@ -212,46 +233,78 @@ func (ix *Index) CompactIncremental(ctx context.Context, batch int) (cs CompactS
 		return fail(err)
 	}
 
+	// Past this point the old handles are being torn down, so fail's
+	// delete-the-temporaries cleanup is no longer enough. adopt swaps
+	// the reopened state in field by field: ix.mu is held and must not
+	// be overwritten, and the WAL handle, graph, and watermark survive
+	// the swap. The epoch bump rides along — compaction renumbers
+	// PathIDs, so any cache entry naming one is garbage now (and when a
+	// failure reopens the ORIGINAL files the bump is merely redundant).
+	adopt := func(re *Index) {
+		ix.file = re.file
+		ix.pool = re.pool
+		ix.store = re.store
+		ix.rids = re.rids
+		ix.lens = re.lens
+		ix.sinks = re.sinks
+		ix.labels = re.labels
+		ix.sources = re.sources
+		ix.deleted = re.deleted
+		ix.dict = re.dict
+		ix.stats = re.stats
+		ix.stats.DiskBytes = ix.diskBytes()
+		ix.epoch++
+	}
+	// closeFail keeps the stays-usable contract on post-close failures
+	// by rolling the swap FORWARD, not back: the new files were fully
+	// written and synced before teardown began, so completing the
+	// renames preserves everything — including writes that raced the
+	// copy, which the original files' meta (last durably written on a
+	// previous flush) may predate. Only if the roll-forward rename
+	// fails too does recoverCompactSwap fall back to the originals.
+	closeFail := func(cause error) (CompactStats, error) {
+		os.Rename(pagesPath(tmpBase), pagesPath(ix.base))
+		recoverCompactSwap(ix.base)
+		re, rerr := openIndex(ix.base, Options{Paths: ix.pathCfg, Thesaurus: ix.thes, WrapIO: ix.wrapIO}, false)
+		if rerr != nil {
+			return cs, fmt.Errorf("%w (reopening the index files failed too: %v; the index is closed)", cause, rerr)
+		}
+		adopt(re)
+		if ix.wal != nil && re.applied.watermark < ix.applied.watermark {
+			// The roll-forward fell back to the originals and their meta
+			// predates records the in-memory state had applied. Those
+			// records are still in the WAL — the checkpoint that would
+			// reclaim them never ran — so inherit the on-disk watermark
+			// and flag recovery rather than serve the stale view.
+			ix.applied = re.applied
+			ix.recoverNeeded = true
+		}
+		return cs, cause
+	}
 	if err := ix.pool.Close(); err != nil {
-		return cs, err
+		ix.file.Close()
+		return closeFail(fmt.Errorf("index: compact: close old pool: %w", err))
 	}
 	if err := ix.file.Close(); err != nil {
-		return cs, err
+		return closeFail(fmt.Errorf("index: compact: close old pages: %w", err))
 	}
 	// The pages rename is the swap's commit point: recoverCompactSwap
 	// finishes the meta rename if a crash lands between the two.
 	if err := os.Rename(pagesPath(tmpBase), pagesPath(ix.base)); err != nil {
-		return cs, fmt.Errorf("index: compact: swap pages: %w", err)
+		return closeFail(fmt.Errorf("index: compact: swap pages: %w", err))
 	}
 	if err := os.Rename(metaPath(tmpBase), metaPath(ix.base)); err != nil {
-		return cs, fmt.Errorf("index: compact: swap meta: %w", err)
+		return closeFail(fmt.Errorf("index: compact: swap meta: %w", err))
 	}
 	if err := syncDirOf(metaPath(ix.base)); err != nil {
-		return cs, fmt.Errorf("index: compact: sync dir: %w", err)
+		return closeFail(fmt.Errorf("index: compact: sync dir: %w", err))
 	}
 	reopened, err := openIndex(ix.base, Options{Paths: ix.pathCfg, Thesaurus: ix.thes, WrapIO: ix.wrapIO}, false)
 	if err != nil {
-		return cs, fmt.Errorf("index: compact: reopen: %w", err)
+		return closeFail(fmt.Errorf("index: compact: reopen: %w", err))
 	}
-	// Adopt the reopened state field by field: ix.mu is held and must
-	// not be overwritten, and the WAL handle, graph, and watermark
-	// survive the swap.
-	ix.file = reopened.file
-	ix.pool = reopened.pool
-	ix.store = reopened.store
-	ix.rids = reopened.rids
-	ix.lens = reopened.lens
-	ix.sinks = reopened.sinks
-	ix.labels = reopened.labels
-	ix.sources = reopened.sources
-	ix.deleted = reopened.deleted
-	ix.dict = reopened.dict
-	ix.stats = reopened.stats
-	ix.stats.DiskBytes = ix.diskBytes()
+	adopt(reopened)
 	cs.Live = ix.livePathsLocked()
-	// Compaction renumbers PathIDs, so any cache entry naming one is
-	// garbage now; the epoch bump invalidates them all.
-	ix.epoch++
 	if ix.wal != nil {
 		if err := ix.wal.Checkpoint(ix.applied.watermark); err != nil {
 			return cs, fmt.Errorf("index: compact: wal checkpoint: %w", err)

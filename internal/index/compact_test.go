@@ -6,9 +6,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
 
 	"sama/internal/rdf"
+	"sama/internal/storage"
 )
 
 // livePathKeys collects the canonical keys of every live path.
@@ -376,4 +378,72 @@ func TestCompactIncrementalWithWAL(t *testing.T) {
 		t.Fatalf("answers diverge after compact+crash+recover: %d vs %d paths", len(got), len(want))
 	}
 	_ = finalGraph
+}
+
+// TestCompactIncrementalPostCloseFailureReopens: a failure after the
+// swap has started closing the old handles (here: the old pool's final
+// sync) must not strand the index on dead handles. The recovery path
+// reopens the authoritative files and adopts them, so the index keeps
+// answering — and a retry of the compaction succeeds.
+func TestCompactIncrementalPostCloseFailureReopens(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "cfail")
+	// Wrap only the FIRST page file (the original index). The
+	// compaction's temp file and any recovery reopen pass through, so
+	// the injected sync fault fires exactly once: at the old pool's
+	// Close during the swap — after the temp files are fully written,
+	// before any rename.
+	var fi *storage.FaultInjector
+	wrapped := false
+	ix, err := Build(base, figure1Graph(), Options{
+		WrapIO: func(io storage.PageIO) storage.PageIO {
+			if wrapped {
+				return io
+			}
+			wrapped = true
+			fi = storage.NewFaultInjector(io)
+			return fi
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if err := ix.InsertTriples([]rdf.Triple{
+		{S: iri("CarlaBunes"), P: iri("sponsor"), O: iri("A8000")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := livePathKeys(t, ix)
+	epoch := ix.Epoch()
+
+	fi.Inject(storage.Fault{Op: storage.OpSync, Kind: storage.Transient, Times: 1})
+	_, err = ix.CompactIncremental(context.Background(), 0)
+	if err == nil {
+		t.Fatal("compaction with a failing old-pool sync succeeded")
+	}
+	if !strings.Contains(err.Error(), "close old pool") {
+		t.Fatalf("fault fired in the wrong place: %v", err)
+	}
+	if strings.Contains(err.Error(), "the index is closed") {
+		t.Fatalf("recovery reopen failed: %v", err)
+	}
+	// The stays-usable contract: same answers from the reopened files.
+	if got := livePathKeys(t, ix); !equalKeys(got, want) {
+		t.Fatalf("answers diverge after recovered swap failure: %d vs %d paths", len(got), len(want))
+	}
+	if ix.Epoch() == epoch {
+		t.Error("adopting reopened files must bump the epoch")
+	}
+	// And the failure was transient from the caller's view: retry works.
+	if _, err := ix.CompactIncremental(context.Background(), 0); err != nil {
+		t.Fatalf("retry after recovered failure: %v", err)
+	}
+	if got := livePathKeys(t, ix); !equalKeys(got, want) {
+		t.Fatal("retried compaction changed the answer surface")
+	}
+	if err := ix.InsertTriples([]rdf.Triple{
+		{S: iri("PostFail"), P: iri("sponsor"), O: iri("B1432")},
+	}); err != nil {
+		t.Fatalf("insert after recovered failure: %v", err)
+	}
 }

@@ -136,6 +136,12 @@ func decodeTriples(data []byte) ([]rdf.Triple, error) {
 // always holds. Frames are [len u32][crc u32][payload] with the same
 // triple codec as WAL records. Duplicate triples across frames are
 // harmless: graph edge insertion deduplicates.
+//
+// Between compactions the file is append-only, growing by one frame
+// per checkpoint; CompactIncremental rewrites it as a single
+// deduplicated frame (see rewriteSidecar), so its size — and the
+// re-read cost every Recover pays — is bounded by the distinct triples
+// inserted since the source graph, not by checkpoint count.
 
 const sidecarHdrSize = 8
 
@@ -157,6 +163,63 @@ func appendSidecar(path string, ts []rdf.Triple) error {
 		return fmt.Errorf("index: sidecar sync: %w", err)
 	}
 	return nil
+}
+
+// rewriteSidecar atomically replaces the sidecar with a single frame
+// holding ts: the bytes go to a temp file, are fsynced, and renamed
+// over the old sidecar (the directory is fsynced after). An empty ts
+// removes the file. Compaction uses this to stop the sidecar growing
+// by a frame per checkpoint forever.
+func rewriteSidecar(path string, ts []rdf.Triple) error {
+	if len(ts) == 0 {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("index: sidecar remove: %w", err)
+		}
+		return nil
+	}
+	payload := encodeTriples(ts)
+	frame := make([]byte, sidecarHdrSize, sidecarHdrSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("index: sidecar rewrite: %w", err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("index: sidecar rewrite: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("index: sidecar rewrite sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("index: sidecar rewrite close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("index: sidecar rewrite rename: %w", err)
+	}
+	return syncDirOf(path)
+}
+
+// dedupTriples drops repeated triples, keeping first-occurrence order.
+func dedupTriples(ts []rdf.Triple) []rdf.Triple {
+	seen := make(map[rdf.Triple]struct{}, len(ts))
+	out := make([]rdf.Triple, 0, len(ts))
+	for _, t := range ts {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
 }
 
 // loadSidecar reads every complete frame from the sidecar, truncating

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -378,5 +379,199 @@ func TestTripleCodecRoundtrip(t *testing.T) {
 		if _, err := decodeTriples(enc[:cut]); err == nil {
 			t.Fatalf("truncation at %d accepted", cut)
 		}
+	}
+}
+
+// TestWALAutoCheckpointConcurrentInserts is the regression test for the
+// checkpoint/group-commit race: InsertTriples appends to the WAL
+// outside the index lock by design, so the auto-checkpoint (which runs
+// under it) routinely overlaps another inserter's in-flight commit.
+// Pre-fix, storage.WAL.Checkpoint refused with "checkpoint during an
+// in-flight commit" and durably-logged, fully-applied inserts returned
+// spurious errors once the WAL crossed CheckpointBytes.
+func TestWALAutoCheckpointConcurrentInserts(t *testing.T) {
+	dir := t.TempDir()
+	ix, err := Build(filepath.Join(dir, "ix"), figure1Graph(), Options{
+		WALDir:          filepath.Join(dir, "wal"),
+		WALSegmentBytes: 256,
+		// Checkpoint after every applied insert: the widest possible
+		// overlap with the other writers' appends.
+		CheckpointBytes: 1,
+		// Widen each commit so overlaps happen deterministically even on
+		// a fast filesystem (same trick as the group-commit test).
+		WALSyncHook: func() error { time.Sleep(200 * time.Microsecond); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	const writers, inserts = 8, 25
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < inserts; j++ {
+				if err := ix.InsertTriples([]rdf.Triple{{
+					S: iri(fmt.Sprintf("CkptSen%d_%d", i, j)),
+					P: iri("sponsor"),
+					O: iri("A0056"),
+				}}); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	st, _ := ix.WALStats()
+	if st.Appends != writers*inserts {
+		t.Fatalf("appends = %d, want %d", st.Appends, writers*inserts)
+	}
+	if st.Checkpoints == 0 {
+		t.Fatal("no checkpoint fired; the race was never exercised")
+	}
+}
+
+// TestWALCheckpointDuringInsertCommit pins the race deterministically:
+// a checkpoint (under the index write lock) runs while another
+// inserter's group commit is mid-flush (outside it, by design).
+// Pre-fix the checkpoint errored instead of skipping the in-flight
+// tail.
+func TestWALCheckpointDuringInsertCommit(t *testing.T) {
+	dir := t.TempDir()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var gate sync.Mutex
+	gated := false
+	ix, err := Build(filepath.Join(dir, "ix"), figure1Graph(), Options{
+		WALDir:          filepath.Join(dir, "wal"),
+		CheckpointBytes: -1, // explicit checkpoints only
+		WALSyncHook: func() error {
+			gate.Lock()
+			g := gated
+			gate.Unlock()
+			if g {
+				entered <- struct{}{}
+				<-release
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if err := ix.InsertTriples(walTestTriples); err != nil {
+		t.Fatal(err)
+	}
+
+	liveBefore := ix.LivePaths()
+	gate.Lock()
+	gated = true
+	gate.Unlock()
+	inserted := make(chan error, 1)
+	go func() {
+		inserted <- ix.InsertTriples([]rdf.Triple{
+			{S: iri("MidFlush"), P: iri("sponsor"), O: iri("A0056")},
+		})
+	}()
+	<-entered // the insert's WAL commit is now mid-flush
+
+	if err := ix.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint during a concurrent insert's commit: %v", err)
+	}
+
+	gate.Lock()
+	gated = false
+	gate.Unlock()
+	close(release)
+	if err := <-inserted; err != nil {
+		t.Fatalf("insert spanning the checkpoint: %v", err)
+	}
+	// The mid-flush insert landed (new paths rooted at MidFlush).
+	if got := ix.LivePaths(); got <= liveBefore {
+		t.Fatalf("mid-flush insert added no paths (%d -> %d)", liveBefore, got)
+	}
+	// And a now-quiescent checkpoint reclaims the log as usual.
+	if err := ix.Checkpoint(); err != nil {
+		t.Fatalf("quiescent checkpoint: %v", err)
+	}
+}
+
+// TestCompactRewritesSidecar: the delta sidecar must not grow without
+// bound. Each checkpoint appends a frame, but a compaction rewrites
+// the accumulated frames as one deduplicated frame — so the file
+// shrinks, and recovery re-reads distinct triples, not every append
+// ever made.
+func TestCompactRewritesSidecar(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "ix")
+	walDir := filepath.Join(dir, "wal")
+	ix, err := Build(base, figure1Graph(), Options{WALDir: walDir, CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	// Two checkpointed batches sharing a triple: the sidecar holds two
+	// frames carrying four entries, one of them a duplicate.
+	if err := ix.InsertTriples(walTestTriples); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.InsertTriples([]rdf.Triple{
+		walTestTriples[0],
+		{S: iri("NewSenator"), P: iri("sponsor"), O: iri("A0056")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(sidecarPath(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := info.Size()
+
+	if _, err := ix.CompactIncremental(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	info, err = os.Stat(sidecarPath(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() >= before {
+		t.Errorf("compaction did not shrink the sidecar: %d -> %d bytes", before, info.Size())
+	}
+	want := livePathKeys(t, ix)
+
+	// The rewritten sidecar still satisfies the recovery invariant, and
+	// carries exactly the distinct inserted triples.
+	cb, cw := crashClone(t, base, walDir)
+	ix.Close()
+	re, err := Open(cb, Options{WALDir: cw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	rs, err := re.Recover(figure1Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.SidecarTriples != 3 {
+		t.Errorf("sidecar triples after rewrite = %d, want 3 distinct", rs.SidecarTriples)
+	}
+	if got := livePathKeys(t, re); !equalKeys(got, want) {
+		t.Fatalf("answers diverge after compact+crash+recover: %d vs %d paths", len(got), len(want))
 	}
 }

@@ -135,10 +135,15 @@ type WAL struct {
 
 	// Group-commit state: records are framed into buf under mu; the
 	// first appender to find no flush in progress becomes the leader,
-	// steals buf+waiters, and writes+syncs outside the lock.
-	buf      []byte
-	waiters  []chan error
-	flushing bool
+	// steals buf+waiters, and writes+syncs outside the lock. flushDone
+	// is broadcast each time a leader retires (flushing goes false), so
+	// Close and Reset can wait out an in-flight commit. Invariant under
+	// mu: a non-empty buf implies flushing (the appender that buffered
+	// first became the leader, or an existing leader will drain it).
+	buf       []byte
+	waiters   []chan error
+	flushing  bool
+	flushDone *sync.Cond
 
 	err    error // sticky poison after a failed write or sync
 	closed bool
@@ -167,6 +172,7 @@ func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
 		return nil, fmt.Errorf("storage: wal dir: %w", err)
 	}
 	w := &WAL{dir: dir, opts: opts}
+	w.flushDone = sync.NewCond(&w.mu)
 	if err := w.scan(); err != nil {
 		return nil, err
 	}
@@ -443,6 +449,7 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 			}
 			w.buf, w.waiters = nil, nil
 			w.flushing = false
+			w.flushDone.Broadcast()
 			w.mu.Unlock()
 			result = <-ch
 			return lsn, result
@@ -465,6 +472,7 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 				w.buf, w.waiters = nil, nil
 			}
 			w.flushing = false
+			w.flushDone.Broadcast()
 			w.mu.Unlock()
 			result = <-ch
 			return lsn, result
@@ -574,6 +582,14 @@ func (w *WAL) replaySegment(seg walSegment, from uint64, fn func(uint64, []byte)
 // that only hold such records. If the tail segment itself is fully
 // applied it is rotated out and removed, so a long-checkpointed log
 // occupies one near-empty segment.
+//
+// Checkpoint is safe to call while a group commit is in flight: the
+// index appends outside its own write lock (so concurrent inserts can
+// batch) but checkpoints under it, so the two routinely overlap. The
+// flush leader only ever touches the tail segment, so fully-applied
+// non-tail segments are reclaimed regardless; the rotate-out-the-tail
+// step is skipped while a commit is running and simply happens at the
+// next quiescent checkpoint.
 func (w *WAL) Checkpoint(applied uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -583,12 +599,7 @@ func (w *WAL) Checkpoint(applied uint64) error {
 	if w.err != nil {
 		return w.err
 	}
-	if w.flushing || len(w.buf) > 0 {
-		// A commit is in flight; reclaiming files under it would race
-		// the leader's writes. The caller (the index) checkpoints
-		// under its own write lock, so this only happens on misuse.
-		return fmt.Errorf("storage: wal checkpoint during an in-flight commit")
-	}
+	inFlight := w.flushing || len(w.buf) > 0
 	// Segment i is disposable if everything it holds is <= applied,
 	// i.e. the next segment starts at applied+1 or earlier.
 	removed := false
@@ -598,7 +609,7 @@ func (w *WAL) Checkpoint(applied uint64) error {
 		}
 		removed = true
 	}
-	if len(w.segments) == 1 && w.writtenLSN <= applied && w.segments[0].size > walSegHdrSize {
+	if !inFlight && len(w.segments) == 1 && w.writtenLSN <= applied && w.segments[0].size > walSegHdrSize {
 		// The tail itself is fully applied: rotate a fresh segment in
 		// and drop the old tail.
 		if err := w.rotateLocked(); err != nil {
@@ -637,8 +648,10 @@ func (w *WAL) Reset(firstLSN uint64) error {
 	if w.closed {
 		return ErrClosed
 	}
-	if w.flushing || len(w.buf) > 0 {
-		return fmt.Errorf("storage: wal reset during an in-flight commit")
+	// Wait out any in-flight commit: the leader owns the file handle
+	// until its batch retires (buf non-empty implies a leader exists).
+	for w.flushing {
+		w.flushDone.Wait()
 	}
 	if firstLSN == 0 {
 		firstLSN = 1
@@ -713,15 +726,18 @@ func (w *WAL) Stats() WALStats {
 
 // Close closes the log. Records already acknowledged stay durable;
 // Close never needs to flush because Append only returns after its
-// batch is synced. Close is idempotent.
+// batch is synced. A group commit in flight is waited out first — the
+// leader owns the file handle until its batch retires — so appends
+// racing a Close either complete durably or observe the closed log.
+// Close is idempotent.
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return nil
 	}
-	if w.flushing || len(w.buf) > 0 {
-		return fmt.Errorf("storage: wal close during an in-flight commit")
+	for w.flushing {
+		w.flushDone.Wait()
 	}
 	w.closed = true
 	if w.f != nil {

@@ -152,9 +152,12 @@ const (
 // ErrClosed is returned by operations on a closed DB.
 var ErrClosed = errors.New("sama: database is closed")
 
-// ErrNeedsRecovery is returned by Insert on a WAL-enabled database
-// reopened after a crash: the log holds acknowledged batches the index
-// files do not reflect yet. Call Recover with the data graph first.
+// ErrNeedsRecovery is returned on a WAL-enabled database reopened
+// after a crash, before Recover runs: Insert always (the log must be
+// replayed before new writes), and queries whenever the log holds
+// acknowledged batches the index files do not reflect yet — serving
+// reads then would silently miss durable pre-crash writes. Call
+// Recover with the data graph first.
 var ErrNeedsRecovery = index.ErrNeedsRecovery
 
 // Term constructors, re-exported.
@@ -419,6 +422,12 @@ func (db *DB) QueryContext(ctx context.Context, q *QueryGraph, k int) (answers [
 	if db.closed.Load() {
 		return nil, QueryStats{}, ErrClosed
 	}
+	// Refuse to serve while acknowledged pre-crash writes are pending:
+	// the index would answer without them. (After a clean shutdown
+	// NeedsRecovery is 0 — the files are complete — and reads proceed.)
+	if db.idx.NeedsRecovery() > 0 {
+		return nil, QueryStats{}, ErrNeedsRecovery
+	}
 	defer recoverQuery(&err, "query graph")
 	answers, stats, err = db.engine.QueryWithStatsContext(ctx, q, k)
 	db.logTrace(stats.Trace, "graph query")
@@ -469,6 +478,9 @@ func (db *DB) QuerySPARQL(src string, k int) (*Result, error) {
 func (db *DB) QuerySPARQLContext(ctx context.Context, src string, k int) (res *Result, err error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
+	}
+	if db.idx.NeedsRecovery() > 0 { // see QueryContext
+		return nil, ErrNeedsRecovery
 	}
 	defer recoverQuery(&err, describeQuery(src))
 	parsed, err := sparql.Parse(src)
@@ -588,7 +600,9 @@ func (db *DB) Checkpoint() error {
 // NeedsRecovery reports how many acknowledged-but-unapplied WAL batches
 // a reopened database is holding: 0 after a clean shutdown, -1 without a
 // WAL. When positive, queries and inserts fail with ErrNeedsRecovery
-// until Recover replays the log.
+// until Recover replays the log. At 0 the index files are complete, so
+// queries serve normally, but Insert still fails with ErrNeedsRecovery
+// until Recover reattaches the data graph.
 func (db *DB) NeedsRecovery() int { return db.idx.NeedsRecovery() }
 
 // Recover replays the write-ahead log's pending batches into the index

@@ -1,6 +1,7 @@
 package sama
 
 import (
+	"errors"
 	"io"
 	"net/http/httptest"
 	"path/filepath"
@@ -54,6 +55,11 @@ func TestWALPublicAPI(t *testing.T) {
 		S: NewIRI("x"), P: NewIRI("y"), O: NewIRI("z"),
 	}}); err == nil {
 		t.Fatal("insert on an unrecovered database succeeded")
+	}
+	// So are queries: with acknowledged batches pending, answering from
+	// the flushed files alone would silently drop the durable insert.
+	if _, err := re.QuerySPARQL(`SELECT ?x WHERE { ?x <sponsor> <A0056> }`, 10); !errors.Is(err, ErrNeedsRecovery) {
+		t.Fatalf("query on an unrecovered database: err=%v, want ErrNeedsRecovery", err)
 	}
 	g2, err := LoadNTriples(strings.NewReader(govtrackNT))
 	if err != nil {
