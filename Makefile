@@ -35,11 +35,11 @@ race:
 	$(GO) test -race ./...
 
 # race-hot re-runs the packages where caching, epoch invalidation,
-# request coalescing, WAL group commit and incremental compaction
-# interleave — a second -count pass varies goroutine scheduling beyond
-# what one ./... sweep exercises.
+# request coalescing, WAL group commit, incremental compaction and the
+# event ring's subscriber fan-out interleave — a second -count pass
+# varies goroutine scheduling beyond what one ./... sweep exercises.
 race-hot:
-	$(GO) test -race -count=2 ./internal/cache ./internal/core ./internal/server ./internal/storage ./internal/index
+	$(GO) test -race -count=2 ./internal/cache ./internal/core ./internal/server ./internal/storage ./internal/index ./internal/obs
 
 # crash re-runs the durability suites on their own: the crash-matrix
 # kill points (torn WAL tails, mid-checkpoint and mid-compaction
@@ -48,12 +48,13 @@ crash:
 	$(GO) test -count=1 -run 'TestCrashMatrix|TestWAL|TestCompact|TestPageFileSync|TestInsertTriplesAllOrNothing' ./internal/storage ./internal/index
 
 # bench is the smoke harness: one pass over every benchmark, with
-# BenchmarkPhaseBreakdown writing per-phase medians and the warm-cache
-# hit ratio + cached-vs-uncached medians from the query traces to
+# BenchmarkPhaseBreakdown running every query at least 5 times and
+# writing per-phase p50/p99 and the warm-cache hit ratio +
+# cached-vs-uncached medians from the query traces to
 # results/bench_latest.json.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
-	@echo "phase medians written to results/bench_latest.json"
+	@echo "per-phase p50/p99 written to results/bench_latest.json"
 
 # serve-smoke boots samad end-to-end: random port, example dataset
 # indexed on the fly, one query through the Go client, /readyz and

@@ -385,12 +385,17 @@ func BenchmarkRR(b *testing.B) {
 }
 
 // benchPhaseRow is one query's entry in results/bench_latest.json.
+// phase_median_ns is the p50; phase_p99_ns the p99 over the same
+// samples (each query runs benchPhaseReps times per b.N iteration, so
+// the percentiles rest on at least that many runs).
 type benchPhaseRow struct {
-	Query   string           `json:"query"`
-	Runs    int              `json:"runs"`
-	Answers int              `json:"answers"`
-	Phases  map[string]int64 `json:"phase_median_ns"`
-	TotalNS int64            `json:"total_median_ns"`
+	Query      string           `json:"query"`
+	Runs       int              `json:"runs"`
+	Answers    int              `json:"answers"`
+	Phases     map[string]int64 `json:"phase_median_ns"`
+	PhasesP99  map[string]int64 `json:"phase_p99_ns"`
+	TotalNS    int64            `json:"total_median_ns"`
+	TotalP99NS int64            `json:"total_p99_ns"`
 }
 
 // benchCacheReport records the warm-cache measurement: the same query
@@ -459,6 +464,25 @@ func medianDuration(ds []time.Duration) int64 {
 	return int64(ds[len(ds)/2])
 }
 
+// durationPercentile returns the q-th percentile (0–100, nearest rank)
+// of ds, sorting ds in place.
+func durationPercentile(ds []time.Duration, q float64) int64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	idx := int(float64(len(ds)-1)*q/100.0 + 0.5)
+	if idx >= len(ds) {
+		idx = len(ds) - 1
+	}
+	return int64(ds[idx])
+}
+
+// benchPhaseReps is how many times each query runs per b.N iteration of
+// BenchmarkPhaseBreakdown, so the p50/p99 per-phase percentiles rest on
+// at least 5 samples even at -benchtime=1x (the `make bench` setting).
+const benchPhaseReps = 5
+
 // BenchmarkPhaseBreakdown is the smoke harness behind `make bench`: it
 // runs a subset of the LUBM workload through the traced engine and
 // writes per-phase median durations (taken from the query traces) to
@@ -475,36 +499,41 @@ func BenchmarkPhaseBreakdown(b *testing.B) {
 	answers := make(map[string]int, len(queries))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, q := range queries {
-			as, st, err := eng.QueryWithStats(q.Pattern, experiments.TopK)
-			if err != nil {
-				b.Fatal(err)
+		for rep := 0; rep < benchPhaseReps; rep++ {
+			for _, q := range queries {
+				as, st, err := eng.QueryWithStats(q.Pattern, experiments.TopK)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Trace == nil {
+					b.Fatal("query produced no trace")
+				}
+				if samples[q.ID] == nil {
+					samples[q.ID] = make(map[string][]time.Duration, len(phaseNames))
+				}
+				for _, ph := range phaseNames {
+					samples[q.ID][ph] = append(samples[q.ID][ph], st.Trace.PhaseDuration(ph))
+				}
+				totals[q.ID] = append(totals[q.ID], st.Elapsed)
+				answers[q.ID] = len(as)
 			}
-			if st.Trace == nil {
-				b.Fatal("query produced no trace")
-			}
-			if samples[q.ID] == nil {
-				samples[q.ID] = make(map[string][]time.Duration, len(phaseNames))
-			}
-			for _, ph := range phaseNames {
-				samples[q.ID][ph] = append(samples[q.ID][ph], st.Trace.PhaseDuration(ph))
-			}
-			totals[q.ID] = append(totals[q.ID], st.Elapsed)
-			answers[q.ID] = len(as)
 		}
 	}
 	b.StopTimer()
 	report := benchPhaseReport{Dataset: "LUBM", Triples: benchTriples}
 	for _, q := range queries {
 		row := benchPhaseRow{
-			Query:   q.ID,
-			Runs:    len(totals[q.ID]),
-			Answers: answers[q.ID],
-			Phases:  make(map[string]int64, len(phaseNames)),
-			TotalNS: medianDuration(totals[q.ID]),
+			Query:      q.ID,
+			Runs:       len(totals[q.ID]),
+			Answers:    answers[q.ID],
+			Phases:     make(map[string]int64, len(phaseNames)),
+			PhasesP99:  make(map[string]int64, len(phaseNames)),
+			TotalNS:    medianDuration(totals[q.ID]),
+			TotalP99NS: durationPercentile(totals[q.ID], 99),
 		}
 		for _, ph := range phaseNames {
 			row.Phases[ph] = medianDuration(samples[q.ID][ph])
+			row.PhasesP99[ph] = durationPercentile(samples[q.ID][ph], 99)
 		}
 		report.Queries = append(report.Queries, row)
 		b.ReportMetric(float64(row.TotalNS), q.ID+"-median-ns")

@@ -58,6 +58,35 @@ type IOStats struct {
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
 	Retries     uint64 `json:"retries"`
+	// BatchedPages counts pages touched through the engine's
+	// page-locality batched reads (a subset of PageReads).
+	BatchedPages uint64 `json:"batched_pages"`
+}
+
+// ExplainPlan is the deterministic explain plan returned when the
+// request asked for one (?explain=1 / QueryOptions.Explain). Its JSON
+// shape mirrors the engine's plan exactly — field for field, tag for
+// tag — so the document a client receives is byte-identical to what
+// `sama query -explain -json` prints locally for the same query.
+type ExplainPlan struct {
+	Version int    `json:"version"`
+	Query   string `json:"query,omitempty"`
+	// Source is "cache" when the answer cache served the query whole
+	// (no retrieval, alignment, or search ran), else "engine".
+	Source     string         `json:"source"`
+	Answers    int            `json:"answers"`
+	Partial    bool           `json:"partial,omitempty"`
+	StopReason string         `json:"stop_reason,omitempty"`
+	Restarts   int            `json:"restarts,omitempty"`
+	Phases     []*ExplainNode `json:"phases"`
+}
+
+// ExplainNode is one span of the plan tree: its name and integer
+// decision counters, without timings.
+type ExplainNode struct {
+	Name     string           `json:"name"`
+	Attrs    map[string]int64 `json:"attrs,omitempty"`
+	Children []*ExplainNode   `json:"children,omitempty"`
 }
 
 // Stats carries the per-request execution statistics: end-to-end and
@@ -84,6 +113,9 @@ type QueryResponse struct {
 	Partial    bool   `json:"partial,omitempty"`
 	StopReason string `json:"stop_reason,omitempty"`
 	Stats      Stats  `json:"stats"`
+	// Explain is the deterministic explain plan, present only when the
+	// request set QueryOptions.Explain (?explain=1).
+	Explain *ExplainPlan `json:"explain,omitempty"`
 }
 
 // ErrorResponse is the body of every non-200 response.
@@ -121,6 +153,9 @@ type QueryOptions struct {
 	// Timeout is the requested query deadline; the server caps it at its
 	// -max-timeout (0: server default).
 	Timeout time.Duration
+	// Explain asks the server for the execution's deterministic explain
+	// plan in QueryResponse.Explain.
+	Explain bool
 }
 
 // Client talks to one samad server.
@@ -153,6 +188,9 @@ func (c *Client) Query(ctx context.Context, sparql string, opts QueryOptions) (*
 	}
 	if opts.Timeout > 0 {
 		q.Set("timeout", opts.Timeout.String())
+	}
+	if opts.Explain {
+		q.Set("explain", "1")
 	}
 	u := c.base + "/query"
 	if len(q) > 0 {

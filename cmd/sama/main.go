@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -63,7 +64,7 @@ func usage() {
   sama index -data <graph.nt> -index <base>     build the path index
              [-wal <dir>] [-wal-checkpoint <bytes>]
   sama query -index <base> (-q <sparql> | -sparql <file>) [-k 10] [-cold] [-timeout 0]
-             [-stats] [-debug-addr host:port] [-serve]
+             [-stats] [-explain] [-explain-json] [-debug-addr host:port] [-serve]
   sama stats -index <base>                      print index statistics
   sama recover -index <base> -data <graph.nt>   replay the write-ahead log
 
@@ -125,6 +126,8 @@ func runQuery(args []string) error {
 	cold := fs.Bool("cold", false, "drop the cache before running (cold-cache timing)")
 	timeout := fs.Duration("timeout", 0, "query deadline; on expiry the best answers found so far are printed (0 = none)")
 	stats := fs.Bool("stats", false, "print the per-phase trace table after the answers")
+	explain := fs.Bool("explain", false, "print the deterministic explain plan after the answers")
+	explainJSON := fs.Bool("explain-json", false, "like -explain, but print the plan as JSON (byte-identical to the server's ?explain=1 document)")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/lastqueries on this address while the query runs")
 	serve := fs.Bool("serve", false, "with -debug-addr: keep the debug server alive after the answers print, until SIGINT/SIGTERM (for a query endpoint, see samad)")
 	parallelism := fs.Int("parallelism", 0, "alignment worker pool size; answers are identical at every setting (0 = GOMAXPROCS)")
@@ -204,6 +207,20 @@ func runQuery(args []string) error {
 	if *stats && res.Stats.Trace != nil {
 		fmt.Fprintln(out, "phase breakdown:")
 		res.Stats.Trace.WriteTable(out)
+	}
+	if *explain || *explainJSON {
+		plan := res.Stats.Plan()
+		if plan == nil {
+			fmt.Fprintln(out, "no explain plan (tracing disabled)")
+		} else if *explainJSON {
+			b, err := json.MarshalIndent(plan, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%s\n", b)
+		} else {
+			plan.WriteText(out)
+		}
 	}
 	if *serve {
 		if *debugAddr == "" {

@@ -109,6 +109,8 @@ func startDaemon(args []string, logger *log.Logger) (*daemon, error) {
 	poolPages := fs.Int("pool-pages", 0, "buffer pool capacity in 8 KiB pages (0 = library default)")
 	slow := fs.Duration("slow-query", 0, "log queries slower than this threshold (0 = off)")
 	queryLog := fs.Int("query-log", 32, "recent query traces kept for /debug/lastqueries")
+	eventLog := fs.Int("event-log", 256, "structured events kept for /debug/events")
+	eventSample := fs.Int("event-sample", 1, "keep 1-in-N sub-Warn events per subsystem (Warn+ always lands; 1 = keep all)")
 	cacheAnswers := fs.Int("cache-answers", 0, "answer cache capacity in entries; any index write invalidates it (0 = off)")
 	cacheAlignMB := fs.Int("cache-align-mb", 0, "alignment memo budget in MiB, reused across queries sharing path shapes (0 = off)")
 	coalesce := fs.Bool("coalesce", false, "collapse identical in-flight /query requests into one execution")
@@ -126,6 +128,8 @@ func startDaemon(args []string, logger *log.Logger) (*daemon, error) {
 	opts := []sama.Option{
 		sama.WithThesaurus(sama.BenchmarkThesaurus()),
 		sama.WithQueryLogSize(*queryLog),
+		sama.WithEventLogSize(*eventLog),
+		sama.WithEventSampling(*eventSample),
 	}
 	if *poolPages > 0 {
 		opts = append(opts, sama.WithPoolPages(*poolPages))
@@ -140,8 +144,11 @@ func startDaemon(args []string, logger *log.Logger) (*daemon, error) {
 		opts = append(opts, sama.WithParallelism(*parallelism))
 	}
 	if *slow > 0 {
+		// The structured record (trace ID, per-phase context) lands in the
+		// event log for /debug/events; the stderr line is the operator's
+		// pointer into it.
 		opts = append(opts, sama.WithSlowQueryLog(*slow, func(tr *sama.Trace) {
-			logger.Printf("slow query %s: %v (partial=%v)", tr.Query, tr.Total, tr.Partial)
+			logger.Printf("slow query %s (trace %s): %v (partial=%v) — details at /debug/events and /debug/lastqueries", tr.Query, tr.ID, tr.Total, tr.Partial)
 		}))
 	}
 	if *walDir != "" {

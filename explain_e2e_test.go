@@ -1,0 +1,268 @@
+package sama_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"sama"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the explain golden files from the observed output")
+
+// TestExplainGolden pins the explain rendering: the plan for the
+// Figure 1 query over a freshly built index must match the golden files
+// byte for byte, and two independent builds of the same index must
+// produce byte-identical plans (the determinism contract that makes the
+// golden meaningful).
+func TestExplainGolden(t *testing.T) {
+	plan := func() (*sama.Plan, string, string) {
+		db := obsTestDB(t)
+		_, p, err := db.Explain(context.Background(), obsTestQuery, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var text bytes.Buffer
+		p.WriteText(&text)
+		js, err := json.MarshalIndent(p, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, text.String(), string(js) + "\n"
+	}
+	_, text1, js1 := plan()
+	_, text2, js2 := plan()
+	if text1 != text2 || js1 != js2 {
+		t.Fatalf("plans differ across independent builds of the same index:\n%s\nvs\n%s", text1, text2)
+	}
+
+	checkGolden := func(name, got string) {
+		t.Helper()
+		path := filepath.Join("testdata", name)
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (run `go test -run TestExplainGolden -update .` to create it)", err)
+		}
+		if got != string(want) {
+			t.Errorf("%s mismatch:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+		}
+	}
+	checkGolden("explain_fig1.golden", text1)
+	checkGolden("explain_fig1.json.golden", js1)
+}
+
+// TestExplainCLIServerParity is the acceptance check that `sama query
+// -explain-json` and the server's ?explain=1 return the same plan: the
+// explain document in the HTTP response must be byte-identical (after
+// whitespace normalisation, which the response encoder controls) to the
+// locally built plan's JSON.
+func TestExplainCLIServerParity(t *testing.T) {
+	db := obsTestDB(t)
+	_, localPlan, err := db.Explain(context.Background(), obsTestQuery, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localJSON, err := json.Marshal(localPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(db.Handler(sama.ServerOptions{}))
+	defer srv.Close()
+	resp, err := srv.Client().Post(srv.URL+"/query?k=5&explain=1", "application/sparql-query", strings.NewReader(obsTestQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var wire struct {
+		Explain json.RawMessage `json:"explain"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if len(wire.Explain) == 0 {
+		t.Fatal("?explain=1 response has no explain field")
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, wire.Explain); err != nil {
+		t.Fatal(err)
+	}
+	if compact.String() != string(localJSON) {
+		t.Errorf("server plan differs from local plan:\nserver: %s\nlocal:  %s", compact.String(), localJSON)
+	}
+
+	// Without the parameter the field must be absent.
+	resp2, err := srv.Client().Post(srv.URL+"/query?k=5", "application/sparql-query", strings.NewReader(obsTestQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var wire2 struct {
+		Explain json.RawMessage `json:"explain"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&wire2); err != nil {
+		t.Fatal(err)
+	}
+	if len(wire2.Explain) != 0 {
+		t.Error("explain field present without ?explain=1")
+	}
+}
+
+// TestExplainCacheHit is the regression test for the cache-hit labeling
+// bug: a query served whole from the answer cache must explain itself
+// as source=cache with a cache phase, not as an engine run whose
+// cluster phase silently vanished.
+func TestExplainCacheHit(t *testing.T) {
+	db := obsTestDB(t, sama.WithAnswerCache(8))
+	ctx := context.Background()
+	if _, p, err := db.Explain(ctx, obsTestQuery, 5); err != nil {
+		t.Fatal(err)
+	} else if p.Source != "engine" {
+		t.Fatalf("cold run Source = %q, want engine", p.Source)
+	}
+	_, p, err := db.Explain(ctx, obsTestQuery, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Source != "cache" {
+		t.Fatalf("warm run Source = %q, want cache", p.Source)
+	}
+	if len(p.Phases) != 1 || p.Phases[0].Name != "cache" {
+		t.Fatalf("warm run phases = %+v, want a single cache phase", p.Phases)
+	}
+	if p.Phases[0].Attrs["answers"] != int64(p.Answers) {
+		t.Errorf("cache phase answers attr = %d, plan answers = %d", p.Phases[0].Attrs["answers"], p.Answers)
+	}
+	var text bytes.Buffer
+	p.WriteText(&text)
+	if !strings.Contains(text.String(), "served from the answer cache") {
+		t.Errorf("cache-hit rendering lacks the cache note:\n%s", text.String())
+	}
+}
+
+var exemplarRe = regexp.MustCompile(`sama_query_seconds_bucket\{[^}]*\} \d+ # \{trace_id="([^"]+)"\} `)
+
+// TestExemplarResolvesToTrace is the acceptance check for the
+// metrics↔trace linkage: the exemplar trace ID on the query latency
+// histogram must name a trace that /debug/lastqueries actually holds.
+func TestExemplarResolvesToTrace(t *testing.T) {
+	db := obsTestDB(t)
+	if _, err := db.QuerySPARQL(obsTestQuery, 5); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(db.DebugHandler())
+	defer srv.Close()
+
+	metrics := httpGet(t, srv.Client(), srv.URL+"/metrics")
+	m := exemplarRe.FindStringSubmatch(metrics)
+	if m == nil {
+		t.Fatalf("no exemplar on sama_query_seconds buckets:\n%.2000s", metrics)
+	}
+	traceID := m[1]
+
+	var traces []*sama.Trace
+	if err := json.Unmarshal([]byte(httpGet(t, srv.Client(), srv.URL+"/debug/lastqueries")), &traces); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range traces {
+		if tr.ID == traceID {
+			return
+		}
+	}
+	t.Errorf("exemplar trace %q not found in /debug/lastqueries", traceID)
+}
+
+// TestChromeTraceEndpoint checks the ?format=chrome export end to end:
+// valid Chrome trace JSON whose events reference the recorded query.
+func TestChromeTraceEndpoint(t *testing.T) {
+	db := obsTestDB(t)
+	if _, err := db.QuerySPARQL(obsTestQuery, 5); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(db.DebugHandler())
+	defer srv.Close()
+	body := httpGet(t, srv.Client(), srv.URL+"/debug/lastqueries?format=chrome")
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			Dur   float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("chrome export is not JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"query", "decompose", "cluster", "search", "assemble"} {
+		if !names[want] {
+			t.Errorf("chrome export missing %q event (have %v)", want, names)
+		}
+	}
+}
+
+// TestRuntimeTelemetry checks the runtime/metrics collector feeds the
+// registry: goroutine and heap gauges plus the GC pause quantiles land
+// in /metrics.
+func TestRuntimeTelemetry(t *testing.T) {
+	db := obsTestDB(t)
+	srv := httptest.NewServer(db.DebugHandler())
+	defer srv.Close()
+	body := httpGet(t, srv.Client(), srv.URL+"/metrics")
+	for _, want := range []string{
+		"sama_runtime_goroutines",
+		"sama_runtime_heap_objects_bytes",
+		"sama_runtime_gc_pause_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// TestDBEvents checks the public event surface: engine events (here the
+// slow-query record) land in DB.Events and on /debug/events.
+func TestDBEvents(t *testing.T) {
+	db := obsTestDB(t, sama.WithSlowQueryLog(time.Nanosecond, nil))
+	if _, err := db.QuerySPARQL(obsTestQuery, 3); err != nil {
+		t.Fatal(err)
+	}
+	var slow *sama.Event
+	for _, ev := range db.Events().Snapshot() {
+		if ev.Subsystem == "engine" && ev.Message == "slow query" {
+			slow = &ev
+			break
+		}
+	}
+	if slow == nil {
+		t.Fatal("no slow-query event in DB.Events()")
+	}
+	if slow.Level != "WARN" {
+		t.Errorf("slow query level = %q, want WARN", slow.Level)
+	}
+	if slow.Attrs["trace_id"] == "" {
+		t.Errorf("slow query event lacks trace_id: %v", slow.Attrs)
+	}
+}

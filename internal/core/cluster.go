@@ -10,6 +10,7 @@ import (
 	"sama/internal/index"
 	"sama/internal/obs"
 	"sama/internal/paths"
+	"sama/internal/storage"
 )
 
 // ClusterItem is one candidate data path inside a cluster, with its
@@ -88,7 +89,7 @@ func (e *Engine) clusterTraced(ctx context.Context, pre *Preprocessed, parent *o
 					errs[qi] = fmt.Errorf("core: clustering query path %d panicked: %v", qi, r)
 				}
 			}()
-			clusters[qi], errs[qi] = e.buildCluster(ctx, qi, pre.Paths[qi])
+			clusters[qi], errs[qi] = e.buildCluster(ctx, qi, pre.Paths[qi], spans[qi])
 			spans[qi].Set("retrieved", int64(clusters[qi].Retrieved))
 			spans[qi].Set("kept", int64(len(clusters[qi].Items)))
 		}(qi)
@@ -121,13 +122,18 @@ const minAlignChunk = 16
 // Cancellation is cooperative per candidate: unprocessed entries stay
 // nil and are dropped, yielding the same partial best-so-far cluster
 // semantics as the serial loop.
-func (e *Engine) buildCluster(ctx context.Context, qi int, q paths.Path) (Cluster, error) {
+// sp, when non-nil, receives the pass's decision counters for the
+// explain plan: candidates surviving the pre-rank cut, memo hits vs
+// alignments actually run, pages touched by the batched read, the
+// shorter-path fallback, and candidates dropped by the cluster cap.
+func (e *Engine) buildCluster(ctx context.Context, qi int, q paths.Path, sp *obs.Span) (Cluster, error) {
 	ids := e.retrieve(q)
 	if len(ids) == 0 {
 		return Cluster{QueryIndex: qi, Query: q}, nil
 	}
 	retrieved := len(ids)
 	ids = e.preRank(ids, q)
+	sp.Set("preranked", int64(len(ids)))
 	var qsig string
 	var epoch uint64
 	if e.alignMemo != nil {
@@ -153,9 +159,19 @@ func (e *Engine) buildCluster(ctx context.Context, qi int, q paths.Path) (Cluste
 		missIdx = append(missIdx, i)
 		missIDs = append(missIDs, id)
 	}
+	sp.Set("memo_hits", int64(len(ids)-len(missIDs)))
+	sp.Set("aligned", int64(len(missIDs)))
 
 	if len(missIDs) > 0 {
-		ps, err := e.idx.ReadPathsBatched(ctx, missIDs)
+		// The batched read runs under its own tally: sibling clusters
+		// share the query's tally concurrently, so a before/after diff on
+		// it would charge this span a neighbour's pages and the explain
+		// plan would stop being deterministic. The local counts are folded
+		// back into the query's tally afterwards.
+		local := &storage.IOTally{}
+		ps, err := e.idx.ReadPathsBatched(storage.WithTally(ctx, local), missIDs)
+		sp.Set("batched_pages", int64(local.BatchedPages()))
+		storage.TallyFrom(ctx).Merge(local)
 		if err != nil && ctx.Err() == nil {
 			return Cluster{}, fmt.Errorf("core: cluster for query path %d: %w", qi, err)
 		}
@@ -216,6 +232,9 @@ func (e *Engine) buildCluster(ctx context.Context, qi int, q paths.Path) (Cluste
 	}
 	if len(items) == 0 {
 		items = shorter
+		if len(shorter) > 0 {
+			sp.Set("shorter_fallback", int64(len(shorter)))
+		}
 	}
 	sort.SliceStable(items, func(i, j int) bool {
 		if items[i].Alignment.Cost != items[j].Alignment.Cost {
@@ -224,6 +243,7 @@ func (e *Engine) buildCluster(ctx context.Context, qi int, q paths.Path) (Cluste
 		return items[i].ID < items[j].ID
 	})
 	if max := e.opts.maxCandidates(); len(items) > max {
+		sp.Set("cap_dropped", int64(len(items)-max))
 		items = items[:max]
 	}
 	return Cluster{

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -163,6 +164,11 @@ type Index struct {
 	batchedReads atomic.Uint64 // ReadPathsBatched calls
 	batchedPaths atomic.Uint64 // paths materialised through batched reads
 	batchedPages atomic.Uint64 // distinct first-chunk pages visited
+	// Structured event loggers, wired by SetEvents; nil until then (the
+	// logging sites guard for nil).
+	logIndex   *slog.Logger
+	logWAL     *slog.Logger
+	logCompact *slog.Logger
 }
 
 // BatchedReadStats is a snapshot of the page-locality batched read
@@ -215,6 +221,32 @@ func (ix *Index) SetMetrics(reg *obs.Registry) {
 			defer ix.mu.RUnlock()
 			return float64(ix.diskBytes())
 		})
+	// The WAL is opened before the registry is attached, so the group-
+	// commit histogram is wired here, late, through the batch hook.
+	ix.mu.RLock()
+	wal := ix.wal
+	ix.mu.RUnlock()
+	if wal != nil {
+		batchHist := reg.Histogram("sama_wal_group_commit_batch",
+			"Records sharing one WAL group-commit flush.",
+			[]float64{1, 2, 4, 8, 16, 32, 64})
+		batchBytes := reg.Histogram("sama_wal_group_commit_bytes",
+			"Framed bytes written per WAL group-commit flush.",
+			[]float64{256, 1024, 4096, 16384, 65536, 262144, 1048576})
+		wal.SetOnBatch(func(records, bytes int) {
+			batchHist.Observe(float64(records))
+			batchBytes.Observe(float64(bytes))
+		})
+	}
+}
+
+// SetEvents attaches the structured event log: index, wal, and compact
+// subsystem loggers for checkpoints, recovery, and compaction progress.
+// Call before the index starts serving, like SetMetrics.
+func (ix *Index) SetEvents(events *obs.EventLog) {
+	ix.logIndex = events.Logger("index")
+	ix.logWAL = events.Logger("wal")
+	ix.logCompact = events.Logger("compact")
 }
 
 // wrap applies the configured I/O wrapper to the page file.
@@ -888,6 +920,7 @@ func (ix *Index) ReadPathsBatched(ctx context.Context, ids []PathID) ([]paths.Pa
 	ix.batchedReads.Add(1)
 	ix.batchedPaths.Add(uint64(decoded))
 	ix.batchedPages.Add(uint64(npages))
+	storage.TallyFrom(ctx).AddBatchedPages(uint64(npages))
 	return out, err
 }
 

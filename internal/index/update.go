@@ -115,10 +115,20 @@ func (ix *Index) InsertTriples(ts []rdf.Triple) error {
 			ix.sinceCheckpoint = append(ix.sinceCheckpoint, ts...)
 			if ix.checkpointBytes > 0 && wal.Size() >= ix.checkpointBytes {
 				if cerr := ix.checkpointLocked(); cerr != nil {
+					if ix.logWAL != nil {
+						ix.logWAL.Error("auto checkpoint failed", "err", cerr)
+					}
 					return fmt.Errorf("index: auto checkpoint: %w", cerr)
 				}
 			}
 		}
+	}
+	if err != nil && ix.logIndex != nil {
+		ix.logIndex.Error("insert apply failed", "triples", len(ts), "err", err)
+	} else if ix.logIndex != nil {
+		// Per-insert record at Debug: the event log's sampling keeps
+		// this affordable under a write-heavy load.
+		ix.logIndex.Debug("insert applied", "triples", len(ts), "lsn", lsn)
 	}
 	return err
 }

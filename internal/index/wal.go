@@ -342,6 +342,11 @@ func (ix *Index) checkpointLocked() error {
 	}
 	ix.store.SealCurrentPage()
 	ix.sinceCheckpoint = nil
+	if ix.logWAL != nil {
+		ix.logWAL.Info("checkpoint",
+			"applied_lsn", ix.applied.watermark,
+			"wal_bytes", ix.wal.Size())
+	}
 	return nil
 }
 
@@ -436,6 +441,14 @@ func (ix *Index) Recover(g *rdf.Graph) (RecoveryStats, error) {
 	}
 	rs.Replay = time.Since(start)
 	ix.lastRecovery = rs
+	if ix.logWAL != nil {
+		ix.logWAL.Info("recovery replayed",
+			"records", rs.Records,
+			"triples", rs.Triples,
+			"sidecar_triples", rs.SidecarTriples,
+			"torn_tail_repaired", rs.TornTailRepaired,
+			"replay", rs.Replay)
+	}
 	return rs, nil
 }
 

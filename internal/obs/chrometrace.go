@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// chromeEvent is one record of the Chrome Trace Event Format (the
+// catapult JSON consumed by chrome://tracing and Perfetto). Timestamps
+// and durations are microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders traces as a Chrome/Perfetto trace: one
+// process per query trace (named by its trace ID and query), one
+// complete ("X") event per span. Top-level phases share thread 0;
+// each nested child gets its own thread lane so concurrent alignment
+// spans render side by side instead of as a broken stack. Timestamps
+// are relative to the earliest trace begin, so several queries line up
+// on one timeline.
+func WriteChromeTrace(w io.Writer, traces []*Trace) error {
+	events := make([]chromeEvent, 0, 64)
+	base := int64(0)
+	for _, tr := range traces {
+		if tr == nil {
+			continue
+		}
+		if b := tr.Begin.UnixNano(); base == 0 || b < base {
+			base = b
+		}
+	}
+	pid := 0
+	for _, tr := range traces {
+		if tr == nil {
+			continue
+		}
+		pid++
+		name := tr.ID
+		if tr.Query != "" {
+			name += " " + tr.Query
+		}
+		events = append(events, chromeEvent{
+			Name:  "process_name",
+			Phase: "M",
+			PID:   pid,
+			Args:  map[string]any{"name": name},
+		})
+		start := float64(tr.Begin.UnixNano()-base) / 1e3
+		args := map[string]any{
+			"trace_id": tr.ID,
+			"answers":  tr.Answers,
+			"io_reads": tr.IO.PageReads,
+		}
+		if tr.Partial {
+			args["stop_reason"] = tr.StopReason
+		}
+		events = append(events, chromeEvent{
+			Name: "query", Phase: "X",
+			TS: start, Dur: micros(tr.Total), PID: pid, TID: 0,
+			Args: args,
+		})
+		for _, s := range tr.Phases {
+			events = appendSpanEvents(events, s, pid, 0, start)
+		}
+	}
+	_, err := io.WriteString(w, `{"traceEvents":`)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(events); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, "}\n")
+	return err
+}
+
+// appendSpanEvents emits the span and its children. depth 0 spans (the
+// engine phases) stay on the parent's lane; deeper spans are fanned out
+// one lane per child index because siblings (alignments) may overlap in
+// time.
+func appendSpanEvents(events []chromeEvent, s *Span, pid, tid int, start float64) []chromeEvent {
+	var args map[string]any
+	if len(s.Attrs) > 0 {
+		args = make(map[string]any, len(s.Attrs))
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+	}
+	events = append(events, chromeEvent{
+		Name: s.Name, Phase: "X",
+		TS: start + micros(s.Offset), Dur: micros(s.Duration),
+		PID: pid, TID: tid, Args: args,
+	})
+	for i, c := range s.Children {
+		childTID := tid
+		if len(s.Children) > 1 {
+			childTID = tid + 1 + i
+		}
+		events = appendSpanEvents(events, c, pid, childTID, start)
+	}
+	return events
+}
+
+func micros(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e3
+}

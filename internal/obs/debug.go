@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 )
 
@@ -23,12 +24,18 @@ type DebugVar struct {
 //
 //	/metrics            Prometheus text exposition of reg
 //	/debug/vars         expvar JSON (cmdline, memstats) merged with extras
-//	/debug/lastqueries  JSON array of the most recent query traces
+//	/debug/lastqueries  JSON array of the most recent query traces;
+//	                    ?format=chrome renders them as a Chrome/Perfetto
+//	                    trace instead
+//	/debug/events       structured event ring, newest first (JSON);
+//	                    ?stream=1 (or Accept: text/event-stream) switches
+//	                    to SSE live streaming
 //	/debug/pprof/*      net/http/pprof profiles
 //	/                   plain-text index of the endpoints
 //
-// reg and log may be nil; their endpoints then serve empty documents.
-func DebugMux(reg *Registry, log *QueryLog, extras ...DebugVar) *http.ServeMux {
+// reg, log and events may be nil; their endpoints then serve empty
+// documents.
+func DebugMux(reg *Registry, log *QueryLog, events *EventLog, extras ...DebugVar) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -63,14 +70,39 @@ func DebugMux(reg *Registry, log *QueryLog, extras ...DebugVar) *http.ServeMux {
 		fmt.Fprint(w, "\n}\n")
 	})
 	mux.HandleFunc("/debug/lastqueries", func(w http.ResponseWriter, r *http.Request) {
+		traces := log.Snapshot()
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="sama-trace.json"`)
+			WriteChromeTrace(w, traces)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		traces := log.Snapshot()
 		if traces == nil {
 			traces = []*Trace{}
 		}
 		enc.Encode(traces)
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		stream := r.URL.Query().Get("stream") == "1" ||
+			strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+		if stream {
+			serveEventStream(w, r, events)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		evs := events.Snapshot()
+		if evs == nil {
+			evs = []Event{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Events  []Event `json:"events"`
+			Sampled uint64  `json:"sampled"`
+		}{evs, events.Sampled()})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -83,12 +115,50 @@ func DebugMux(reg *Registry, log *QueryLog, extras ...DebugVar) *http.ServeMux {
 			return
 		}
 		fmt.Fprint(w, "sama debug server\n\n"+
-			"/metrics            Prometheus metrics\n"+
-			"/debug/vars         expvar JSON\n"+
-			"/debug/lastqueries  recent query traces (JSON)\n"+
-			"/debug/pprof/       pprof profiles\n")
+			"/metrics                          Prometheus metrics (with exemplars)\n"+
+			"/debug/vars                       expvar JSON\n"+
+			"/debug/lastqueries                recent query traces (JSON)\n"+
+			"/debug/lastqueries?format=chrome  recent traces as Chrome/Perfetto trace\n"+
+			"/debug/events                     structured event ring (JSON)\n"+
+			"/debug/events?stream=1            live event stream (SSE)\n"+
+			"/debug/pprof/                     pprof profiles\n")
 	})
 	return mux
+}
+
+// serveEventStream streams events over Server-Sent Events until the
+// client hangs up. Each event is one `data:` frame of the Event JSON.
+// A slow client drops events (the subscription is lossy by design)
+// rather than backing up the engine's log writers.
+func serveEventStream(w http.ResponseWriter, r *http.Request, events *EventLog) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	ch, cancel := events.Subscribe(256)
+	defer cancel()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			b, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "data: %s\n\n", b)
+			fl.Flush()
+		}
+	}
 }
 
 // DebugServer is a running debug HTTP server.

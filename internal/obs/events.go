@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one structured log record as stored in the ring and shipped
+// over /debug/events. Attribute values are pre-rendered to strings so a
+// snapshot never aliases live engine state.
+type Event struct {
+	Seq       uint64            `json:"seq"`
+	Time      time.Time         `json:"time"`
+	Level     string            `json:"level"`
+	Subsystem string            `json:"subsystem"`
+	Message   string            `json:"msg"`
+	Attrs     map[string]string `json:"attrs,omitempty"`
+}
+
+// EventLog is the structured event log: a fixed-capacity newest-first
+// ring fed by per-subsystem `log/slog` loggers, with live subscribers
+// for SSE streaming. Records below Warn are subject to 1-in-N sampling
+// (per subsystem, deterministic counters) so a hot path can log per
+// operation without the ring becoming all one subsystem; Warn and above
+// always land. A nil *EventLog is valid: loggers built from it discard
+// everything at zero cost beyond the Enabled check.
+type EventLog struct {
+	level   slog.LevelVar // minimum level, default Info
+	sampleN atomic.Int64  // keep 1-in-N below Warn; <=1 keeps all
+	seq     atomic.Uint64
+	sampled atomic.Uint64 // records dropped by sampling
+
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	n     int
+	subs  map[int]chan Event
+	subID int
+
+	cmu      sync.Mutex
+	counters map[string]*atomic.Uint64 // per-subsystem sampling counters
+}
+
+// NewEventLog returns a ring holding the last n events (n ≤ 0 selects
+// 256).
+func NewEventLog(n int) *EventLog {
+	if n <= 0 {
+		n = 256
+	}
+	l := &EventLog{
+		buf:      make([]Event, n),
+		subs:     make(map[int]chan Event),
+		counters: make(map[string]*atomic.Uint64),
+	}
+	l.level.Set(slog.LevelInfo)
+	return l
+}
+
+// SetLevel sets the minimum level recorded (default Info).
+func (l *EventLog) SetLevel(v slog.Level) {
+	if l != nil {
+		l.level.Set(v)
+	}
+}
+
+// SetSampling keeps 1-in-n records below Warn, per subsystem (n ≤ 1
+// keeps all). Warn and above are never sampled.
+func (l *EventLog) SetSampling(n int) {
+	if l != nil {
+		l.sampleN.Store(int64(n))
+	}
+}
+
+// Sampled returns the number of records dropped by sampling.
+func (l *EventLog) Sampled() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.sampled.Load()
+}
+
+// Logger returns a slog logger whose records land in the ring tagged
+// with the given subsystem. Safe on a nil EventLog (discards).
+func (l *EventLog) Logger(subsystem string) *slog.Logger {
+	return slog.New(&ringHandler{log: l, subsystem: subsystem})
+}
+
+// Subscribe registers a live listener; events published after the call
+// are sent to the returned channel. A slow subscriber loses events
+// (non-blocking send) rather than stalling writers. cancel must be
+// called to release the subscription; the channel is closed by cancel.
+func (l *EventLog) Subscribe(buffer int) (<-chan Event, func()) {
+	if l == nil {
+		ch := make(chan Event)
+		close(ch)
+		return ch, func() {}
+	}
+	if buffer <= 0 {
+		buffer = 64
+	}
+	ch := make(chan Event, buffer)
+	l.mu.Lock()
+	id := l.subID
+	l.subID++
+	l.subs[id] = ch
+	l.mu.Unlock()
+	var once sync.Once
+	return ch, func() {
+		once.Do(func() {
+			l.mu.Lock()
+			delete(l.subs, id)
+			l.mu.Unlock()
+			close(ch)
+		})
+	}
+}
+
+// publish appends the event to the ring and fans it out to live
+// subscribers.
+func (l *EventLog) publish(ev Event) {
+	ev.Seq = l.seq.Add(1)
+	l.mu.Lock()
+	l.buf[l.next] = ev
+	l.next = (l.next + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	for _, ch := range l.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop rather than block the writer
+		}
+	}
+	l.mu.Unlock()
+}
+
+// Snapshot returns the recorded events, most recent first.
+func (l *EventLog) Snapshot() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, l.n)
+	for i := 1; i <= l.n; i++ {
+		out = append(out, l.buf[(l.next-i+len(l.buf))%len(l.buf)])
+	}
+	return out
+}
+
+// counter returns the sampling counter for a subsystem.
+func (l *EventLog) counter(subsystem string) *atomic.Uint64 {
+	l.cmu.Lock()
+	defer l.cmu.Unlock()
+	c := l.counters[subsystem]
+	if c == nil {
+		c = new(atomic.Uint64)
+		l.counters[subsystem] = c
+	}
+	return c
+}
+
+// ringHandler adapts the ring to slog.Handler. Attribute values are
+// rendered to strings at Handle time.
+type ringHandler struct {
+	log       *EventLog
+	subsystem string
+	attrs     []slog.Attr // pre-bound via WithAttrs
+	group     string
+}
+
+func (h *ringHandler) Enabled(_ context.Context, level slog.Level) bool {
+	if h.log == nil {
+		return false
+	}
+	return level >= h.log.level.Level()
+}
+
+func (h *ringHandler) Handle(_ context.Context, r slog.Record) error {
+	l := h.log
+	if l == nil {
+		return nil
+	}
+	// Sampling: below Warn, keep 1-in-N per subsystem.
+	if n := l.sampleN.Load(); n > 1 && r.Level < slog.LevelWarn {
+		if l.counter(h.subsystem).Add(1)%uint64(n) != 1 {
+			l.sampled.Add(1)
+			return nil
+		}
+	}
+	ev := Event{
+		Time:      r.Time,
+		Level:     r.Level.String(),
+		Subsystem: h.subsystem,
+		Message:   r.Message,
+	}
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	add := func(a slog.Attr, group string) {
+		if ev.Attrs == nil {
+			ev.Attrs = make(map[string]string, r.NumAttrs()+len(h.attrs))
+		}
+		key := a.Key
+		if group != "" {
+			key = group + "." + key
+		}
+		ev.Attrs[key] = a.Value.Resolve().String()
+	}
+	// Pre-bound attrs carry their group qualification from WithAttrs
+	// time (attrs bound before a WithGroup are outside the group).
+	for _, a := range h.attrs {
+		add(a, "")
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		add(a, h.group)
+		return true
+	})
+	l.publish(ev)
+	return nil
+}
+
+func (h *ringHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := *h
+	nh.attrs = append([]slog.Attr(nil), h.attrs...)
+	for _, a := range attrs {
+		if h.group != "" {
+			a.Key = h.group + "." + a.Key
+		}
+		nh.attrs = append(nh.attrs, a)
+	}
+	return &nh
+}
+
+func (h *ringHandler) WithGroup(name string) slog.Handler {
+	nh := *h
+	if name != "" {
+		if nh.group != "" {
+			nh.group += "." + name
+		} else {
+			nh.group = name
+		}
+	}
+	return &nh
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// explainTestTrace builds a trace shaped like a real query's, with
+// nondeterministic fields (durations, trace ID, pool hits) populated so
+// the tests can prove the plan excludes them.
+func explainTestTrace() *Trace {
+	tr := NewTrace()
+	tr.Query = "SELECT ?x WHERE { ... }"
+	sp := tr.Phase("decompose")
+	sp.Set("query_paths", 2)
+	sp.End()
+	sp = tr.Phase("cluster")
+	for i, attrs := range []map[string]int64{
+		{"preranked": 7, "memo_hits": 0, "aligned": 7, "batched_pages": 3, "retrieved": 9, "kept": 7},
+		{"preranked": 4, "memo_hits": 2, "aligned": 2, "batched_pages": 1, "retrieved": 4, "kept": 4},
+	} {
+		c := sp.Child("align[" + string(rune('0'+i)) + "]")
+		for k, v := range attrs {
+			c.Set(k, v)
+		}
+		c.End()
+	}
+	sp.Set("retrieved", 13)
+	sp.Set("kept", 11)
+	sp.End()
+	sp = tr.Phase("search")
+	sp.Set("visited", 42)
+	sp.Set("joined", 17)
+	sp.End()
+	sp = tr.Phase("assemble")
+	sp.Set("answers", 5)
+	sp.End()
+	tr.Answers = 5
+	tr.IO = IOStats{PageReads: 12, CacheHits: 9, CacheMisses: 3, BatchedPages: 4}
+	tr.Finish()
+	return tr
+}
+
+func TestBuildPlanDeterministic(t *testing.T) {
+	// Two traces of the same execution differ in everything
+	// nondeterministic: IDs, timings, I/O splits. Their plans must be
+	// byte-identical.
+	a, _ := json.Marshal(BuildPlan(explainTestTrace()))
+	time.Sleep(2 * time.Millisecond) // skew the second trace's clocks
+	b, _ := json.Marshal(BuildPlan(explainTestTrace()))
+	if !bytes.Equal(a, b) {
+		t.Errorf("plans differ across identical executions:\n%s\n%s", a, b)
+	}
+	for _, banned := range []string{"duration", "offset", "trace_id", "begin", "total", "page_reads", "cache_hit"} {
+		if strings.Contains(string(a), banned) {
+			t.Errorf("plan JSON leaks nondeterministic field %q:\n%s", banned, a)
+		}
+	}
+}
+
+func TestBuildPlanShape(t *testing.T) {
+	p := BuildPlan(explainTestTrace())
+	if p.Version != PlanVersion || p.Source != "engine" || p.Answers != 5 {
+		t.Fatalf("plan header = %+v", p)
+	}
+	if len(p.Phases) != 4 || p.Phases[1].Name != "cluster" {
+		t.Fatalf("phases = %+v", p.Phases)
+	}
+	if len(p.Phases[1].Children) != 2 {
+		t.Fatalf("cluster children = %+v", p.Phases[1].Children)
+	}
+	if got := p.Phases[1].Children[0].Attrs["batched_pages"]; got != 3 {
+		t.Errorf("align[0].batched_pages = %d, want 3", got)
+	}
+	if BuildPlan(nil) != nil {
+		t.Error("BuildPlan(nil) != nil")
+	}
+}
+
+func TestBuildPlanCacheHit(t *testing.T) {
+	tr := NewTrace()
+	tr.CacheHit = true
+	tr.Answers = 3
+	sp := tr.Phase("cache")
+	sp.Set("answers", 3)
+	sp.End()
+	tr.Finish()
+	p := BuildPlan(tr)
+	if p.Source != "cache" {
+		t.Errorf("Source = %q, want cache", p.Source)
+	}
+	var buf bytes.Buffer
+	p.WriteText(&buf)
+	if !strings.Contains(buf.String(), "served from the answer cache") {
+		t.Errorf("cache-hit text missing the cache note:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "source=cache") {
+		t.Errorf("cache-hit header wrong:\n%s", buf.String())
+	}
+}
+
+func TestPlanWriteTextGolden(t *testing.T) {
+	tr := explainTestTrace()
+	tr.Restarts = 2
+	tr.Partial = true
+	tr.StopReason = "deadline exceeded"
+	var buf bytes.Buffer
+	BuildPlan(tr).WriteText(&buf)
+	want := `plan v1 source=engine answers=5 restarts=2 partial="deadline exceeded"
+  decompose query_paths=2
+  cluster kept=11 retrieved=13
+    align[0] aligned=7 batched_pages=3 kept=7 memo_hits=0 preranked=7 retrieved=9
+    align[1] aligned=2 batched_pages=1 kept=4 memo_hits=2 preranked=4 retrieved=4
+  search joined=17 visited=42
+  assemble answers=5
+`
+	if buf.String() != want {
+		t.Errorf("WriteText:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	var buf bytes.Buffer
+	WriteChromeTrace(&buf, []*Trace{explainTestTrace()})
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not JSON: %v\n%s", err, buf.String())
+	}
+	var haveMeta, haveQuery, haveAlign bool
+	for _, ev := range doc.TraceEvents {
+		switch ev["name"] {
+		case "process_name":
+			haveMeta = true
+		case "query":
+			haveQuery = true
+		case "align[0]":
+			haveAlign = true
+		}
+	}
+	if !haveMeta || !haveQuery || !haveAlign {
+		t.Errorf("chrome trace missing events (meta=%v query=%v align=%v):\n%s",
+			haveMeta, haveQuery, haveAlign, buf.String())
+	}
+	// Empty input still yields a valid document.
+	buf.Reset()
+	WriteChromeTrace(&buf, nil)
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty chrome trace invalid: %v", err)
+	}
+}
+
+func TestHistogramExemplar(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t_seconds", "test.", []float64{0.1, 1})
+	h.ObserveExemplar(0.05, "cafe0001-000001")
+	h.ObserveExemplar(0.5, "cafe0001-000002")
+	h.ObserveExemplar(0.06, "cafe0001-000003") // replaces the first bucket's exemplar
+	h.ObserveExemplar(99, "")                  // empty ID: plain observe, no exemplar
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	if !strings.Contains(out, `t_seconds_bucket{le="0.1"} 2 # {trace_id="cafe0001-000003"} 0.06`) {
+		t.Errorf("first bucket exemplar wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `t_seconds_bucket{le="1"} 3 # {trace_id="cafe0001-000002"} 0.5`) {
+		t.Errorf("second bucket exemplar wrong:\n%s", out)
+	}
+	if strings.Contains(out, `le="+Inf"} 4 #`) {
+		t.Errorf("overflow bucket has an exemplar despite the empty trace ID:\n%s", out)
+	}
+	if h.Count() != 4 {
+		t.Errorf("Count = %d, want 4", h.Count())
+	}
+}

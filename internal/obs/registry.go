@@ -95,12 +95,27 @@ type Histogram struct {
 	bounds []float64       // ascending upper bounds
 	counts []atomic.Uint64 // len(bounds)+1; last is the overflow bucket
 	sum    atomic.Uint64   // float64 bits
+	// exemplars holds, per bucket, the most recent observation made via
+	// ObserveExemplar: the value and the trace ID that produced it.
+	exemplars []atomic.Pointer[exemplar]
+}
+
+// exemplar links one observation to the trace that produced it, so a
+// scrape of /metrics can point at the matching entry in
+// /debug/lastqueries.
+type exemplar struct {
+	value   float64
+	traceID string
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)
-	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+	return &Histogram{
+		bounds:    bs,
+		counts:    make([]atomic.Uint64, len(bs)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(bs)+1),
+	}
 }
 
 // Observe records one value.
@@ -111,6 +126,24 @@ func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
 	h.counts[i].Add(1)
 	addFloat(&h.sum, v)
+}
+
+// ObserveExemplar records one value and stamps it as the receiving
+// bucket's exemplar, keyed by the trace ID that produced it. Exposition
+// renders the exemplar after the bucket line in OpenMetrics syntax
+// (`... # {trace_id="..."} value`), which Prometheus accepts when
+// exemplar scraping is on and every text-format reader tolerates as a
+// comment. An empty traceID degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	addFloat(&h.sum, v)
+	if traceID != "" {
+		h.exemplars[i].Store(&exemplar{value: v, traceID: traceID})
+	}
 }
 
 // Count returns the total number of observations.
@@ -386,10 +419,20 @@ func writeHistogram(b *strings.Builder, name string, s *series) {
 	counts := h.BucketCounts()
 	for i, bound := range h.bounds {
 		cum += counts[i]
-		fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLE(s.labels, formatFloat(bound)), cum)
+		fmt.Fprintf(b, "%s_bucket%s %d%s\n", name, withLE(s.labels, formatFloat(bound)), cum, exemplarSuffix(h, i))
 	}
 	cum += counts[len(counts)-1]
-	fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLE(s.labels, "+Inf"), cum)
+	fmt.Fprintf(b, "%s_bucket%s %d%s\n", name, withLE(s.labels, "+Inf"), cum, exemplarSuffix(h, len(counts)-1))
 	fmt.Fprintf(b, "%s_sum%s %s\n", name, braced(s.labels), formatFloat(h.Sum()))
 	fmt.Fprintf(b, "%s_count%s %d\n", name, braced(s.labels), cum)
+}
+
+// exemplarSuffix renders bucket i's exemplar, if any, in OpenMetrics
+// exemplar syntax.
+func exemplarSuffix(h *Histogram, i int) string {
+	ex := h.exemplars[i].Load()
+	if ex == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s", ex.traceID, formatFloat(ex.value))
 }

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// runtimeSamples are the runtime/metrics the collector polls. Gauges
+// mirror the latest sample; the two histogram-valued metrics (GC pause,
+// scheduler latency) are reduced to p50/p99/max quantile gauges — the
+// runtime publishes them as cumulative histograms whose bucket layout
+// is its own, so quantiles are the honest stable projection into the
+// registry.
+var runtimeSamples = []struct {
+	src  string
+	name string
+	help string
+}{
+	{"/sched/goroutines:goroutines", "sama_runtime_goroutines", "Live goroutines."},
+	{"/memory/classes/heap/objects:bytes", "sama_runtime_heap_objects_bytes", "Bytes of live heap objects."},
+	{"/memory/classes/total:bytes", "sama_runtime_memory_total_bytes", "Total memory mapped by the Go runtime."},
+	{"/gc/cycles/total:gc-cycles", "sama_runtime_gc_cycles_total", "Completed GC cycles."},
+}
+
+var runtimeHists = []struct {
+	src  string
+	name string
+	help string
+}{
+	{"/gc/pauses:seconds", "sama_runtime_gc_pause_seconds", "GC stop-the-world pause quantiles."},
+	{"/sched/latencies:seconds", "sama_runtime_sched_latency_seconds", "Goroutine scheduling latency quantiles."},
+}
+
+var runtimeQuantiles = []struct {
+	q     float64
+	label string
+}{
+	{0.5, "0.5"}, {0.99, "0.99"}, {1.0, "max"},
+}
+
+// RuntimeCollector periodically polls runtime/metrics into a Registry:
+// GC pause and scheduler-latency quantiles, heap and total memory,
+// goroutine count, and GC cycles. Stop terminates the poller; the
+// gauges keep their last values.
+type RuntimeCollector struct {
+	reg      *Registry
+	samples  []metrics.Sample
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// StartRuntime begins polling every interval (≤ 0 selects 10s). The
+// first poll happens synchronously so the gauges are live immediately.
+func StartRuntime(reg *Registry, interval time.Duration) *RuntimeCollector {
+	if reg == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	c := &RuntimeCollector{
+		reg:  reg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	for _, s := range runtimeSamples {
+		c.samples = append(c.samples, metrics.Sample{Name: s.src})
+	}
+	for _, h := range runtimeHists {
+		c.samples = append(c.samples, metrics.Sample{Name: h.src})
+	}
+	c.Poll()
+	go c.run(interval)
+	return c
+}
+
+func (c *RuntimeCollector) run(interval time.Duration) {
+	defer close(c.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.Poll()
+		}
+	}
+}
+
+// Stop terminates the poller and waits for it to exit. Idempotent.
+func (c *RuntimeCollector) Stop() {
+	if c == nil {
+		return
+	}
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+}
+
+// Poll reads runtime/metrics once and updates the gauges. Exported so
+// tests can force a sample without waiting for the ticker.
+func (c *RuntimeCollector) Poll() {
+	if c == nil {
+		return
+	}
+	metrics.Read(c.samples)
+	for i, def := range runtimeSamples {
+		s := c.samples[i]
+		var v float64
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			v = float64(s.Value.Uint64())
+		case metrics.KindFloat64:
+			v = s.Value.Float64()
+		default:
+			continue
+		}
+		c.reg.Gauge(def.name, def.help).Set(v)
+	}
+	for i, def := range runtimeHists {
+		s := c.samples[len(runtimeSamples)+i]
+		if s.Value.Kind() != metrics.KindFloat64Histogram {
+			continue
+		}
+		h := s.Value.Float64Histogram()
+		for _, q := range runtimeQuantiles {
+			c.reg.Gauge(def.name, def.help, "q", q.label).Set(histQuantile(h, q.q))
+		}
+	}
+}
+
+// histQuantile returns the upper bound of the bucket containing the
+// q-quantile of a runtime cumulative histogram (0 when empty).
+// Infinite bucket edges are clamped to the nearest finite edge.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			// Bucket i spans Buckets[i] .. Buckets[i+1].
+			ub := h.Buckets[i+1]
+			if ub > 1e300 || ub != ub { // +Inf guard
+				ub = h.Buckets[i]
+			}
+			if ub < -1e300 {
+				ub = 0
+			}
+			return ub
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

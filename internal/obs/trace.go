@@ -1,10 +1,13 @@
 package obs
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"text/tabwriter"
 	"time"
 )
@@ -83,6 +86,9 @@ type IOStats struct {
 	// Retries counts transient-fault retry attempts absorbed by the
 	// pool's retry policy during the query.
 	Retries uint64 `json:"retries"`
+	// BatchedPages counts pages touched through page-locality batched
+	// reads (a subset of PageReads).
+	BatchedPages uint64 `json:"batched_pages"`
 }
 
 // Trace is the full observability record of one query execution: the
@@ -91,6 +97,11 @@ type IOStats struct {
 // must be treated as read-only once published (to the query log ring or
 // a slow-query hook).
 type Trace struct {
+	// ID identifies the trace within this process: a per-process random
+	// prefix plus a sequence number. It is what /metrics exemplars and
+	// the Chrome-trace export use to cross-reference a trace in
+	// /debug/lastqueries. IDs are unique per process, not globally.
+	ID string `json:"trace_id"`
 	// Query is a bounded description of the query (set by the API layer;
 	// empty for direct engine calls).
 	Query string `json:"query,omitempty"`
@@ -108,13 +119,35 @@ type Trace struct {
 	StopReason string `json:"stop_reason,omitempty"`
 	// Answers is the number of answers returned.
 	Answers int `json:"answers"`
+	// CacheHit marks a query served whole from the answer cache: no
+	// retrieval, alignment, or search ran and the I/O attribution is
+	// legitimately zero.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Restarts counts ErrStaleRead retries absorbed before this
+	// (successful) execution; its spans cover only the final attempt.
+	Restarts int `json:"restarts,omitempty"`
 
 	mu sync.Mutex
 }
 
-// NewTrace starts a trace clocked from now.
+// traceIDSeed is a per-process random prefix so trace IDs from
+// different processes (or restarts) don't collide in aggregated logs.
+var traceIDSeed = func() uint32 {
+	var b [4]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return uint32(time.Now().UnixNano())
+	}
+	return binary.LittleEndian.Uint32(b[:])
+}()
+
+var traceIDSeq atomic.Uint64
+
+// NewTrace starts a trace clocked from now, stamped with a fresh ID.
 func NewTrace() *Trace {
-	return &Trace{Begin: time.Now()}
+	return &Trace{
+		ID:    fmt.Sprintf("%08x-%06x", traceIDSeed, traceIDSeq.Add(1)&0xffffff),
+		Begin: time.Now(),
+	}
 }
 
 // Phase opens a new top-level span. Phases are opened sequentially by
@@ -195,9 +228,15 @@ func (t *Trace) WriteTable(w io.Writer) {
 	for _, s := range t.Phases {
 		walk(s, 0)
 	}
-	fmt.Fprintf(tw, "io\t\treads=%d hits=%d misses=%d retries=%d\n",
-		t.IO.PageReads, t.IO.CacheHits, t.IO.CacheMisses, t.IO.Retries)
+	fmt.Fprintf(tw, "io\t\treads=%d hits=%d misses=%d retries=%d batched_pages=%d\n",
+		t.IO.PageReads, t.IO.CacheHits, t.IO.CacheMisses, t.IO.Retries, t.IO.BatchedPages)
 	detail := fmt.Sprintf("answers=%d", t.Answers)
+	if t.CacheHit {
+		detail += " (served from answer cache)"
+	}
+	if t.Restarts > 0 {
+		detail += fmt.Sprintf(" restarts=%d", t.Restarts)
+	}
 	if t.Partial {
 		detail += fmt.Sprintf(" partial=%q", t.StopReason)
 	}

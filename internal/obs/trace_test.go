@@ -172,7 +172,7 @@ func TestDebugMuxEndpoints(t *testing.T) {
 	tr.Finish()
 	log.Add(tr)
 
-	srv := httptest.NewServer(DebugMux(reg, log))
+	srv := httptest.NewServer(DebugMux(reg, log, nil))
 	defer srv.Close()
 
 	get := func(path string) (int, string) {

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -133,6 +134,9 @@ type Backend struct {
 	Debug http.Handler
 	// Metrics, when set, receives the request-level metric families.
 	Metrics *obs.Registry
+	// Events, when set, receives the server's structured events (sheds,
+	// drains) under the "server" subsystem.
+	Events *obs.EventLog
 }
 
 // Handler is the query server's http.Handler: routing, admission
@@ -144,6 +148,7 @@ type Handler struct {
 	opts    Options
 	backend Backend
 	met     *obs.ServerMetrics
+	log     *slog.Logger
 	// co is the request-coalescing layer; nil unless Options.Coalesce.
 	co *coalescer
 
@@ -166,6 +171,7 @@ func New(b Backend, opts Options) *Handler {
 		opts:    opts,
 		backend: b,
 		met:     obs.NewServerMetrics(b.Metrics),
+		log:     b.Events.Logger("server"),
 	}
 	if opts.Coalesce {
 		h.co = newCoalescer()
@@ -241,15 +247,19 @@ func (h *Handler) writeErr(w http.ResponseWriter, status int, msg string) {
 	h.writeJSON(w, status, client.ErrorResponse{Error: msg})
 }
 
-// parseRequest extracts and validates the k / timeout parameters and the
-// SPARQL body. A non-nil error has already been written to w.
-func (h *Handler) parseRequest(w http.ResponseWriter, r *http.Request) (src string, k int, timeout time.Duration, ok bool) {
+// parseRequest extracts and validates the k / timeout / explain
+// parameters and the SPARQL body. A non-nil error has already been
+// written to w.
+func (h *Handler) parseRequest(w http.ResponseWriter, r *http.Request) (src string, k int, timeout time.Duration, explain, ok bool) {
 	k = h.opts.DefaultK
+	if s := r.URL.Query().Get("explain"); s != "" && s != "0" && !strings.EqualFold(s, "false") {
+		explain = true
+	}
 	if s := r.URL.Query().Get("k"); s != "" {
 		n, err := strconv.Atoi(s)
 		if err != nil || n <= 0 {
 			h.writeErr(w, http.StatusBadRequest, fmt.Sprintf("invalid k %q: want a positive integer", s))
-			return "", 0, 0, false
+			return "", 0, 0, false, false
 		}
 		k = n
 	}
@@ -261,7 +271,7 @@ func (h *Handler) parseRequest(w http.ResponseWriter, r *http.Request) (src stri
 		d, err := time.ParseDuration(s)
 		if err != nil || d <= 0 {
 			h.writeErr(w, http.StatusBadRequest, fmt.Sprintf("invalid timeout %q: want a positive Go duration like 500ms", s))
-			return "", 0, 0, false
+			return "", 0, 0, false, false
 		}
 		timeout = d
 	}
@@ -277,14 +287,14 @@ func (h *Handler) parseRequest(w http.ResponseWriter, r *http.Request) (src stri
 		} else {
 			h.writeErr(w, http.StatusBadRequest, "reading request body: "+err.Error())
 		}
-		return "", 0, 0, false
+		return "", 0, 0, false, false
 	}
 	src = strings.TrimSpace(string(body))
 	if src == "" {
 		h.writeErr(w, http.StatusBadRequest, "empty query: POST the SPARQL text as the request body")
-		return "", 0, 0, false
+		return "", 0, 0, false, false
 	}
-	return src, k, timeout, true
+	return src, k, timeout, explain, true
 }
 
 func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -294,7 +304,7 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	src, k, timeout, ok := h.parseRequest(w, r)
+	src, k, timeout, explain, ok := h.parseRequest(w, r)
 	if !ok {
 		return
 	}
@@ -303,13 +313,13 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		key := coalesceKey(src, k)
 		f, leader := h.co.join(key)
 		if !leader {
-			h.waitFlight(w, r, f, timeout, start)
+			h.waitFlight(w, r, f, timeout, start, explain)
 			return
 		}
 		h.met.Coalesced(obs.CoalesceLeader).Inc()
 		res := h.execute(r, src, k, timeout)
 		h.co.finish(key, f, res)
-		h.renderOutcome(w, res, res.queueWait)
+		h.renderOutcome(w, res, res.queueWait, explain)
 		if res.shedErr == nil {
 			h.met.RequestSeconds.Observe(time.Since(start).Seconds())
 		}
@@ -317,7 +327,7 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	res := h.execute(r, src, k, timeout)
-	h.renderOutcome(w, res, res.queueWait)
+	h.renderOutcome(w, res, res.queueWait, explain)
 	if res.shedErr == nil {
 		h.met.RequestSeconds.Observe(time.Since(start).Seconds())
 	}
@@ -327,13 +337,13 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 // the shared outcome, or — if its own deadline fires first — a 503 with
 // the usual Retry-After hint. The waiter never touches admission; its
 // reported queue wait is the time spent riding.
-func (h *Handler) waitFlight(w http.ResponseWriter, r *http.Request, f *flight, timeout time.Duration, start time.Time) {
+func (h *Handler) waitFlight(w http.ResponseWriter, r *http.Request, f *flight, timeout time.Duration, start time.Time, explain bool) {
 	wctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	select {
 	case <-f.done:
 		h.met.Coalesced(obs.CoalesceShared).Inc()
-		h.renderOutcome(w, f.res, time.Since(start))
+		h.renderOutcome(w, f.res, time.Since(start), explain)
 	case <-wctx.Done():
 		h.met.Coalesced(obs.CoalesceWaitExpired).Inc()
 		h.writeErr(w, http.StatusServiceUnavailable,
@@ -384,8 +394,10 @@ func (h *Handler) execute(r *http.Request, src string, k int, timeout time.Durat
 
 // renderOutcome writes one execution outcome as the HTTP response.
 // queueWait is per response: the leader's slot wait, or a waiter's time
-// riding the flight.
-func (h *Handler) renderOutcome(w http.ResponseWriter, res outcome, queueWait time.Duration) {
+// riding the flight. explain is per response too: a coalesced waiter
+// that asked for a plan gets one off the shared trace, while the leader
+// that didn't ask stays plan-free.
+func (h *Handler) renderOutcome(w http.ResponseWriter, res outcome, queueWait time.Duration, explain bool) {
 	switch {
 	case res.shedErr != nil:
 		h.shed(w, res.shedErr)
@@ -397,7 +409,7 @@ func (h *Handler) renderOutcome(w http.ResponseWriter, res outcome, queueWait ti
 			h.writeErr(w, http.StatusInternalServerError, res.err.Error())
 		}
 	default:
-		h.writeJSON(w, http.StatusOK, toWire(res.out, queueWait))
+		h.writeJSON(w, http.StatusOK, toWire(res.out, queueWait, explain))
 	}
 }
 
@@ -416,11 +428,16 @@ func (h *Handler) shed(w http.ResponseWriter, err error) {
 		reason, msg = obs.ShedClientGone, "client cancelled while queued: "+err.Error()
 	}
 	h.met.Shed(reason).Inc()
+	if h.log != nil {
+		h.log.Warn("request shed", "reason", reason, "err", err)
+	}
 	h.writeErr(w, http.StatusServiceUnavailable, msg)
 }
 
 // toWire converts an engine outcome into the shared wire representation.
-func toWire(out *QueryOutcome, queueWait time.Duration) *client.QueryResponse {
+// When explain is set and the outcome carries a trace, the response also
+// carries the deterministic explain plan.
+func toWire(out *QueryOutcome, queueWait time.Duration, explain bool) *client.QueryResponse {
 	resp := &client.QueryResponse{
 		Answers:    make([]client.Answer, 0, len(out.Answers)),
 		Vars:       out.Vars,
@@ -458,13 +475,51 @@ func toWire(out *QueryOutcome, queueWait time.Duration) *client.QueryResponse {
 			})
 		}
 		resp.Stats.IO = client.IOStats{
-			PageReads:   tr.IO.PageReads,
-			CacheHits:   tr.IO.CacheHits,
-			CacheMisses: tr.IO.CacheMisses,
-			Retries:     tr.IO.Retries,
+			PageReads:    tr.IO.PageReads,
+			CacheHits:    tr.IO.CacheHits,
+			CacheMisses:  tr.IO.CacheMisses,
+			Retries:      tr.IO.Retries,
+			BatchedPages: tr.IO.BatchedPages,
+		}
+		if explain {
+			resp.Explain = planToWire(obs.BuildPlan(tr))
 		}
 	}
 	return resp
+}
+
+// planToWire converts the engine's explain plan into the wire mirror.
+// The two types share field order and JSON tags, so the marshaled
+// document is byte-identical to the engine's own.
+func planToWire(p *obs.Plan) *client.ExplainPlan {
+	if p == nil {
+		return nil
+	}
+	return &client.ExplainPlan{
+		Version:    p.Version,
+		Query:      p.Query,
+		Source:     p.Source,
+		Answers:    p.Answers,
+		Partial:    p.Partial,
+		StopReason: p.StopReason,
+		Restarts:   p.Restarts,
+		Phases:     planNodesToWire(p.Phases),
+	}
+}
+
+func planNodesToWire(ns []*obs.PlanNode) []*client.ExplainNode {
+	if ns == nil {
+		return nil
+	}
+	out := make([]*client.ExplainNode, 0, len(ns))
+	for _, n := range ns {
+		out = append(out, &client.ExplainNode{
+			Name:     n.Name,
+			Attrs:    n.Attrs,
+			Children: planNodesToWire(n.Children),
+		})
+	}
+	return out
 }
 
 // stragglerGrace bounds the wait for cancelled queries to unwind through
@@ -478,6 +533,9 @@ const stragglerGrace = 2 * time.Second
 func (h *Handler) Drain() <-chan struct{} {
 	if !h.draining.Swap(true) {
 		h.met.Drains.Inc()
+		if h.log != nil {
+			h.log.Info("drain started", "inflight", h.Inflight())
+		}
 	}
 	return h.adm.drain()
 }

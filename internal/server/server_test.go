@@ -157,7 +157,7 @@ func TestOverloadSheds(t *testing.T) {
 	reg := obs.NewRegistry()
 	h := New(Backend{
 		Metrics: reg,
-		Debug:   obs.DebugMux(reg, nil),
+		Debug:   obs.DebugMux(reg, nil, nil),
 		Query: func(ctx context.Context, src string, k int) (*QueryOutcome, error) {
 			n := running.Add(1)
 			defer running.Add(-1)

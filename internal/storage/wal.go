@@ -112,6 +112,10 @@ type WALStats struct {
 	TornTailRepaired bool `json:"torn_tail_repaired"`
 	// LastLSN is the highest LSN assigned so far (0 = none).
 	LastLSN uint64 `json:"last_lsn"`
+	// BatchingFactor is Appends/Batches — the mean number of records
+	// sharing one group-commit flush. 1.0 means no batching (every
+	// append paid its own fsync); 0 when nothing has been flushed yet.
+	BatchingFactor float64 `json:"batching_factor"`
 }
 
 // walSegment is one live segment file, oldest first in WAL.segments.
@@ -147,6 +151,11 @@ type WAL struct {
 
 	err    error // sticky poison after a failed write or sync
 	closed bool
+
+	// onBatch, when set, observes each successfully committed group-
+	// commit batch: the number of records that shared the flush and the
+	// framed bytes written. Called by the flush leader outside w.mu.
+	onBatch func(records, bytes int)
 
 	stats struct {
 		appends       uint64
@@ -429,11 +438,15 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 		batch := w.buf
 		waiters := w.waiters
 		batchLast := w.nextLSN - 1
+		onBatch := w.onBatch
 		w.buf = nil
 		w.waiters = nil
 		w.mu.Unlock()
 
 		err := w.commit(batch)
+		if err == nil && onBatch != nil {
+			onBatch(len(waiters), len(batch))
+		}
 
 		for _, c := range waiters {
 			c <- err
@@ -706,10 +719,23 @@ func (w *WAL) sizeLocked() int64 {
 // Dir returns the log's directory.
 func (w *WAL) Dir() string { return w.dir }
 
+// SetOnBatch installs the group-commit batch observer. The WAL is
+// opened before the metrics registry is attached, so the hook is set
+// late; it applies to batches whose leader is elected after the call.
+func (w *WAL) SetOnBatch(fn func(records, bytes int)) {
+	w.mu.Lock()
+	w.onBatch = fn
+	w.mu.Unlock()
+}
+
 // Stats returns a snapshot of the log's counters.
 func (w *WAL) Stats() WALStats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	var bf float64
+	if w.stats.batches > 0 {
+		bf = float64(w.stats.appends) / float64(w.stats.batches)
+	}
 	return WALStats{
 		Appends:          w.stats.appends,
 		Syncs:            w.stats.syncs,
@@ -721,6 +747,7 @@ func (w *WAL) Stats() WALStats {
 		Checkpoints:      w.stats.checkpoints,
 		TornTailRepaired: w.stats.tornRepaired,
 		LastLSN:          w.nextLSN - 1,
+		BatchingFactor:   bf,
 	}
 }
 

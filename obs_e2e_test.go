@@ -253,10 +253,12 @@ func httpGet(t *testing.T, c *http.Client, url string) string {
 	return string(b)
 }
 
-var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^}]*\})?) (-?(?:[0-9.e+-]+|\+Inf|NaN))$`)
+var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^}]*\})?) (-?(?:[0-9.e+-]+|\+Inf|NaN))(?: # \{[^}]*\} -?(?:[0-9.e+-]+|\+Inf|NaN))?$`)
 
 // checkPrometheusText validates every line of a text exposition: either
-// a #-comment or a `name{labels} value` sample.
+// a #-comment or a `name{labels} value` sample, optionally carrying an
+// OpenMetrics exemplar (`... # {trace_id="..."} value`) on histogram
+// bucket lines.
 func checkPrometheusText(t *testing.T, body string) {
 	t.Helper()
 	if body == "" {

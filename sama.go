@@ -104,6 +104,19 @@ type (
 	Trace = obs.Trace
 	// Span is one timed phase (or sub-phase) inside a Trace.
 	Span = obs.Span
+	// Plan is the deterministic explain plan of one query execution:
+	// the trace's span tree reduced to its decision counters, without
+	// timings or IDs (DB.Explain, QueryStats.Plan, `sama query
+	// -explain`, the server's ?explain=1).
+	Plan = obs.Plan
+	// PlanNode is one node of an explain Plan.
+	PlanNode = obs.PlanNode
+	// EventLog is the database's structured event log: a ring of
+	// slog-based events from the engine, index, WAL, compaction and
+	// server subsystems (DB.Events, /debug/events).
+	EventLog = obs.EventLog
+	// Event is one structured event as stored in the EventLog.
+	Event = obs.Event
 	// TraceIO is the storage attribution of one query (page reads,
 	// cache hits/misses, transient-fault retries).
 	TraceIO = obs.IOStats
@@ -191,6 +204,9 @@ type config struct {
 	engine          core.Options
 	compress        bool
 	lastN           int
+	eventsN         int
+	eventSampleN    int
+	runtimeEvery    time.Duration
 	walDir          string
 	checkpointBytes int64
 }
@@ -270,6 +286,24 @@ func WithSlowQueryLog(threshold time.Duration, fn func(*Trace)) Option {
 // (default 32).
 func WithQueryLogSize(n int) Option { return func(c *config) { c.lastN = n } }
 
+// WithEventLogSize sets how many structured events the DB's event ring
+// retains for DB.Events and the debug server's /debug/events endpoint
+// (default 256).
+func WithEventLogSize(n int) Option { return func(c *config) { c.eventsN = n } }
+
+// WithEventSampling keeps 1-in-n sub-Warn events per subsystem in the
+// event log (Warn and Error always land). n ≤ 1 keeps everything — the
+// default.
+func WithEventSampling(n int) Option { return func(c *config) { c.eventSampleN = n } }
+
+// WithRuntimeMetrics sets how often the DB polls runtime/metrics (GC
+// pause and scheduler-latency quantiles, heap, goroutines) into its
+// registry. The default is 10s; a negative interval disables the
+// collector.
+func WithRuntimeMetrics(every time.Duration) Option {
+	return func(c *config) { c.runtimeEvery = every }
+}
+
 // WithWAL enables the durable write path: every Insert batch is framed
 // into a segmented write-ahead log in dir and fsynced (concurrent
 // inserters share fsyncs through group commit) before any index page
@@ -297,6 +331,8 @@ type DB struct {
 	engine *core.Engine
 	reg    *obs.Registry
 	lastq  *obs.QueryLog
+	events *obs.EventLog
+	rt     *obs.RuntimeCollector
 	closed atomic.Bool
 }
 
@@ -375,16 +411,27 @@ func newDB(idx *index.Index, c *config) *DB {
 			}
 		})
 	}
+	events := obs.NewEventLog(c.eventsN)
+	if c.eventSampleN > 1 {
+		events.SetSampling(c.eventSampleN)
+	}
+	idx.SetEvents(events)
 	engOpts := c.engine
 	engOpts.Params = c.params
 	engOpts.ParamsSet = c.paramsSet
 	engOpts.Metrics = reg
-	return &DB{
+	engOpts.Events = events
+	db := &DB{
 		idx:    idx,
 		engine: core.New(idx, engOpts),
 		reg:    reg,
 		lastq:  obs.NewQueryLog(c.lastN),
+		events: events,
 	}
+	if c.runtimeEvery >= 0 { // negative: collector disabled
+		db.rt = obs.StartRuntime(reg, c.runtimeEvery)
+	}
+	return db
 }
 
 // recoverQuery converts a panic escaping the engine into an error at
@@ -636,6 +683,25 @@ func (db *DB) Metrics() *MetricsRegistry { return db.reg }
 // first. The traces are read-only.
 func (db *DB) LastQueries() []*Trace { return db.lastq.Snapshot() }
 
+// Events returns the database's structured event log: recent events
+// from the engine, index, WAL, compaction and (when serving) server
+// subsystems. Snapshot it for the ring, Subscribe for a live stream.
+func (db *DB) Events() *EventLog { return db.events }
+
+// Explain answers the SPARQL query like QuerySPARQLContext and
+// additionally reduces the execution's trace to its deterministic
+// explain plan: per-phase decision counters (candidates retrieved,
+// pre-ranked and kept, memo hits vs alignments run, batched pages
+// read, restarts) without timings. The same plan is rendered by `sama
+// query -explain` and returned by the server's ?explain=1.
+func (db *DB) Explain(ctx context.Context, src string, k int) (*Result, *Plan, error) {
+	res, err := db.QuerySPARQLContext(ctx, src, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, res.Stats.Plan(), nil
+}
+
 // CacheStats returns a live snapshot of the enabled caches' counters,
 // keyed "answer" and "align". Disabled caches are absent from the map;
 // with no cache enabled the map is empty.
@@ -649,7 +715,7 @@ func (db *DB) CacheStats() map[string]CacheStats { return db.engine.CacheStats()
 // (recent traces as JSON) and /debug/pprof/* — mountable under any
 // server or httptest.
 func (db *DB) DebugHandler() http.Handler {
-	return obs.DebugMux(db.reg, db.lastq, obs.DebugVar{
+	return obs.DebugMux(db.reg, db.lastq, db.events, obs.DebugVar{
 		Name:  "sama_cache",
 		Value: func() any { return db.engine.CacheStats() },
 	}, obs.DebugVar{
@@ -714,6 +780,7 @@ func (db *DB) Handler(opts ServerOptions) *QueryHandler {
 		},
 		Debug:   db.DebugHandler(),
 		Metrics: db.reg,
+		Events:  db.events,
 	}, opts)
 }
 
@@ -741,6 +808,7 @@ func (db *DB) Close() error {
 	if db.closed.Swap(true) {
 		return nil
 	}
+	db.rt.Stop()
 	db.engine.Close()
 	return db.idx.Close()
 }
