@@ -163,8 +163,11 @@ func TestExplainCacheHit(t *testing.T) {
 var exemplarRe = regexp.MustCompile(`sama_query_seconds_bucket\{[^}]*\} \d+ # \{trace_id="([^"]+)"\} `)
 
 // TestExemplarResolvesToTrace is the acceptance check for the
-// metrics↔trace linkage: the exemplar trace ID on the query latency
-// histogram must name a trace that /debug/lastqueries actually holds.
+// metrics↔trace linkage: scraped as OpenMetrics, the exemplar trace ID
+// on the query latency histogram must name a trace that
+// /debug/lastqueries actually holds. The classic 0.0.4 exposition has
+// no exemplar syntax, so the default scrape must stay exemplar-free —
+// a '#' after the sample value would break standard Prometheus scrapes.
 func TestExemplarResolvesToTrace(t *testing.T) {
 	db := obsTestDB(t)
 	if _, err := db.QuerySPARQL(obsTestQuery, 5); err != nil {
@@ -173,7 +176,16 @@ func TestExemplarResolvesToTrace(t *testing.T) {
 	srv := httptest.NewServer(db.DebugHandler())
 	defer srv.Close()
 
-	metrics := httpGet(t, srv.Client(), srv.URL+"/metrics")
+	classic := httpGet(t, srv.Client(), srv.URL+"/metrics")
+	if strings.Contains(classic, "# {") {
+		t.Errorf("classic /metrics scrape carries exemplars:\n%.2000s", classic)
+	}
+
+	metrics := httpGetAccept(t, srv.Client(), srv.URL+"/metrics",
+		"application/openmetrics-text; version=1.0.0")
+	if !strings.HasSuffix(metrics, "# EOF\n") {
+		t.Errorf("OpenMetrics scrape lacks the # EOF trailer:\n%.2000s", metrics)
+	}
 	m := exemplarRe.FindStringSubmatch(metrics)
 	if m == nil {
 		t.Fatalf("no exemplar on sama_query_seconds buckets:\n%.2000s", metrics)

@@ -67,8 +67,9 @@ func WriteChromeTrace(w io.Writer, traces []*Trace) error {
 			TS: start, Dur: micros(tr.Total), PID: pid, TID: 0,
 			Args: args,
 		})
+		nextLane := 1 // lane 0 is the query + phase track
 		for _, s := range tr.Phases {
-			events = appendSpanEvents(events, s, pid, 0, start)
+			events = appendSpanEvents(events, s, pid, 0, start, &nextLane)
 		}
 	}
 	_, err := io.WriteString(w, `{"traceEvents":`)
@@ -83,11 +84,13 @@ func WriteChromeTrace(w io.Writer, traces []*Trace) error {
 	return err
 }
 
-// appendSpanEvents emits the span and its children. depth 0 spans (the
-// engine phases) stay on the parent's lane; deeper spans are fanned out
-// one lane per child index because siblings (alignments) may overlap in
-// time.
-func appendSpanEvents(events []chromeEvent, s *Span, pid, tid int, start float64) []chromeEvent {
+// appendSpanEvents emits the span and its children. An only child stays
+// on its parent's lane; siblings (alignments) may overlap in time, so
+// each gets a fresh lane from the per-trace nextLane counter. A single
+// counter — rather than lanes derived from the parent's tid — keeps
+// cousins in different subtrees from colliding on one lane with
+// overlapping time ranges, which Perfetto renders as a broken stack.
+func appendSpanEvents(events []chromeEvent, s *Span, pid, tid int, start float64, nextLane *int) []chromeEvent {
 	var args map[string]any
 	if len(s.Attrs) > 0 {
 		args = make(map[string]any, len(s.Attrs))
@@ -100,12 +103,13 @@ func appendSpanEvents(events []chromeEvent, s *Span, pid, tid int, start float64
 		TS: start + micros(s.Offset), Dur: micros(s.Duration),
 		PID: pid, TID: tid, Args: args,
 	})
-	for i, c := range s.Children {
+	for _, c := range s.Children {
 		childTID := tid
 		if len(s.Children) > 1 {
-			childTID = tid + 1 + i
+			childTID = *nextLane
+			*nextLane++
 		}
-		events = appendSpanEvents(events, c, pid, childTID, start)
+		events = appendSpanEvents(events, c, pid, childTID, start, nextLane)
 	}
 	return events
 }

@@ -22,7 +22,8 @@ type DebugVar struct {
 
 // DebugMux builds the debug HTTP handler tree:
 //
-//	/metrics            Prometheus text exposition of reg
+//	/metrics            Prometheus text exposition of reg; OpenMetrics
+//	                    (with exemplars) when Accept asks for it
 //	/debug/vars         expvar JSON (cmdline, memstats) merged with extras
 //	/debug/lastqueries  JSON array of the most recent query traces;
 //	                    ?format=chrome renders them as a Chrome/Perfetto
@@ -37,7 +38,20 @@ type DebugVar struct {
 // documents.
 func DebugMux(reg *Registry, log *QueryLog, events *EventLog, extras ...DebugVar) *http.ServeMux {
 	mux := http.NewServeMux()
+	// /metrics content-negotiates the exposition format: a scraper that
+	// advertises OpenMetrics in Accept gets the 1.0 text format with
+	// exemplars and a `# EOF` trailer; everyone else gets the classic
+	// 0.0.4 format, which has no exemplar syntax and therefore none.
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			if reg != nil {
+				reg.WriteOpenMetrics(w)
+			} else {
+				fmt.Fprint(w, "# EOF\n")
+			}
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if reg != nil {
 			reg.WritePrometheus(w)
@@ -115,7 +129,7 @@ func DebugMux(reg *Registry, log *QueryLog, events *EventLog, extras ...DebugVar
 			return
 		}
 		fmt.Fprint(w, "sama debug server\n\n"+
-			"/metrics                          Prometheus metrics (with exemplars)\n"+
+			"/metrics                          Prometheus metrics (exemplars with Accept: application/openmetrics-text)\n"+
 			"/debug/vars                       expvar JSON\n"+
 			"/debug/lastqueries                recent query traces (JSON)\n"+
 			"/debug/lastqueries?format=chrome  recent traces as Chrome/Perfetto trace\n"+

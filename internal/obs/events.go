@@ -30,10 +30,10 @@ type Event struct {
 type EventLog struct {
 	level   slog.LevelVar // minimum level, default Info
 	sampleN atomic.Int64  // keep 1-in-N below Warn; <=1 keeps all
-	seq     atomic.Uint64
 	sampled atomic.Uint64 // records dropped by sampling
 
 	mu    sync.Mutex
+	seq   uint64 // under mu, so Seq order always matches ring order
 	buf   []Event
 	next  int
 	n     int
@@ -119,10 +119,13 @@ func (l *EventLog) Subscribe(buffer int) (<-chan Event, func()) {
 }
 
 // publish appends the event to the ring and fans it out to live
-// subscribers.
+// subscribers. Seq is assigned under the same lock that orders ring
+// inserts and subscriber sends, so consumers never observe sequence
+// numbers that disagree with publication order.
 func (l *EventLog) publish(ev Event) {
-	ev.Seq = l.seq.Add(1)
 	l.mu.Lock()
+	l.seq++
+	ev.Seq = l.seq
 	l.buf[l.next] = ev
 	l.next = (l.next + 1) % len(l.buf)
 	if l.n < len(l.buf) {

@@ -153,8 +153,17 @@ func TestEventLogConcurrency(t *testing.T) {
 	wg.Wait()
 	close(stop)
 	drained.Wait()
-	if len(l.Snapshot()) != 64 {
-		t.Errorf("ring not full after 1600 writes: %d", len(l.Snapshot()))
+	evs := l.Snapshot()
+	if len(evs) != 64 {
+		t.Errorf("ring not full after 1600 writes: %d", len(evs))
+	}
+	// Seq is assigned under the ring lock, so snapshot order (newest
+	// first) and sequence numbers must agree even with 8 concurrent
+	// publishers: strictly decreasing, no gaps within the ring.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq-1 {
+			t.Fatalf("ring order disagrees with Seq at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
 	}
 }
 

@@ -154,6 +154,51 @@ func TestChromeTraceExport(t *testing.T) {
 	}
 }
 
+// TestChromeTraceLanesUnique pins the lane allocator: fanned-out
+// children in *different* subtrees must land on distinct lanes, not
+// collide because each parent numbered its children relative to its
+// own tid (two depth-1 siblings with children would both claim lanes
+// 1 and 2, rendering as a broken stack in Perfetto).
+func TestChromeTraceLanesUnique(t *testing.T) {
+	tr := NewTrace()
+	for _, ph := range []string{"cluster", "search"} {
+		sp := tr.Phase(ph)
+		for i := 0; i < 2; i++ {
+			c := sp.Child("fan")
+			c.End()
+		}
+		sp.End()
+	}
+	tr.Finish()
+	var buf bytes.Buffer
+	WriteChromeTrace(&buf, []*Trace{tr})
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			TID  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not JSON: %v\n%s", err, buf.String())
+	}
+	lanes := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name != "fan" {
+			continue
+		}
+		if ev.TID == 0 {
+			t.Error("fanned-out child on lane 0 (the phase track)")
+		}
+		if lanes[ev.TID] {
+			t.Errorf("lane %d assigned to two fanned-out children", ev.TID)
+		}
+		lanes[ev.TID] = true
+	}
+	if len(lanes) != 4 {
+		t.Fatalf("expected 4 distinct child lanes, got %d: %v", len(lanes), lanes)
+	}
+}
+
 func TestHistogramExemplar(t *testing.T) {
 	reg := NewRegistry()
 	h := reg.Histogram("t_seconds", "test.", []float64{0.1, 1})
@@ -162,7 +207,7 @@ func TestHistogramExemplar(t *testing.T) {
 	h.ObserveExemplar(0.06, "cafe0001-000003") // replaces the first bucket's exemplar
 	h.ObserveExemplar(99, "")                  // empty ID: plain observe, no exemplar
 	var buf bytes.Buffer
-	reg.WritePrometheus(&buf)
+	reg.WriteOpenMetrics(&buf)
 	out := buf.String()
 	if !strings.Contains(out, `t_seconds_bucket{le="0.1"} 2 # {trace_id="cafe0001-000003"} 0.06`) {
 		t.Errorf("first bucket exemplar wrong:\n%s", out)
@@ -173,7 +218,47 @@ func TestHistogramExemplar(t *testing.T) {
 	if strings.Contains(out, `le="+Inf"} 4 #`) {
 		t.Errorf("overflow bucket has an exemplar despite the empty trace ID:\n%s", out)
 	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("OpenMetrics exposition lacks the # EOF trailer:\n%s", out)
+	}
 	if h.Count() != 4 {
 		t.Errorf("Count = %d, want 4", h.Count())
+	}
+	// The classic 0.0.4 format has no exemplar syntax — a '#' after the
+	// sample value would make standard Prometheus scrapes fail to parse.
+	buf.Reset()
+	reg.WritePrometheus(&buf)
+	classic := buf.String()
+	if strings.Contains(classic, "# {") {
+		t.Errorf("classic exposition carries exemplars:\n%s", classic)
+	}
+	if strings.Contains(classic, "# EOF") {
+		t.Errorf("classic exposition carries the OpenMetrics trailer:\n%s", classic)
+	}
+}
+
+func TestOpenMetricsCounterTotalSuffix(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("t_ops_total", "already suffixed.").Add(2)
+	reg.Counter("t_retries", "bare name.").Add(3)
+	var buf bytes.Buffer
+	reg.WriteOpenMetrics(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE t_ops counter\n", "t_ops_total 2\n",
+		"# TYPE t_retries counter\n", "t_retries_total 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("OpenMetrics output missing %q:\n%s", want, out)
+		}
+	}
+	// Classic exposition keeps the registered names verbatim.
+	buf.Reset()
+	reg.WritePrometheus(&buf)
+	classic := buf.String()
+	for _, want := range []string{"t_ops_total 2\n", "t_retries 3\n"} {
+		if !strings.Contains(classic, want) {
+			t.Errorf("classic output missing %q:\n%s", want, classic)
+		}
 	}
 }

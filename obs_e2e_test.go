@@ -238,7 +238,21 @@ func TestPoolStatsDuringConcurrentQueries(t *testing.T) {
 
 func httpGet(t *testing.T, c *http.Client, url string) string {
 	t.Helper()
-	resp, err := c.Get(url)
+	return httpGetAccept(t, c, url, "")
+}
+
+// httpGetAccept is httpGet with an Accept header — used to scrape
+// /metrics in the OpenMetrics format, which is where exemplars live.
+func httpGetAccept(t *testing.T, c *http.Client, url, accept string) string {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := c.Do(req)
 	if err != nil {
 		t.Fatalf("GET %s: %v", url, err)
 	}
@@ -253,12 +267,13 @@ func httpGet(t *testing.T, c *http.Client, url string) string {
 	return string(b)
 }
 
-var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^}]*\})?) (-?(?:[0-9.e+-]+|\+Inf|NaN))(?: # \{[^}]*\} -?(?:[0-9.e+-]+|\+Inf|NaN))?$`)
+var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^}]*\})?) (-?(?:[0-9.e+-]+|\+Inf|NaN))$`)
 
-// checkPrometheusText validates every line of a text exposition: either
-// a #-comment or a `name{labels} value` sample, optionally carrying an
-// OpenMetrics exemplar (`... # {trace_id="..."} value`) on histogram
-// bucket lines.
+// checkPrometheusText validates every line of a classic (0.0.4) text
+// exposition: either a HELP/TYPE comment or a bare `name{labels} value`
+// sample. The classic grammar allows nothing after the value but an
+// integer timestamp — in particular no OpenMetrics exemplar suffix,
+// which would abort a standard Prometheus scrape.
 func checkPrometheusText(t *testing.T, body string) {
 	t.Helper()
 	if body == "" {
