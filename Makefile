@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check fmt vet build bins test race race-hot crash bench serve-smoke
+.PHONY: check fmt vet build bins test race race-hot crash bench serve-smoke route-smoke
 
 # check is the tier-1 gate: formatting, static analysis, a full build
 # (packages and both binaries), the race-enabled test suite with an
-# extra race pass over the concurrency-hot packages, and the
-# crash-recovery matrix. CI and pre-commit both run this.
-check: fmt vet build bins race race-hot crash
+# extra race pass over the concurrency-hot packages, the
+# crash-recovery matrix, and the multi-node router smoke test. CI and
+# pre-commit both run this.
+check: fmt vet build bins race race-hot crash route-smoke
 
 fmt:
 	@files=$$(gofmt -l .); \
@@ -39,7 +40,7 @@ race:
 # event ring's subscriber fan-out interleave — a second -count pass
 # varies goroutine scheduling beyond what one ./... sweep exercises.
 race-hot:
-	$(GO) test -race -count=2 ./internal/cache ./internal/core ./internal/server ./internal/storage ./internal/index ./internal/obs
+	$(GO) test -race -count=2 ./internal/cache ./internal/core ./internal/server ./internal/storage ./internal/index ./internal/obs ./internal/shard
 
 # crash re-runs the durability suites on their own: the crash-matrix
 # kill points (torn WAL tails, mid-checkpoint and mid-compaction
@@ -49,12 +50,21 @@ crash:
 
 # bench is the smoke harness: one pass over every benchmark, with
 # BenchmarkPhaseBreakdown running every query at least 5 times and
-# writing per-phase p50/p99 and the warm-cache hit ratio +
-# cached-vs-uncached medians from the query traces to
-# results/bench_latest.json.
+# writing per-phase p50/p99, the warm-cache hit ratio +
+# cached-vs-uncached medians, and the sharded-engine sweep (cluster/
+# search medians at 1/2/4 shards, merge overhead, per-shard fan-out
+# p99) from the query traces to results/bench_latest.json.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 	@echo "per-phase p50/p99 written to results/bench_latest.json"
+
+# route-smoke boots the multi-node path end-to-end: a 3-shard layout,
+# one samad per shard directory, a samad router fronting them, the
+# Fig. 7 query mix through the merged top-k, and a shard kill that
+# must degrade (partial response, named in the explain plan) rather
+# than fail.
+route-smoke:
+	$(GO) test -count=1 -run 'TestRouterE2E' ./cmd/samad
 
 # serve-smoke boots samad end-to-end: random port, example dataset
 # indexed on the fly, one query through the Go client, /readyz and

@@ -15,10 +15,12 @@ package sama_test
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -31,6 +33,7 @@ import (
 	"sama/internal/index"
 	"sama/internal/paths"
 	"sama/internal/rdf"
+	"sama/internal/shard"
 	"sama/internal/workload"
 )
 
@@ -446,6 +449,29 @@ type benchDurabilityReport struct {
 	CompactMaxPauseNS      int64   `json:"compact_max_pause_ns"`
 }
 
+// benchShardRow is one shard count's measurement of the sharded
+// engine: cluster/search phase medians, the scatter-gather merge
+// overhead (the part of each alignment pass not attributable to its
+// slowest shard — cascade probe, global pre-rank, and the capped
+// k-way merge), and the p99 over the per-shard fan-out spans.
+type benchShardRow struct {
+	Shards          int   `json:"shards"`
+	ClusterMedianNS int64 `json:"cluster_median_ns"`
+	SearchMedianNS  int64 `json:"search_median_ns"`
+	MergeOverheadNS int64 `json:"merge_overhead_median_ns"`
+	FanoutP99NS     int64 `json:"shard_fanout_p99_ns"`
+}
+
+// benchShardReport records the sharded-engine sweep on the Fig. 7(a)
+// configuration. Answers are identical at every shard count
+// (TestShardEquivalence); what varies is how the candidate work
+// splits across shards and what the merge costs on top.
+type benchShardReport struct {
+	Triples int             `json:"triples"`
+	Query   string          `json:"query"`
+	Rows    []benchShardRow `json:"per_shard_count"`
+}
+
 // benchPhaseReport is the file schema for results/bench_latest.json.
 type benchPhaseReport struct {
 	Dataset    string                 `json:"dataset"`
@@ -453,6 +479,7 @@ type benchPhaseReport struct {
 	Queries    []benchPhaseRow        `json:"queries"`
 	Cache      *benchCacheReport      `json:"cache,omitempty"`
 	Parallel   *benchParallelReport   `json:"parallel,omitempty"`
+	Shard      *benchShardReport      `json:"shard,omitempty"`
 	Durability *benchDurabilityReport `json:"durability,omitempty"`
 }
 
@@ -615,6 +642,11 @@ func BenchmarkPhaseBreakdown(b *testing.B) {
 	report.Parallel = pr
 	b.ReportMetric(pr.ClusterSpeedup, "parallel-cluster-speedup")
 
+	report.Shard = measureSharding(b)
+	for _, row := range report.Shard.Rows {
+		b.ReportMetric(float64(row.ClusterMedianNS), fmt.Sprintf("shard%d-cluster-ns", row.Shards))
+	}
+
 	report.Durability = measureDurability(b)
 	b.ReportMetric(report.Durability.WALGroupTriplesPerSec, "wal-group-triples/s")
 	b.ReportMetric(float64(report.Durability.RecoveryReplayNS), "recovery-replay-ns")
@@ -630,6 +662,71 @@ func BenchmarkPhaseBreakdown(b *testing.B) {
 	if err := os.WriteFile(filepath.Join("results", "bench_latest.json"), append(buf, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// measureSharding runs the Fig. 7(a) configuration (LUBM, Q4) through
+// the in-process sharded engine at 1, 2 and 4 shards. Per shard count
+// it reads the cluster/search phase medians from the query traces,
+// derives the merge overhead as each alignment pass's duration beyond
+// its slowest shard[k] child span, and takes the p99 over all shard
+// fan-out spans.
+func measureSharding(b *testing.B) *benchShardReport {
+	b.Helper()
+	const shardTriples = 8_000
+	g := datasets.LUBM{}.Generate(shardTriples, 1)
+	q := workload.LUBMQueries()[3] // Q4, the Fig. 7(a) query
+	rep := &benchShardReport{Triples: shardTriples, Query: q.ID}
+	for _, n := range []int{1, 2, 4} {
+		base := filepath.Join(b.TempDir(), fmt.Sprintf("n%d", n))
+		set, err := shard.Build(base, g, shard.Options{Shards: n})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := core.NewSharded(set, core.Options{})
+		var cluster, search, overhead, fanout []time.Duration
+		for reps := 0; reps < 5; reps++ {
+			_, st, err := eng.QueryWithStats(q.Pattern, experiments.TopK)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cluster = append(cluster, st.Trace.PhaseDuration("cluster"))
+			search = append(search, st.Trace.PhaseDuration("search"))
+			for _, ph := range st.Trace.Phases {
+				if ph.Name != "cluster" {
+					continue
+				}
+				for _, al := range ph.Children {
+					var slowest time.Duration
+					seen := false
+					for _, c := range al.Children {
+						if !strings.HasPrefix(c.Name, "shard[") {
+							continue
+						}
+						seen = true
+						fanout = append(fanout, c.Duration)
+						if c.Duration > slowest {
+							slowest = c.Duration
+						}
+					}
+					if seen {
+						overhead = append(overhead, al.Duration-slowest)
+					}
+				}
+			}
+		}
+		eng.Close()
+		if err := set.Close(); err != nil {
+			b.Fatal(err)
+		}
+		rep.Rows = append(rep.Rows, benchShardRow{
+			Shards:          n,
+			ClusterMedianNS: medianDuration(cluster),
+			SearchMedianNS:  medianDuration(search),
+			MergeOverheadNS: medianDuration(overhead),
+			FanoutP99NS:     durationPercentile(fanout, 99),
+		})
+	}
+	return rep
 }
 
 // measureDurability runs the durable-write-path measurements on their

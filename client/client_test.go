@@ -1,0 +1,110 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// shedServer sheds the first shedFirst requests with 503 + Retry-After,
+// then answers 200.
+func shedServer(t *testing.T, shedFirst int32, retryAfter string) (*httptest.Server, *int32) {
+	t.Helper()
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := atomic.AddInt32(&calls, 1)
+		if n <= shedFirst {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(ErrorResponse{Error: "overloaded"})
+			return
+		}
+		json.NewEncoder(w).Encode(QueryResponse{
+			Answers: []Answer{{Score: 1.5}},
+			Vars:    []string{"x"},
+		})
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func TestQueryShedNoRetryByDefault(t *testing.T) {
+	srv, calls := shedServer(t, 1, "0")
+	c := New(srv.URL)
+	_, err := c.Query(context.Background(), "SELECT * WHERE { ?s ?p ?o }", QueryOptions{})
+	if !IsOverloaded(err) {
+		t.Fatalf("err = %v, want a 503 StatusError", err)
+	}
+	if got := atomic.LoadInt32(calls); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no implicit retry)", got)
+	}
+}
+
+func TestQueryRetryShedRecovers(t *testing.T) {
+	srv, calls := shedServer(t, 1, "0")
+	c := New(srv.URL)
+	c.RetryShed = true
+	resp, err := c.Query(context.Background(), "SELECT * WHERE { ?s ?p ?o }", QueryOptions{})
+	if err != nil {
+		t.Fatalf("retried query: %v", err)
+	}
+	if len(resp.Answers) != 1 || resp.Answers[0].Score != 1.5 {
+		t.Fatalf("retried answers = %+v", resp.Answers)
+	}
+	if got := atomic.LoadInt32(calls); got != 2 {
+		t.Fatalf("server saw %d requests, want 2", got)
+	}
+}
+
+func TestQueryRetryShedHonorsRetryAfter(t *testing.T) {
+	srv, _ := shedServer(t, 1, "1")
+	c := New(srv.URL)
+	c.RetryShed = true
+	start := time.Now()
+	if _, err := c.Query(context.Background(), "q", QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retry fired after %v, want >= the 1s Retry-After hint", elapsed)
+	}
+}
+
+func TestQueryRetryShedSingleBounded(t *testing.T) {
+	// The server never recovers: exactly one retry, then the 503
+	// surfaces.
+	srv, calls := shedServer(t, 1<<30, "0")
+	c := New(srv.URL)
+	c.RetryShed = true
+	_, err := c.Query(context.Background(), "q", QueryOptions{})
+	if !IsOverloaded(err) {
+		t.Fatalf("err = %v, want a 503 StatusError", err)
+	}
+	if got := atomic.LoadInt32(calls); got != 2 {
+		t.Fatalf("server saw %d requests, want exactly 2 (one retry)", got)
+	}
+}
+
+func TestQueryRetryShedStopsOnContext(t *testing.T) {
+	srv, calls := shedServer(t, 1<<30, "2")
+	c := New(srv.URL)
+	c.RetryShed = true
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Query(ctx, "q", QueryOptions{})
+	if !IsOverloaded(err) {
+		t.Fatalf("err = %v, want the original 503", err)
+	}
+	if elapsed := time.Since(start); elapsed >= 2*time.Second {
+		t.Fatalf("backoff outlived the context: %v", elapsed)
+	}
+	if got := atomic.LoadInt32(calls); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (context expired during backoff)", got)
+	}
+}

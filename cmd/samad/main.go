@@ -40,10 +40,13 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"sama"
+	"sama/internal/obs"
+	"sama/internal/server"
 )
 
 func main() {
@@ -117,8 +120,28 @@ func startDaemon(args []string, logger *log.Logger) (*daemon, error) {
 	parallelism := fs.Int("parallelism", 0, "alignment worker pool size per query; answers are identical at every setting (0 = GOMAXPROCS)")
 	walDir := fs.String("wal", "", "enable the write-ahead log in this directory when building; an existing index reattaches its own WAL automatically")
 	walCheckpoint := fs.Int64("wal-checkpoint", 0, "WAL bytes that trigger an automatic checkpoint (0 = library default, -1 = manual only)")
+	route := fs.String("route", "", "comma-separated shard server URLs: run as a scatter-gather router over them instead of serving a local index")
+	shardTimeout := fs.Duration("shard-timeout", 10*time.Second, "router mode: per-shard request deadline; a shard missing it degrades the answer set instead of failing the query")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
+	}
+	if *route != "" {
+		if *index != "" {
+			return nil, errors.New("-route and -index are mutually exclusive: a router holds no local index")
+		}
+		sopts := sama.ServerOptions{
+			MaxInflight:    *maxInflight,
+			QueueTimeout:   *queueTimeout,
+			MaxTimeout:     *maxTimeout,
+			DefaultTimeout: *defaultTimeout,
+			DefaultK:       *defaultK,
+			MaxK:           *maxK,
+		}
+		if *maxQueue >= 0 {
+			sopts.MaxQueue = *maxQueue
+			sopts.MaxQueueSet = true
+		}
+		return startRouter(*route, *addr, *shardTimeout, sopts, *drainTimeout, logger)
 	}
 	if *index == "" {
 		fs.Usage()
@@ -189,6 +212,39 @@ func startDaemon(args []string, logger *log.Logger) (*daemon, error) {
 	return &daemon{db: db, srv: srv, drainTimeout: *drainTimeout, logger: logger}, nil
 }
 
+// startRouter runs samad in multi-node router mode: no local index,
+// every query fans out to the shard servers and the ranked answers
+// merge (DESIGN.md §12). A dead or slow shard degrades responses to
+// partial instead of failing them; /metrics and /debug/events report
+// the router's own admission and shed counters.
+func startRouter(route, addr string, shardTimeout time.Duration, sopts sama.ServerOptions, drainTimeout time.Duration, logger *log.Logger) (*daemon, error) {
+	var urls []string
+	for _, u := range strings.Split(route, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		urls = append(urls, u)
+	}
+	if len(urls) == 0 {
+		return nil, errors.New("-route names no shard servers")
+	}
+	rt := server.NewRouter(urls, server.RouterOptions{ShardTimeout: shardTimeout})
+	reg := obs.NewRegistry()
+	events := obs.NewEventLog(256)
+	h := server.New(server.Backend{QueryWire: rt.Query, Metrics: reg, Events: events}, sopts)
+	srv, err := h.Serve(addr)
+	if err != nil {
+		return nil, err
+	}
+	logger.Printf("routing on http://%s/ to %d shards: %s (shard-timeout %v)",
+		srv.Addr(), len(urls), strings.Join(urls, ", "), shardTimeout)
+	return &daemon{srv: srv, drainTimeout: drainTimeout, logger: logger}, nil
+}
+
 // openOrBuild opens the index, building it from -data first when the
 // index files are missing.
 func openOrBuild(index, data string, opts []sama.Option, logger *log.Logger) (*sama.DB, error) {
@@ -247,13 +303,15 @@ func recoverIfNeeded(db *sama.DB, data string, logger *log.Logger) error {
 }
 
 // shutdown drains the server within the drain deadline, then closes the
-// database.
+// database (routers have none).
 func (d *daemon) shutdown() error {
 	ctx, cancel := context.WithTimeout(context.Background(), d.drainTimeout)
 	defer cancel()
 	err := d.srv.Shutdown(ctx)
-	if cerr := d.db.Close(); err == nil {
-		err = cerr
+	if d.db != nil {
+		if cerr := d.db.Close(); err == nil {
+			err = cerr
+		}
 	}
 	return err
 }

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sama/client"
+	"sama/internal/datasets"
+	"sama/internal/shard"
+	"sama/internal/workload"
+)
+
+// startShardFleet builds a 3-shard layout over a seeded LUBM graph and
+// starts one samad per shard directory, returning the running daemons
+// and their base URLs.
+func startShardFleet(t *testing.T) ([]*daemon, []string) {
+	t.Helper()
+	base := filepath.Join(t.TempDir(), "lubm")
+	g := datasets.LUBM{}.Generate(600, 11)
+	s, err := shard.Build(base, g, shard.Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var (
+		ds   []*daemon
+		urls []string
+	)
+	for k := 0; k < 3; k++ {
+		shardBase := filepath.Join(shard.Dir(base), fmt.Sprintf("s%03d", k))
+		logger := log.New(new(bytes.Buffer), "", 0)
+		d, err := startDaemon([]string{"-index", shardBase, "-addr", "127.0.0.1:0"}, logger)
+		if err != nil {
+			t.Fatalf("shard %d daemon: %v", k, err)
+		}
+		t.Cleanup(func() { d.shutdown() })
+		ds = append(ds, d)
+		urls = append(urls, d.srv.Addr())
+	}
+	return ds, urls
+}
+
+// TestRouterE2E is the ISSUE's multi-node acceptance test: three
+// in-process shard servers behind `samad -route` serve the Fig. 7
+// query mix, and killing a shard degrades responses to partial —
+// with the loss named in the explain plan — instead of failing them.
+func TestRouterE2E(t *testing.T) {
+	shards, urls := startShardFleet(t)
+
+	var logs bytes.Buffer
+	router, err := startDaemon([]string{
+		"-route", strings.Join(urls, ","),
+		"-addr", "127.0.0.1:0",
+		"-shard-timeout", "10s",
+	}, log.New(&logs, "", 0))
+	if err != nil {
+		t.Fatalf("router daemon: %v", err)
+	}
+	defer router.shutdown()
+	if !strings.Contains(logs.String(), "routing on") || !strings.Contains(logs.String(), "3 shards") {
+		t.Errorf("router start log:\n%s", logs.String())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c := client.New("http://" + router.srv.Addr())
+	if err := c.Readyz(ctx); err != nil {
+		t.Fatalf("router Readyz: %v", err)
+	}
+
+	// The full Fig. 7 mix through the healthy fleet.
+	answered := 0
+	for _, q := range workload.LUBMQueries() {
+		resp, err := c.Query(ctx, q.SPARQL, client.QueryOptions{K: 10, Timeout: 20 * time.Second})
+		if err != nil {
+			t.Fatalf("%s through router: %v", q.ID, err)
+		}
+		if resp.Partial {
+			t.Errorf("%s: partial against a healthy fleet (%s)", q.ID, resp.StopReason)
+		}
+		for i := 1; i < len(resp.Answers); i++ {
+			if resp.Answers[i].Score < resp.Answers[i-1].Score {
+				t.Errorf("%s: merged answers out of order at %d", q.ID, i)
+			}
+		}
+		answered += len(resp.Answers)
+	}
+	if answered == 0 {
+		t.Fatal("the whole query mix returned no answers")
+	}
+
+	// Kill shard 1: queries must degrade, not fail.
+	shards[1].srv.Close()
+	resp, err := c.Query(ctx, workload.LUBMQueries()[0].SPARQL,
+		client.QueryOptions{K: 10, Timeout: 20 * time.Second, Explain: true})
+	if err != nil {
+		t.Fatalf("query with a dead shard failed outright: %v", err)
+	}
+	if !resp.Partial {
+		t.Fatal("dead shard did not mark the response partial")
+	}
+	if resp.StopReason != "degraded: 2/3 shards answered" {
+		t.Fatalf("StopReason = %q", resp.StopReason)
+	}
+	if resp.Explain == nil || resp.Explain.Source != "router" {
+		t.Fatalf("explain plan = %+v", resp.Explain)
+	}
+	scatter := resp.Explain.Phases[0]
+	if scatter.Name != "scatter" || scatter.Attrs["failed"] != 1 {
+		t.Fatalf("scatter node = %+v", scatter)
+	}
+	var deadNamed, liveNested bool
+	for _, child := range scatter.Children {
+		if child.Name == "shard[1]" && child.Attrs["failed"] == 1 {
+			deadNamed = true
+		}
+		if child.Name == "shard[0]" && len(child.Children) > 0 {
+			liveNested = true
+		}
+	}
+	if !deadNamed {
+		t.Errorf("dead shard not named in the plan: %+v", scatter.Children)
+	}
+	if !liveNested {
+		t.Errorf("live shard's engine phases not nested in the plan: %+v", scatter.Children)
+	}
+
+	// Kill the rest: only now may the router fail, and it does so with
+	// an upstream (502), not internal, error.
+	shards[0].srv.Close()
+	shards[2].srv.Close()
+	_, err = c.Query(ctx, workload.LUBMQueries()[0].SPARQL, client.QueryOptions{K: 5})
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.Code != 502 {
+		t.Fatalf("all shards dead: err = %v, want HTTP 502", err)
+	}
+}

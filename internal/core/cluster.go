@@ -127,6 +127,9 @@ const minAlignChunk = 16
 // alignments actually run, pages touched by the batched read, the
 // shorter-path fallback, and candidates dropped by the cluster cap.
 func (e *Engine) buildCluster(ctx context.Context, qi int, q paths.Path, sp *obs.Span) (Cluster, error) {
+	if e.set != nil {
+		return e.buildClusterSharded(ctx, qi, q, sp)
+	}
 	ids := e.retrieve(q)
 	if len(ids) == 0 {
 		return Cluster{QueryIndex: qi, Query: q}, nil
@@ -139,7 +142,7 @@ func (e *Engine) buildCluster(ctx context.Context, qi int, q paths.Path, sp *obs
 	if e.alignMemo != nil {
 		// Epoch before the reads: a write racing this loop makes the
 		// entries stored below stale, never the reverse.
-		epoch = e.idx.Epoch()
+		epoch = e.back.Epoch()
 		qsig = q.Key()
 	}
 
@@ -169,7 +172,7 @@ func (e *Engine) buildCluster(ctx context.Context, qi int, q paths.Path, sp *obs
 		// plan would stop being deterministic. The local counts are folded
 		// back into the query's tally afterwards.
 		local := &storage.IOTally{}
-		ps, err := e.idx.ReadPathsBatched(storage.WithTally(ctx, local), missIDs)
+		ps, err := e.back.ReadPathsBatched(storage.WithTally(ctx, local), missIDs)
 		sp.Set("batched_pages", int64(local.BatchedPages()))
 		storage.TallyFrom(ctx).Merge(local)
 		if err != nil && ctx.Err() == nil {
@@ -283,12 +286,12 @@ func (e *Engine) preRank(ids []index.PathID, q paths.Path) []index.PathID {
 	for _, id := range ids {
 		missing := 0
 		for _, c := range constants {
-			if !e.idx.ContainsLabel(id, c) {
+			if !e.back.ContainsLabel(id, c) {
 				missing++
 			}
 		}
 		deficit := 0
-		if plen := e.idx.PathLength(id); plen < qlen {
+		if plen := e.back.PathLength(id); plen < qlen {
 			deficit = qlen - plen
 		}
 		keys[id] = missing*64 + deficit
@@ -306,23 +309,23 @@ func (e *Engine) preRank(ids []index.PathID, q paths.Path) []index.PathID {
 func (e *Engine) retrieve(q paths.Path) []index.PathID {
 	sink := q.Sink()
 	if sink.IsConstant() {
-		if ids := e.idx.PathsBySink(sink.Label()); len(ids) > 0 {
+		if ids := e.back.PathsBySink(sink.Label()); len(ids) > 0 {
 			return ids
 		}
 		// No path ends at a matching sink: degrade to containment so the
 		// approximate search still has material to work with.
-		if ids := e.idx.PathsByLabel(sink.Label()); len(ids) > 0 {
+		if ids := e.back.PathsByLabel(sink.Label()); len(ids) > 0 {
 			return ids
 		}
 	} else if v, ok := q.FirstConstantFromEnd(); ok {
-		if ids := e.idx.PathsByLabel(v.Label()); len(ids) > 0 {
+		if ids := e.back.PathsByLabel(v.Label()); len(ids) > 0 {
 			return ids
 		}
 	}
 	// Constant edge labels, scanned from the sink end like the nodes.
 	for i := len(q.Edges) - 1; i >= 0; i-- {
 		if q.Edges[i].IsConstant() {
-			if ids := e.idx.PathsByLabel(q.Edges[i].Label()); len(ids) > 0 {
+			if ids := e.back.PathsByLabel(q.Edges[i].Label()); len(ids) > 0 {
 				return ids
 			}
 		}
@@ -341,7 +344,7 @@ func (e *Engine) retrieve(q paths.Path) []index.PathID {
 // all N liveness bits, and never reads disk.
 func (e *Engine) fallbackScan() []index.PathID {
 	max := e.opts.maxFallback()
-	n := e.idx.NumPaths()
+	n := e.back.NumPaths()
 	ids := make([]index.PathID, 0, max)
 	stride := (n + max - 1) / max
 	if stride < 1 {
@@ -349,7 +352,7 @@ func (e *Engine) fallbackScan() []index.PathID {
 	}
 	for start := 0; start < stride && len(ids) < max; start++ {
 		for i := start; i < n && len(ids) < max; i += stride {
-			if e.idx.Live(index.PathID(i)) {
+			if e.back.Live(index.PathID(i)) {
 				ids = append(ids, index.PathID(i))
 			}
 		}

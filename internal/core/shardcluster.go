@@ -1,0 +1,487 @@
+package core
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sama/internal/align"
+	"sama/internal/index"
+	"sama/internal/obs"
+	"sama/internal/paths"
+	"sama/internal/shard"
+	"sama/internal/storage"
+)
+
+// shardBackend serves the engine's backend surface over a shard set,
+// in global path IDs (shard.Set.GlobalID). Point lookups route to the
+// owning shard; posting lookups scatter to every shard and merge the
+// sorted results. NumPaths returns the exclusive global-ID bound, not
+// the path count — the global space has holes wherever shard sizes
+// differ, which Live-gated scans (fallbackScan) handle and nothing
+// else in the engine assumes away.
+type shardBackend struct {
+	set *shard.Set
+}
+
+func (b shardBackend) Epoch() uint64             { return b.set.Epoch() }
+func (b shardBackend) NumPaths() int             { return int(b.set.MaxGlobalID()) }
+func (b shardBackend) Live(id index.PathID) bool { return b.set.LiveGlobal(id) }
+
+func (b shardBackend) PathLength(id index.PathID) int {
+	k, local := b.set.Locate(id)
+	return b.set.Shard(k).PathLength(local)
+}
+
+func (b shardBackend) ContainsLabel(id index.PathID, label string) bool {
+	k, local := b.set.Locate(id)
+	return b.set.Shard(k).ContainsLabel(local, label)
+}
+
+func (b shardBackend) PathsBySink(label string) []index.PathID {
+	return b.gather(func(sh shard.Shard) []index.PathID { return sh.PathsBySink(label) })
+}
+
+func (b shardBackend) PathsByLabel(label string) []index.PathID {
+	return b.gather(func(sh shard.Shard) []index.PathID { return sh.PathsByLabel(label) })
+}
+
+// gather runs one posting lookup on every shard and merges the results
+// into ascending global-ID order — the order the monolithic index's
+// postings come back in, since GlobalID is monotone per shard.
+func (b shardBackend) gather(lookup func(shard.Shard) []index.PathID) []index.PathID {
+	lists := make([][]index.PathID, 0, b.set.NumShards())
+	for k := 0; k < b.set.NumShards(); k++ {
+		if ids := lookup(b.set.Shard(k)); len(ids) > 0 {
+			lists = append(lists, globalize(b.set, k, ids))
+		}
+	}
+	return mergeSortedIDs(lists)
+}
+
+// ReadPathsBatched splits the global IDs by owning shard, runs one
+// page-locality batched read per shard, and scatters the results back
+// positionally. Error semantics follow index.ReadPathsBatched: a
+// cancelled context returns partial results alongside the context
+// error; a stale or failed read fails the batch.
+func (b shardBackend) ReadPathsBatched(ctx context.Context, ids []index.PathID) ([]paths.Path, error) {
+	out := make([]paths.Path, len(ids))
+	if len(ids) == 0 {
+		return out, nil
+	}
+	n := b.set.NumShards()
+	pos := make([][]int, n)
+	locals := make([][]index.PathID, n)
+	for i, id := range ids {
+		k, local := b.set.Locate(id)
+		pos[k] = append(pos[k], i)
+		locals[k] = append(locals[k], local)
+	}
+	var firstErr error
+	for k := 0; k < n; k++ {
+		if len(locals[k]) == 0 {
+			continue
+		}
+		ps, err := b.set.Shard(k).ReadPathsBatched(ctx, locals[k])
+		if err != nil && ctx.Err() == nil {
+			return nil, err
+		}
+		for i, p := range ps {
+			out[pos[k][i]] = p
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return out, firstErr
+}
+
+// globalize maps shard k's sorted local IDs into sorted global IDs.
+func globalize(set *shard.Set, k int, locals []index.PathID) []index.PathID {
+	out := make([]index.PathID, len(locals))
+	for i, l := range locals {
+		out[i] = set.GlobalID(k, l)
+	}
+	return out
+}
+
+// mergeSortedIDs k-way merges ascending ID lists. The lists are
+// disjoint (each shard owns a distinct residue class of the global ID
+// space), so a simple smallest-head loop suffices.
+func mergeSortedIDs(lists [][]index.PathID) []index.PathID {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]index.PathID, 0, total)
+	heads := make([]int, len(lists))
+	for len(out) < total {
+		best := -1
+		for li, l := range lists {
+			if heads[li] >= len(l) {
+				continue
+			}
+			if best < 0 || l[heads[li]] < lists[best][heads[best]] {
+				best = li
+			}
+		}
+		out = append(out, lists[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+// probeLevel is one step of the retrieval cascade (Engine.retrieve),
+// reified so the same cascade can be probed independently on every
+// shard: bySink selects the sink-postings lookup (thesaurus-expanded),
+// otherwise the label-containment lookup runs.
+type probeLevel struct {
+	bySink bool
+	label  string
+}
+
+// probeLevels derives the retrieval cascade for one query path. The
+// order mirrors Engine.retrieve exactly: sink postings then sink
+// containment for a constant sink, first-constant-from-end containment
+// for a variable one, then constant edge labels scanned from the sink
+// end. The bounded fallback scan is not a level — it is global by
+// construction (it strides the whole ID space) and runs only when
+// every shard is empty at every level.
+func probeLevels(q paths.Path) []probeLevel {
+	var ls []probeLevel
+	sink := q.Sink()
+	if sink.IsConstant() {
+		ls = append(ls,
+			probeLevel{bySink: true, label: sink.Label()},
+			probeLevel{bySink: false, label: sink.Label()})
+	} else if v, ok := q.FirstConstantFromEnd(); ok {
+		ls = append(ls, probeLevel{bySink: false, label: v.Label()})
+	}
+	for i := len(q.Edges) - 1; i >= 0; i-- {
+		if q.Edges[i].IsConstant() {
+			ls = append(ls, probeLevel{bySink: false, label: q.Edges[i].Label()})
+		}
+	}
+	return ls
+}
+
+// probeShard walks the cascade on one shard and returns the first
+// non-empty level with its (ascending, local) candidate IDs; level ==
+// len(levels) means the shard is empty at every level.
+func probeShard(sh shard.Shard, levels []probeLevel) (int, []index.PathID) {
+	for li, lv := range levels {
+		var ids []index.PathID
+		if lv.bySink {
+			ids = sh.PathsBySink(lv.label)
+		} else {
+			ids = sh.PathsByLabel(lv.label)
+		}
+		if len(ids) > 0 {
+			return li, ids
+		}
+	}
+	return len(levels), nil
+}
+
+// buildClusterSharded is buildCluster over a shard set: scatter-gather
+// with a per-shard retrieval probe, per-shard materialisation and
+// alignment on the shared worker pool, and a (cost, global ID) heap
+// merge of the per-shard rankings. The result is item-for-item
+// identical to the monolithic buildCluster over the equivalent single
+// index; the correctness argument, step by step, is DESIGN.md §12.
+// The crux:
+//
+//   - Retrieval: each shard reports the first non-empty level of the
+//     cascade. The level the monolith would choose is the minimum over
+//     shards, and a shard whose first non-empty level is later is
+//     provably empty at the chosen one, so the union of the
+//     chosen-level lists is exactly the monolith's candidate set — in
+//     the same order, because per-shard postings merge back into
+//     ascending global-ID order.
+//   - Pre-rank runs globally on the merged list (the cut is a global
+//     top-2C decision; per-shard cuts could starve a shard whose
+//     candidates all rank mid-frontier).
+//   - Ranking: per-shard item lists are sorted by (cost, global ID)
+//     and heap-merged with the cluster cap; any item in the global
+//     top-C is in its shard's top-C, so per-shard lists of length ≤ C
+//     lose nothing.
+//   - The shorter-than-query fallback is a global decision: shards'
+//     full-length lists must ALL be empty, else a shard with only
+//     truncated matches would smuggle them into a cluster the monolith
+//     builds from full-length paths alone.
+//
+// Each shard's pass is recorded as a shard[k] child span under the
+// cluster's align[qi] span, which the explain plan surfaces as
+// per-shard fan-out detail.
+func (e *Engine) buildClusterSharded(ctx context.Context, qi int, q paths.Path, sp *obs.Span) (Cluster, error) {
+	set := e.set
+	n := set.NumShards()
+
+	// Scatter: probe the cascade on every shard.
+	levels := probeLevels(q)
+	shardLevel := make([]int, n)
+	shardIDs := make([][]index.PathID, n)
+	chosen := len(levels)
+	for k := 0; k < n; k++ {
+		shardLevel[k], shardIDs[k] = probeShard(set.Shard(k), levels)
+		if shardLevel[k] < chosen {
+			chosen = shardLevel[k]
+		}
+	}
+	var ids []index.PathID
+	if chosen < len(levels) {
+		lists := make([][]index.PathID, 0, n)
+		for k := 0; k < n; k++ {
+			if shardLevel[k] == chosen {
+				lists = append(lists, globalize(set, k, shardIDs[k]))
+			}
+		}
+		ids = mergeSortedIDs(lists)
+	} else {
+		// Every shard empty at every level: the bounded stride scan runs
+		// over the global ID space through the shard backend.
+		ids = e.fallbackScan()
+	}
+	if len(ids) == 0 {
+		return Cluster{QueryIndex: qi, Query: q}, nil
+	}
+	retrieved := len(ids)
+	ids = e.preRank(ids, q)
+	sp.Set("preranked", int64(len(ids)))
+
+	var qsig string
+	var epoch uint64
+	if e.alignMemo != nil {
+		epoch = e.back.Epoch()
+		qsig = q.Key()
+	}
+
+	// Memo probe on global IDs, then split the misses by owning shard.
+	// Staging stays positional in the merged candidate order, so the
+	// final per-shard split sees a deterministic sequence regardless of
+	// which worker aligned what.
+	staged := make([]ClusterItem, len(ids))
+	missPos := make([][]int, n)
+	missLocal := make([][]index.PathID, n)
+	missCount := 0
+	for i, gid := range ids {
+		if e.alignMemo != nil {
+			if v, ok := e.alignMemo.Get(memoKey(qsig, gid), epoch); ok {
+				mi := v.(*memoItem)
+				staged[i] = ClusterItem{ID: gid, Path: mi.path, Alignment: mi.al}
+				continue
+			}
+		}
+		k, local := set.Locate(gid)
+		missPos[k] = append(missPos[k], i)
+		missLocal[k] = append(missLocal[k], local)
+		missCount++
+	}
+	sp.Set("memo_hits", int64(len(ids)-missCount))
+	sp.Set("aligned", int64(missCount))
+
+	// Gather: one goroutine per shard with misses, each running its own
+	// batched read and fanning alignment across the shared pool. Spans
+	// are created up front in shard order so the trace is deterministic.
+	shardSpans := make([]*obs.Span, n)
+	for k := 0; k < n; k++ {
+		shardSpans[k] = sp.Child(fmt.Sprintf("shard[%d]", k))
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	var pages int64
+	var pagesMu sync.Mutex
+	for k := 0; k < n; k++ {
+		if len(missLocal[k]) == 0 {
+			shardSpans[k].End()
+			continue
+		}
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			defer shardSpans[k].End()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[k] = fmt.Errorf("core: shard %d alignment panicked: %v", k, r)
+				}
+			}()
+			p, err := e.alignShardMisses(ctx, q, k, missLocal[k], missPos[k], staged, qsig, epoch, shardSpans[k])
+			pagesMu.Lock()
+			pages += p
+			pagesMu.Unlock()
+			errs[k] = err
+		}(k)
+	}
+	wg.Wait()
+	sp.Set("batched_pages", pages)
+	for k, err := range errs {
+		if err != nil {
+			return Cluster{}, fmt.Errorf("core: cluster for query path %d (shard %d): %w", qi, k, err)
+		}
+	}
+
+	// Split per shard into full-length and shorter-than-query lists.
+	fulls := make([][]ClusterItem, n)
+	shorters := make([][]ClusterItem, n)
+	totalFull, totalShort := 0, 0
+	for _, item := range staged {
+		if item.Alignment == nil {
+			continue // skipped by cancellation
+		}
+		k, _ := set.Locate(item.ID)
+		if item.Path.Length() < q.Length() {
+			shorters[k] = append(shorters[k], item)
+			totalShort++
+		} else {
+			fulls[k] = append(fulls[k], item)
+			totalFull++
+		}
+	}
+	lists, preCap := fulls, totalFull
+	if totalFull == 0 {
+		lists, preCap = shorters, totalShort
+		if totalShort > 0 {
+			sp.Set("shorter_fallback", int64(totalShort))
+		}
+	}
+	for k := range lists {
+		sortClusterItems(lists[k])
+	}
+	max := e.opts.maxCandidates()
+	items := mergeTopK(lists, max)
+	if preCap > max {
+		sp.Set("cap_dropped", int64(preCap-max))
+	}
+	return Cluster{
+		QueryIndex: qi,
+		Query:      q,
+		Items:      items,
+		Retrieved:  retrieved,
+	}, nil
+}
+
+// alignShardMisses materialises and aligns one shard's memo misses,
+// writing results into the shared positional staging slice. It returns
+// the pages its batched read touched (for the cluster-level counter;
+// the per-shard count also lands on the shard span).
+func (e *Engine) alignShardMisses(ctx context.Context, q paths.Path, k int,
+	locals []index.PathID, pos []int, staged []ClusterItem,
+	qsig string, epoch uint64, sp *obs.Span) (int64, error) {
+	set := e.set
+	sh := set.Shard(k)
+	// Same tally isolation as the monolithic pass: sibling shards and
+	// sibling clusters share the query's tally concurrently, so each
+	// batched read counts under its own and folds back after.
+	local := &storage.IOTally{}
+	ps, err := sh.ReadPathsBatched(storage.WithTally(ctx, local), locals)
+	pages := int64(local.BatchedPages())
+	sp.Set("batched_pages", pages)
+	sp.Set("aligned", int64(len(locals)))
+	storage.TallyFrom(ctx).Merge(local)
+	if err != nil && ctx.Err() == nil {
+		return pages, err
+	}
+	if ps == nil {
+		ps = make([]paths.Path, len(locals))
+	}
+	workers := e.pool.size
+	chunk := (len(locals) + 4*workers - 1) / (4 * workers)
+	if chunk < minAlignChunk {
+		chunk = minAlignChunk
+	}
+	nchunks := (len(locals) + chunk - 1) / chunk
+	e.alignParallel(nchunks, func(al *align.GreedyAligner, c int) {
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > len(locals) {
+			hi = len(locals)
+		}
+		for m := lo; m < hi; m++ {
+			if ctx.Err() != nil {
+				return // unaligned entries stay nil and are dropped
+			}
+			p := ps[m]
+			if len(p.Nodes) == 0 {
+				continue // not materialised: batch read was cancelled
+			}
+			gid := set.GlobalID(k, locals[m])
+			item := ClusterItem{ID: gid, Path: p, Alignment: al.Align(p, q)}
+			staged[pos[m]] = item
+			if e.alignMemo != nil {
+				e.alignMemo.Put(memoKey(qsig, gid), epoch,
+					&memoItem{path: p, al: item.Alignment}, memoSize(p, item.Alignment))
+			}
+		}
+	})
+	return pages, nil
+}
+
+// sortClusterItems orders one shard's items exactly as the monolithic
+// cluster sort does: non-decreasing cost, ties by ID. (cost, ID) is a
+// total order — IDs are unique — so per-shard sorting plus a heap
+// merge reproduces the global sort bit for bit.
+func sortClusterItems(items []ClusterItem) {
+	sort.SliceStable(items, func(i, j int) bool {
+		if items[i].Alignment.Cost != items[j].Alignment.Cost {
+			return items[i].Alignment.Cost < items[j].Alignment.Cost
+		}
+		return items[i].ID < items[j].ID
+	})
+}
+
+// itemHeap is the k-way merge frontier: one cursor per non-empty
+// per-shard list, ordered by the head item's (cost, ID).
+type itemHeap []itemCursor
+
+type itemCursor struct {
+	items []ClusterItem
+	pos   int
+}
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	a, b := h[i].items[h[i].pos], h[j].items[h[j].pos]
+	if a.Alignment.Cost != b.Alignment.Cost {
+		return a.Alignment.Cost < b.Alignment.Cost
+	}
+	return a.ID < b.ID
+}
+func (h itemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x any)   { *h = append(*h, x.(itemCursor)) }
+func (h *itemHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// mergeTopK heap-merges pre-sorted per-shard item lists, emitting at
+// most max items in global (cost, ID) order.
+func mergeTopK(lists [][]ClusterItem, max int) []ClusterItem {
+	h := make(itemHeap, 0, len(lists))
+	total := 0
+	for _, l := range lists {
+		if len(l) > 0 {
+			h = append(h, itemCursor{items: l})
+			total += len(l)
+		}
+	}
+	if total > max {
+		total = max
+	}
+	heap.Init(&h)
+	out := make([]ClusterItem, 0, total)
+	for len(out) < total && h.Len() > 0 {
+		cur := h[0]
+		out = append(out, cur.items[cur.pos])
+		if cur.pos+1 < len(cur.items) {
+			h[0].pos++
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return out
+}

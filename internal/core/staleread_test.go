@@ -1,0 +1,107 @@
+package core
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"sama/internal/index"
+	"sama/internal/rdf"
+)
+
+// TestEpochValidationRestartsTornRead checks the success-path epoch
+// validation: a mutation that lands after the cluster phase's reads
+// but before ranking does not error (every captured ID stayed live),
+// yet the query must not rank a mixed-epoch candidate set — it
+// restarts via the ErrStaleRead path and answers from the post-insert
+// state.
+func TestEpochValidationRestartsTornRead(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "fig1")
+	ix, err := index.Build(base, figure1Graph(), index.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	var once sync.Once
+	var insertErr error
+	opts := Options{}
+	opts.testHookAfterCluster = func() {
+		once.Do(func() {
+			insertErr = ix.InsertTriples([]rdf.Triple{
+				{S: iri("MaryPoll"), P: iri("gender"), O: lit("Female")},
+			})
+		})
+	}
+	e := New(ix, opts)
+	defer e.Close()
+
+	answers, st, err := e.QueryWithStats(queryQ1(), 3)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if insertErr != nil {
+		t.Fatalf("mid-query insert: %v", insertErr)
+	}
+	if st.Conflicts == 0 {
+		t.Fatal("mutation between cluster and search did not restart the query")
+	}
+	if len(answers) == 0 {
+		t.Fatal("restarted query returned no answers")
+	}
+
+	// The restarted execution must match a clean query of the mutated
+	// index exactly.
+	clean := New(ix, Options{})
+	defer clean.Close()
+	want, _, err := clean.QueryWithStats(queryQ1(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != len(want) {
+		t.Fatalf("restarted query: %d answers, clean query: %d", len(answers), len(want))
+	}
+	for i := range want {
+		if answers[i].Score != want[i].Score || answers[i].Lambda != want[i].Lambda {
+			t.Fatalf("answer %d diverged after restart: score %v vs %v",
+				i, answers[i].Score, want[i].Score)
+		}
+	}
+}
+
+// TestEpochValidationFinalAttemptBypass checks the availability floor:
+// when every attempt races a mutation, the final attempt skips the
+// validation and the query succeeds (torn-but-dereferenceable beats
+// failing), with Conflicts reporting the full restart budget.
+func TestEpochValidationFinalAttemptBypass(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "fig1")
+	ix, err := index.Build(base, figure1Graph(), index.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	opts := Options{}
+	opts.testHookAfterCluster = func() {
+		// Re-inserting the same triple is an idempotent graph mutation
+		// but still bumps the epoch, modelling a write-heavy workload.
+		if err := ix.InsertTriples([]rdf.Triple{
+			{S: iri("MaryPoll"), P: iri("gender"), O: lit("Female")},
+		}); err != nil {
+			t.Errorf("insert: %v", err)
+		}
+	}
+	e := New(ix, opts)
+	defer e.Close()
+
+	answers, st, err := e.QueryWithStats(queryQ1(), 3)
+	if err != nil {
+		t.Fatalf("query under sustained mutation: %v", err)
+	}
+	if st.Conflicts != maxStaleRetries {
+		t.Fatalf("Conflicts = %d, want the full restart budget %d", st.Conflicts, maxStaleRetries)
+	}
+	if len(answers) == 0 {
+		t.Fatal("final attempt returned no answers")
+	}
+}

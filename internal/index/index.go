@@ -60,6 +60,15 @@ type Options struct {
 	// does for page I/O — the crash and group-commit tests use it to
 	// widen the commit window or snapshot the disk state mid-fsync.
 	WALSyncHook func() error
+	// AssignPath, when set, restricts the index to a partition of the
+	// path space: only paths for which it returns true are kept, both at
+	// Build time and when InsertTriples (or WAL replay) re-enumerates
+	// affected roots. A sharded deployment gives every shard the same
+	// graph and a disjoint AssignPath predicate, so each shard indexes —
+	// and, on recovery, replays — exactly its own partition. The
+	// predicate must be deterministic and stable across restarts; it is
+	// not persisted, so reopening callers must pass it again.
+	AssignPath func(p paths.Path) bool
 }
 
 func (o Options) checkpointBytes() int64 {
@@ -134,7 +143,17 @@ type Index struct {
 	pathCfg paths.Config
 	thes    *textindex.Thesaurus
 	wrapIO  func(storage.PageIO) storage.PageIO
-	stats   Stats
+	// assignPath is Options.AssignPath: the partition predicate applied
+	// to every enumerated path (nil keeps everything).
+	assignPath func(p paths.Path) bool
+	// hubRooted records whether the indexed paths are rooted at hubs
+	// (the graph had no sources when they were enumerated). The insert
+	// path consults it instead of re-deriving the pre-insert source
+	// structure from the graph, which would be wrong when the same batch
+	// is applied to several shards sharing one graph — the first apply
+	// mutates the graph before the others look.
+	hubRooted bool
+	stats     Stats
 	// Durable write path state (nil/zero without a WAL): wal is the
 	// log, walDir its directory (persisted in the metadata), applied
 	// tracks the contiguous-applied LSN watermark the checkpoint
@@ -264,6 +283,24 @@ func metaPath(base string) string  { return base + ".meta" }
 // base.meta), returning the opened index. An existing index at base is
 // overwritten.
 func Build(base string, g *rdf.Graph, opts Options) (*Index, error) {
+	ps := paths.Enumerate(g, opts.pathConfig())
+	if opts.AssignPath != nil {
+		kept := ps[:0]
+		for _, p := range ps {
+			if opts.AssignPath(p) {
+				kept = append(kept, p)
+			}
+		}
+		ps = kept
+	}
+	return BuildPaths(base, g, ps, opts)
+}
+
+// BuildPaths is Build over a pre-enumerated path list: exactly ps is
+// indexed, in order (no AssignPath filtering — the caller has already
+// chosen the partition). The sharded build uses it to enumerate the
+// graph once and route each path to its owning shard.
+func BuildPaths(base string, g *rdf.Graph, ps []paths.Path, opts Options) (*Index, error) {
 	start := time.Now()
 	file, err := storage.CreatePageFile(pagesPath(base))
 	if err != nil {
@@ -280,6 +317,8 @@ func Build(base string, g *rdf.Graph, opts Options) (*Index, error) {
 		pathCfg:         opts.pathConfig(),
 		thes:            opts.Thesaurus,
 		wrapIO:          opts.WrapIO,
+		assignPath:      opts.AssignPath,
+		hubRooted:       len(g.Sources()) == 0,
 		walDir:          opts.WALDir,
 		checkpointBytes: opts.checkpointBytes(),
 	}
@@ -314,7 +353,6 @@ func Build(base string, g *rdf.Graph, opts Options) (*Index, error) {
 		file.Close()
 		return nil, err
 	}
-	ps := paths.Enumerate(g, ix.pathCfg)
 	for _, p := range ps {
 		if err := ix.addPath(p); err != nil {
 			return fail(err)
@@ -429,6 +467,7 @@ func openIndex(base string, opts Options, attachWAL bool) (*Index, error) {
 		pathCfg:         opts.pathConfig(),
 		thes:            opts.Thesaurus,
 		wrapIO:          opts.WrapIO,
+		assignPath:      opts.AssignPath,
 		checkpointBytes: opts.checkpointBytes(),
 	}
 	ix.store = storage.NewRecordStore(ix.pool)

@@ -15,6 +15,7 @@ func (ix *Index) AttachGraph(g *rdf.Graph) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	ix.graph = g
+	ix.hubRooted = len(g.Sources()) == 0
 }
 
 // Graph returns the attached data graph, or nil.
@@ -141,7 +142,12 @@ func (ix *Index) InsertTriples(ts []rdf.Triple) error {
 // same roots, so replay is idempotent at the answer level.
 func (ix *Index) applyTriplesLocked(ts []rdf.Triple) error {
 	g := ix.graph
-	hadSources := len(g.Sources()) > 0
+	// The pre-insert rooting comes from the index's own flag, not the
+	// graph: when the same batch fans out to several shards over one
+	// shared graph, the first shard's apply has already added the
+	// triples by the time the others look, so len(g.Sources()) no longer
+	// reflects the state the indexed paths were enumerated against.
+	wasHubRooted := ix.hubRooted
 	preNodes := g.NodeCount()
 
 	subjects := make(map[rdf.NodeID]struct{})
@@ -153,7 +159,7 @@ func (ix *Index) applyTriplesLocked(ts []rdf.Triple) error {
 	var roots []rdf.NodeID
 	var tombs []PathID
 	tombAll := false
-	if !hadSources || len(g.Sources()) == 0 {
+	if wasHubRooted || len(g.Sources()) == 0 {
 		// Hub-rooted before or after: recompute everything.
 		roots = g.PathRoots()
 		tombAll = true
@@ -182,6 +188,9 @@ func (ix *Index) applyTriplesLocked(ts []rdf.Triple) error {
 	var staged []stagedPath
 	for _, root := range roots {
 		for _, p := range paths.EnumerateFrom(g, root, ix.pathCfg) {
+			if ix.assignPath != nil && !ix.assignPath(p) {
+				continue // another shard's partition
+			}
 			rid, err := ix.store.Append(ix.encodePath(p))
 			if err != nil {
 				return fmt.Errorf("index: stage path: %w", err)
@@ -206,6 +215,7 @@ func (ix *Index) applyTriplesLocked(ts []rdf.Triple) error {
 	for _, s := range staged {
 		ix.commitPath(s.p, s.rid)
 	}
+	ix.hubRooted = len(g.Sources()) == 0
 	ix.stats.Triples = g.EdgeCount()
 	ix.stats.HV = g.NodeCount()
 	ix.stats.Paths = ix.livePathsLocked()

@@ -410,6 +410,7 @@ func (ix *Index) Recover(g *rdf.Graph) (RecoveryStats, error) {
 	var rs RecoveryStats
 	if ix.wal == nil {
 		ix.graph = g
+		ix.hubRooted = len(g.Sources()) == 0
 		ix.recoverNeeded = false
 		return rs, nil
 	}
@@ -422,6 +423,9 @@ func (ix *Index) Recover(g *rdf.Graph) (RecoveryStats, error) {
 	}
 	rs.SidecarTriples = len(side)
 	ix.graph = g
+	// Replay evolves the flag per batch exactly as the original applies
+	// did; seed it from the sidecar-completed graph.
+	ix.hubRooted = len(g.Sources()) == 0
 	for _, rec := range ix.pending {
 		if err := ix.applyTriplesLocked(rec.ts); err != nil {
 			return rs, fmt.Errorf("index: replay lsn %d: %w", rec.lsn, err)

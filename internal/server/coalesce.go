@@ -17,10 +17,12 @@ import (
 // saturating the queue with duplicate work.
 
 // outcome is everything needed to render one execution's response:
-// exactly one of shedErr (admission refused), err (backend failure) or
-// out is meaningful.
+// exactly one of shedErr (admission refused), err (backend failure),
+// out (engine result) or wire (router-merged wire document) is
+// meaningful.
 type outcome struct {
 	out       *QueryOutcome
+	wire      *clientResponse
 	err       error
 	shedErr   error
 	queueWait time.Duration

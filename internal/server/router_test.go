@@ -1,0 +1,132 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sama/client"
+)
+
+// fakeShard serves canned ranked answers like a samad shard would.
+func fakeShard(t *testing.T, scores []float64, partial bool) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/query" {
+			http.NotFound(w, r)
+			return
+		}
+		resp := client.QueryResponse{Vars: []string{"x"}, Partial: partial}
+		if partial {
+			resp.StopReason = "deadline"
+		}
+		for _, s := range scores {
+			resp.Answers = append(resp.Answers, client.Answer{Score: s})
+		}
+		resp.Stats.Extracted = len(scores)
+		if r.URL.Query().Get("explain") == "1" {
+			resp.Explain = &client.ExplainPlan{
+				Version: 1, Source: "engine", Answers: len(scores),
+				Phases: []*client.ExplainNode{{Name: "cluster"}},
+			}
+		}
+		json.NewEncoder(w).Encode(resp)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestRouterMergeOrder(t *testing.T) {
+	a := fakeShard(t, []float64{1.0, 3.0}, false)
+	b := fakeShard(t, []float64{2.0, 3.0}, false)
+	rt := NewRouter([]string{a.URL, b.URL}, RouterOptions{})
+	resp, err := rt.Query(context.Background(), "q", 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, len(resp.Answers))
+	for i, an := range resp.Answers {
+		got[i] = an.Score
+	}
+	// Ties break by shard index: shard 0's 3.0 precedes shard 1's.
+	want := []float64{1.0, 2.0, 3.0}
+	if len(got) != len(want) {
+		t.Fatalf("merged %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged %v, want %v", got, want)
+		}
+	}
+	if resp.Partial {
+		t.Fatal("healthy fan-out marked partial")
+	}
+	if resp.Stats.Extracted != 4 {
+		t.Fatalf("Extracted = %d, want the per-shard sum 4", resp.Stats.Extracted)
+	}
+}
+
+func TestRouterDegradesOnDeadShard(t *testing.T) {
+	alive := fakeShard(t, []float64{1.0}, false)
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // connection refused from here on
+	rt := NewRouter([]string{alive.URL, dead.URL}, RouterOptions{ShardTimeout: 2 * time.Second})
+	resp, err := rt.Query(context.Background(), "q", 10, true)
+	if err != nil {
+		t.Fatalf("degraded query errored: %v", err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("answers = %d, want the live shard's 1", len(resp.Answers))
+	}
+	if !resp.Partial {
+		t.Fatal("dead shard did not mark the response partial")
+	}
+	if resp.StopReason != "degraded: 1/2 shards answered" {
+		t.Fatalf("StopReason = %q", resp.StopReason)
+	}
+	// The explain plan names the failure.
+	if resp.Explain == nil || resp.Explain.Source != "router" {
+		t.Fatalf("explain = %+v", resp.Explain)
+	}
+	scatter := resp.Explain.Phases[0]
+	if scatter.Name != "scatter" || scatter.Attrs["failed"] != 1 || scatter.Attrs["answered"] != 1 {
+		t.Fatalf("scatter node = %+v", scatter)
+	}
+	if scatter.Children[1].Attrs["failed"] != 1 {
+		t.Fatalf("shard[1] child = %+v", scatter.Children[1])
+	}
+	if len(scatter.Children[0].Children) == 0 {
+		t.Fatal("live shard's plan phases missing from shard[0] child")
+	}
+}
+
+func TestRouterAllShardsDown(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close()
+	rt := NewRouter([]string{dead.URL, dead.URL}, RouterOptions{ShardTimeout: time.Second})
+	_, err := rt.Query(context.Background(), "q", 10, false)
+	var gw *GatewayError
+	if !errors.As(err, &gw) {
+		t.Fatalf("err = %v, want *GatewayError", err)
+	}
+}
+
+// TestRouterHandler502 checks the handler maps an all-shards-down
+// router to HTTP 502 through the usual admission path.
+func TestRouterHandler502(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close()
+	rt := NewRouter([]string{dead.URL}, RouterOptions{ShardTimeout: time.Second})
+	h := New(Backend{QueryWire: rt.Query}, Options{})
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader("SELECT * WHERE { ?s ?p ?o }"))
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", rec.Code)
+	}
+}

@@ -127,8 +127,15 @@ func (e *BadRequestError) Unwrap() error { return e.Err }
 // Backend is the handler's view of the database.
 type Backend struct {
 	// Query executes one SPARQL query under ctx. Wrapping a parse
-	// failure in *BadRequestError turns it into a 400. Required.
+	// failure in *BadRequestError turns it into a 400. Required unless
+	// QueryWire is set.
 	Query func(ctx context.Context, src string, k int) (*QueryOutcome, error)
+	// QueryWire, when set, replaces Query: it returns the wire response
+	// directly instead of an engine outcome. Router mode uses it — the
+	// document was merged from shard responses, so there is no local
+	// engine result to convert. A *GatewayError maps to 502, a
+	// *BadRequestError to 400.
+	QueryWire func(ctx context.Context, src string, k int, explain bool) (*client.QueryResponse, error)
 	// Debug, when set, is mounted at /metrics and /debug/ (the
 	// database's DebugHandler).
 	Debug http.Handler
@@ -159,11 +166,11 @@ type Handler struct {
 	draining   atomic.Bool
 }
 
-// New builds the handler. A nil Backend.Query is a programming error
-// and panics.
+// New builds the handler. A Backend with neither Query nor QueryWire
+// is a programming error and panics.
 func New(b Backend, opts Options) *Handler {
-	if b.Query == nil {
-		panic("server: Backend.Query is required")
+	if b.Query == nil && b.QueryWire == nil {
+		panic("server: Backend.Query or Backend.QueryWire is required")
 	}
 	opts = opts.withDefaults()
 	h := &Handler{
@@ -317,7 +324,7 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		h.met.Coalesced(obs.CoalesceLeader).Inc()
-		res := h.execute(r, src, k, timeout)
+		res := h.execute(r, src, k, timeout, explain)
 		h.co.finish(key, f, res)
 		h.renderOutcome(w, res, res.queueWait, explain)
 		if res.shedErr == nil {
@@ -326,7 +333,7 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	res := h.execute(r, src, k, timeout)
+	res := h.execute(r, src, k, timeout, explain)
 	h.renderOutcome(w, res, res.queueWait, explain)
 	if res.shedErr == nil {
 		h.met.RequestSeconds.Observe(time.Since(start).Seconds())
@@ -357,7 +364,7 @@ func (h *Handler) waitFlight(w http.ResponseWriter, r *http.Request, f *flight, 
 // the execution are detached from the requesting client's disconnect:
 // waiters may be riding this flight, so only the request timeout, the
 // queue timeout and the drain deadline bound it.
-func (h *Handler) execute(r *http.Request, src string, k int, timeout time.Duration) outcome {
+func (h *Handler) execute(r *http.Request, src string, k int, timeout time.Duration, explain bool) outcome {
 	start := time.Now()
 	base := r.Context()
 	if h.co != nil {
@@ -387,6 +394,16 @@ func (h *Handler) execute(r *http.Request, src string, k int, timeout time.Durat
 	})
 	defer unregister()
 
+	if h.backend.QueryWire != nil {
+		wire, err := h.backend.QueryWire(ctx, src, k, explain)
+		done.Store(true)
+		if wire != nil {
+			// Stamped before the outcome is published (and possibly
+			// shared with coalesced waiters), never after.
+			wire.Stats.QueueNS = queueWait.Nanoseconds()
+		}
+		return outcome{wire: wire, err: err, queueWait: queueWait}
+	}
 	out, err := h.backend.Query(ctx, src, k)
 	done.Store(true)
 	return outcome{out: out, err: err, queueWait: queueWait}
@@ -403,11 +420,17 @@ func (h *Handler) renderOutcome(w http.ResponseWriter, res outcome, queueWait ti
 		h.shed(w, res.shedErr)
 	case res.err != nil:
 		var bad *BadRequestError
-		if errors.As(res.err, &bad) {
+		var gw *GatewayError
+		switch {
+		case errors.As(res.err, &bad):
 			h.writeErr(w, http.StatusBadRequest, bad.Error())
-		} else {
+		case errors.As(res.err, &gw):
+			h.writeErr(w, http.StatusBadGateway, gw.Error())
+		default:
 			h.writeErr(w, http.StatusInternalServerError, res.err.Error())
 		}
+	case res.wire != nil:
+		h.writeJSON(w, http.StatusOK, res.wire)
 	default:
 		h.writeJSON(w, http.StatusOK, toWire(res.out, queueWait, explain))
 	}

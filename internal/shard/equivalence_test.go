@@ -1,0 +1,107 @@
+package shard_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"sama/internal/core"
+	"sama/internal/datasets"
+	"sama/internal/index"
+	"sama/internal/shard"
+	"sama/internal/workload"
+)
+
+// fingerprint renders one answer into a comparable string covering
+// everything a caller can observe: scores, the substitution, the
+// matched data paths and the missing query paths. Alignment internals
+// are deliberately excluded — they are an explanation of the score,
+// not part of the ranked answer.
+func fingerprint(a core.Answer) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "score=%.9f lambda=%.9f psi=%.9f degree=%.9f", a.Score, a.Lambda, a.Psi, a.Degree)
+	vars := make([]string, 0, len(a.Subst))
+	for v := range a.Subst {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	for _, v := range vars {
+		fmt.Fprintf(&b, " %s=%s", v, a.Subst[v].String())
+	}
+	for _, pr := range a.Pairs {
+		fmt.Fprintf(&b, " pair[%s->%s]", pr.Query.Key(), pr.Data.Key())
+	}
+	for _, m := range a.Missing {
+		fmt.Fprintf(&b, " miss[%s]", m.Key())
+	}
+	return b.String()
+}
+
+// TestShardEquivalence is the ISSUE's acceptance test: on a seeded
+// LUBM graph, the sharded engine must return answers identical to the
+// monolithic engine — same scores, same order, same substitutions,
+// same matched paths — at every shard count, for the full Fig. 7
+// query mix. Run under -race in make check's race-hot pass.
+func TestShardEquivalence(t *testing.T) {
+	const topK = 10
+	g := datasets.LUBM{}.Generate(1200, 7)
+
+	mono, err := index.Build(filepath.Join(t.TempDir(), "mono"), g, index.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mono.Close()
+	ref := core.New(mono, core.Options{})
+	defer ref.Close()
+
+	queries := workload.LUBMQueries()
+	type expected struct {
+		prints    []string
+		extracted int
+	}
+	want := make(map[string]expected, len(queries))
+	for _, q := range queries {
+		answers, st, err := ref.QueryWithStats(q.Pattern, topK)
+		if err != nil {
+			t.Fatalf("monolith %s: %v", q.ID, err)
+		}
+		prints := make([]string, len(answers))
+		for i, a := range answers {
+			prints[i] = fingerprint(a)
+		}
+		want[q.ID] = expected{prints: prints, extracted: st.Extracted}
+	}
+
+	for _, n := range []int{1, 2, 4, 7} {
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			s, err := shard.Build(filepath.Join(t.TempDir(), "set"), g, shard.Options{Shards: n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			e := core.NewSharded(s, core.Options{})
+			defer e.Close()
+
+			for _, q := range queries {
+				answers, st, err := e.QueryWithStats(q.Pattern, topK)
+				if err != nil {
+					t.Fatalf("%s: %v", q.ID, err)
+				}
+				exp := want[q.ID]
+				if len(answers) != len(exp.prints) {
+					t.Fatalf("%s: %d answers, monolith returned %d", q.ID, len(answers), len(exp.prints))
+				}
+				for i, a := range answers {
+					if got := fingerprint(a); got != exp.prints[i] {
+						t.Errorf("%s answer %d diverged:\n  sharded:  %s\n  monolith: %s", q.ID, i, got, exp.prints[i])
+					}
+				}
+				if st.Extracted != exp.extracted {
+					t.Errorf("%s: extracted %d candidates, monolith %d", q.ID, st.Extracted, exp.extracted)
+				}
+			}
+		})
+	}
+}

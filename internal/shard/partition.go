@@ -1,0 +1,65 @@
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"sama/internal/paths"
+)
+
+// Partitioner decides which shard owns a path. The contract (DESIGN.md
+// §12):
+//
+//   - Assign must be deterministic: the same path (and, at build time,
+//     the same sequence number) always lands on the same shard, across
+//     process restarts — WAL replay re-runs the assignment per shard
+//     and anything unstable would scatter a path's ownership.
+//   - seq is the path's position in the build-time enumeration
+//     (paths.Enumerate order), or -1 for a path enumerated by an online
+//     insert, where no global sequence exists.
+//   - The returned shard must be in [0, shards).
+//
+// Partitioners that ignore seq (content- or graph-based placement, like
+// the DOGMA baseline's graph partitioning) are valid; they trade the
+// monolith-identical tie-break order of the default partitioner for
+// placement locality. See Set's documentation for what that changes.
+type Partitioner interface {
+	// Name identifies the partitioner in the shard manifest, so Open can
+	// reconstruct it without being told.
+	Name() string
+	// Assign returns the owning shard for p.
+	Assign(p paths.Path, seq int, shards int) int
+}
+
+// HashPartitioner is the default: hash on PathID. Build-time PathIDs
+// are dense enumeration sequence numbers, so hashing the ID reduces to
+// seq mod shards — a cyclic allocation that makes the global ID of
+// every path equal to its monolithic build ID (see Set.GlobalID) and
+// keeps sharded tie-break order identical to the single-shard engine.
+// Online inserts have no global sequence; they hash the path's content
+// key instead, which is stateless and therefore safe to re-run during
+// per-shard WAL replay.
+type HashPartitioner struct{}
+
+// Name implements Partitioner.
+func (HashPartitioner) Name() string { return "hash" }
+
+// Assign implements Partitioner.
+func (HashPartitioner) Assign(p paths.Path, seq int, shards int) int {
+	if seq >= 0 {
+		return seq % shards
+	}
+	h := fnv.New32a()
+	h.Write([]byte(p.Key()))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// byName reconstructs the partitioner a manifest names.
+func byName(name string) (Partitioner, error) {
+	switch name {
+	case "", "hash":
+		return HashPartitioner{}, nil
+	default:
+		return nil, fmt.Errorf("shard: unknown partitioner %q (pass it explicitly in Options)", name)
+	}
+}

@@ -56,6 +56,7 @@ import (
 	"sama/internal/rdf/ntriples"
 	"sama/internal/rdf/turtle"
 	"sama/internal/server"
+	"sama/internal/shard"
 	"sama/internal/sparql"
 	"sama/internal/storage"
 	"sama/internal/textindex"
@@ -209,6 +210,7 @@ type config struct {
 	runtimeEvery    time.Duration
 	walDir          string
 	checkpointBytes int64
+	shards          int
 }
 
 // WithParams sets the similarity coefficients. The coefficients are
@@ -323,11 +325,46 @@ func WithWALCheckpoint(bytes int64) Option {
 	return func(c *config) { c.checkpointBytes = bytes }
 }
 
-// DB is an opened Sama database: a disk-resident path index plus the
-// query engine over it. Every DB owns a metrics registry and a ring of
-// recent query traces; ServeDebug exposes both over HTTP.
+// WithShards partitions the path index into n self-contained shards
+// (DESIGN.md §12): Create builds a sharded on-disk layout, queries run
+// the retrieval and cluster passes per shard and merge the per-shard
+// rankings — answers are identical to the single-shard layout at every
+// n. Only meaningful at Create time; the shard count persists in the
+// layout's manifest and Open detects it without the option. n ≤ 1
+// keeps the monolithic layout (the default).
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
+
+// store is what a DB operates on: either one monolithic index or a
+// sharded set of them. Both expose the same maintenance and
+// introspection surface; only query execution differs (core.New vs
+// core.NewSharded), and the DB resolves that once at open time.
+type store interface {
+	SetMetrics(*obs.Registry)
+	SetEvents(*obs.EventLog)
+	PoolStats() storage.PoolStats
+	BatchedReads() index.BatchedReadStats
+	WALStats() (storage.WALStats, bool)
+	AttachGraph(*rdf.Graph)
+	InsertTriples([]rdf.Triple) error
+	Flush() error
+	Compact() error
+	CompactIncremental(context.Context, int) (index.CompactStats, error)
+	Checkpoint() error
+	NeedsRecovery() int
+	Recover(*rdf.Graph) (index.RecoveryStats, error)
+	LastRecovery() index.RecoveryStats
+	Stats() index.Stats
+	DropCache() error
+	Close() error
+}
+
+// DB is an opened Sama database: a disk-resident path index (monolithic
+// or sharded) plus the query engine over it. Every DB owns a metrics
+// registry and a ring of recent query traces; ServeDebug exposes both
+// over HTTP.
 type DB struct {
-	idx    *index.Index
+	store  store
+	set    *shard.Set // non-nil for the sharded layout
 	engine *core.Engine
 	reg    *obs.Registry
 	lastq  *obs.QueryLog
@@ -345,33 +382,50 @@ func buildConfig(opts []Option) *config {
 }
 
 // Create indexes the data graph into files at basePath (basePath.pages
-// and basePath.meta), overwriting any existing index, and returns the
-// opened database.
+// and basePath.meta, or basePath.shards/ under WithShards), overwriting
+// any existing index, and returns the opened database.
 func Create(basePath string, g *Graph, opts ...Option) (*DB, error) {
 	c := buildConfig(opts)
-	idx, err := index.Build(basePath, g, index.Options{
+	ixOpts := index.Options{
 		Paths:           c.pathCfg,
 		PoolPages:       c.poolPages,
 		Thesaurus:       c.thesaurus,
 		Compress:        c.compress,
 		WALDir:          c.walDir,
 		CheckpointBytes: c.checkpointBytes,
-	})
+	}
+	if c.shards > 1 {
+		set, err := shard.Build(basePath, g, shard.Options{Shards: c.shards, Index: ixOpts})
+		if err != nil {
+			return nil, err
+		}
+		return newShardedDB(set, c), nil
+	}
+	idx, err := index.Build(basePath, g, ixOpts)
 	if err != nil {
 		return nil, err
 	}
 	return newDB(idx, c), nil
 }
 
-// Open loads a previously created index.
+// Open loads a previously created index, monolithic or sharded — the
+// layout on disk decides, not the caller.
 func Open(basePath string, opts ...Option) (*DB, error) {
 	c := buildConfig(opts)
-	idx, err := index.Open(basePath, index.Options{
+	ixOpts := index.Options{
 		PoolPages:       c.poolPages,
 		Thesaurus:       c.thesaurus,
 		WALDir:          c.walDir,
 		CheckpointBytes: c.checkpointBytes,
-	})
+	}
+	if shard.IsSharded(basePath) {
+		set, err := shard.Open(basePath, shard.Options{Index: ixOpts})
+		if err != nil {
+			return nil, err
+		}
+		return newShardedDB(set, c), nil
+	}
+	idx, err := index.Open(basePath, ixOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -379,12 +433,24 @@ func Open(basePath string, opts ...Option) (*DB, error) {
 }
 
 func newDB(idx *index.Index, c *config) *DB {
+	return assembleDB(idx, nil, c, func(o core.Options) *core.Engine {
+		return core.New(idx, o)
+	})
+}
+
+func newShardedDB(set *shard.Set, c *config) *DB {
+	return assembleDB(set, set, c, func(o core.Options) *core.Engine {
+		return core.NewSharded(set, o)
+	})
+}
+
+func assembleDB(st store, set *shard.Set, c *config, newEngine func(core.Options) *core.Engine) *DB {
 	reg := obs.NewRegistry()
-	idx.SetMetrics(reg)
+	st.SetMetrics(reg)
 	// The pool owns its counters; expose them as scrape-time funcs so
 	// /metrics never double-counts.
 	pool := func(get func(storage.PoolStats) uint64) func() uint64 {
-		return func() uint64 { return get(idx.PoolStats()) }
+		return func() uint64 { return get(st.PoolStats()) }
 	}
 	reg.CounterFunc("sama_pool_hits_total", "Buffer pool page hits.",
 		pool(func(s storage.PoolStats) uint64 { return s.Hits }))
@@ -396,18 +462,18 @@ func newDB(idx *index.Index, c *config) *DB {
 		pool(func(s storage.PoolStats) uint64 { return s.Flushes }))
 	reg.CounterFunc("sama_pool_retries_total", "Transient I/O retry attempts.",
 		pool(func(s storage.PoolStats) uint64 { return s.Retries }))
-	if _, ok := idx.WALStats(); ok {
+	if _, ok := st.WALStats(); ok {
 		obs.RegisterWAL(reg, func() obs.WALSnapshot {
-			st, _ := idx.WALStats()
+			ws, _ := st.WALStats()
 			return obs.WALSnapshot{
-				Appends:       st.Appends,
-				Syncs:         st.Syncs,
-				Batches:       st.Batches,
-				Bytes:         st.Bytes,
-				AppendedBytes: st.AppendedBytes,
-				Segments:      st.Segments,
-				Rotations:     st.Rotations,
-				Checkpoints:   st.Checkpoints,
+				Appends:       ws.Appends,
+				Syncs:         ws.Syncs,
+				Batches:       ws.Batches,
+				Bytes:         ws.Bytes,
+				AppendedBytes: ws.AppendedBytes,
+				Segments:      ws.Segments,
+				Rotations:     ws.Rotations,
+				Checkpoints:   ws.Checkpoints,
 			}
 		})
 	}
@@ -415,15 +481,16 @@ func newDB(idx *index.Index, c *config) *DB {
 	if c.eventSampleN > 1 {
 		events.SetSampling(c.eventSampleN)
 	}
-	idx.SetEvents(events)
+	st.SetEvents(events)
 	engOpts := c.engine
 	engOpts.Params = c.params
 	engOpts.ParamsSet = c.paramsSet
 	engOpts.Metrics = reg
 	engOpts.Events = events
 	db := &DB{
-		idx:    idx,
-		engine: core.New(idx, engOpts),
+		store:  st,
+		set:    set,
+		engine: newEngine(engOpts),
 		reg:    reg,
 		lastq:  obs.NewQueryLog(c.lastN),
 		events: events,
@@ -472,7 +539,7 @@ func (db *DB) QueryContext(ctx context.Context, q *QueryGraph, k int) (answers [
 	// Refuse to serve while acknowledged pre-crash writes are pending:
 	// the index would answer without them. (After a clean shutdown
 	// NeedsRecovery is 0 — the files are complete — and reads proceed.)
-	if db.idx.NeedsRecovery() > 0 {
+	if db.store.NeedsRecovery() > 0 {
 		return nil, QueryStats{}, ErrNeedsRecovery
 	}
 	defer recoverQuery(&err, "query graph")
@@ -526,7 +593,7 @@ func (db *DB) QuerySPARQLContext(ctx context.Context, src string, k int) (res *R
 	if db.closed.Load() {
 		return nil, ErrClosed
 	}
-	if db.idx.NeedsRecovery() > 0 { // see QueryContext
+	if db.store.NeedsRecovery() > 0 { // see QueryContext
 		return nil, ErrNeedsRecovery
 	}
 	defer recoverQuery(&err, describeQuery(src))
@@ -598,19 +665,19 @@ func (db *DB) Insert(triples []Triple) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
-	return db.idx.InsertTriples(triples)
+	return db.store.InsertTriples(triples)
 }
 
 // AttachGraph hands a reopened database its data graph, enabling
 // Insert after Open.
-func (db *DB) AttachGraph(g *Graph) { db.idx.AttachGraph(g) }
+func (db *DB) AttachGraph(g *Graph) { db.store.AttachGraph(g) }
 
 // Flush persists dirty pages and metadata without closing.
 func (db *DB) Flush() error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
-	return db.idx.Flush()
+	return db.store.Flush()
 }
 
 // Compact rewrites the index files keeping only live paths, reclaiming
@@ -620,7 +687,7 @@ func (db *DB) Compact() error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
-	return db.idx.Compact()
+	return db.store.Compact()
 }
 
 // CompactIncremental is Compact in bounded steps: live paths are copied
@@ -632,7 +699,7 @@ func (db *DB) CompactIncremental(ctx context.Context, batchSize int) (CompactSta
 	if db.closed.Load() {
 		return CompactStats{}, ErrClosed
 	}
-	return db.idx.CompactIncremental(ctx, batchSize)
+	return db.store.CompactIncremental(ctx, batchSize)
 }
 
 // Checkpoint persists the indexed state (pages, sidecar, metadata) and
@@ -641,7 +708,7 @@ func (db *DB) Checkpoint() error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
-	return db.idx.Checkpoint()
+	return db.store.Checkpoint()
 }
 
 // NeedsRecovery reports how many acknowledged-but-unapplied WAL batches
@@ -650,7 +717,7 @@ func (db *DB) Checkpoint() error {
 // until Recover replays the log. At 0 the index files are complete, so
 // queries serve normally, but Insert still fails with ErrNeedsRecovery
 // until Recover reattaches the data graph.
-func (db *DB) NeedsRecovery() int { return db.idx.NeedsRecovery() }
+func (db *DB) NeedsRecovery() int { return db.store.NeedsRecovery() }
 
 // Recover replays the write-ahead log's pending batches into the index
 // and attaches g as the database's data graph (like AttachGraph). The
@@ -661,18 +728,28 @@ func (db *DB) Recover(g *Graph) (RecoveryStats, error) {
 	if db.closed.Load() {
 		return RecoveryStats{}, ErrClosed
 	}
-	return db.idx.Recover(g)
+	return db.store.Recover(g)
 }
 
 // WALStats returns the write-ahead log's counters; ok is false when the
 // database was opened without a WAL.
-func (db *DB) WALStats() (WALStats, bool) { return db.idx.WALStats() }
+func (db *DB) WALStats() (WALStats, bool) { return db.store.WALStats() }
 
 // Stats returns the index build statistics (Table 1's measurements).
-func (db *DB) Stats() IndexStats { return db.idx.Stats() }
+// For a sharded database the per-shard statistics are aggregated.
+func (db *DB) Stats() IndexStats { return db.store.Stats() }
+
+// Shards reports the database's shard count: 0 for the monolithic
+// layout, N for a layout created with WithShards(N).
+func (db *DB) Shards() int {
+	if db.set == nil {
+		return 0
+	}
+	return db.set.NumShards()
+}
 
 // PoolStats returns the buffer pool counters.
-func (db *DB) PoolStats() PoolStats { return db.idx.PoolStats() }
+func (db *DB) PoolStats() PoolStats { return db.store.PoolStats() }
 
 // Metrics returns the database's metrics registry: query, index and
 // buffer pool instrumentation in one place, ready for Prometheus text
@@ -724,18 +801,18 @@ func (db *DB) DebugHandler() http.Handler {
 			return struct {
 				Pool         core.ParallelStats     `json:"pool"`
 				BatchedReads index.BatchedReadStats `json:"batched_reads"`
-			}{db.engine.ParallelStats(), db.idx.BatchedReads()}
+			}{db.engine.ParallelStats(), db.store.BatchedReads()}
 		},
 	}, obs.DebugVar{
 		Name: "sama_wal",
 		Value: func() any {
-			st, ok := db.idx.WALStats()
+			st, ok := db.store.WALStats()
 			return struct {
 				Enabled       bool                `json:"enabled"`
 				Stats         storage.WALStats    `json:"stats"`
 				NeedsRecovery int                 `json:"needs_recovery"`
 				LastRecovery  index.RecoveryStats `json:"last_recovery"`
-			}{ok, st, db.idx.NeedsRecovery(), db.idx.LastRecovery()}
+			}{ok, st, db.store.NeedsRecovery(), db.store.LastRecovery()}
 		},
 	})
 }
@@ -798,7 +875,7 @@ func (db *DB) DropCache() error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
-	return db.idx.DropCache()
+	return db.store.DropCache()
 }
 
 // Close flushes and closes the index files. Close is idempotent: the
@@ -810,7 +887,7 @@ func (db *DB) Close() error {
 	}
 	db.rt.Stop()
 	db.engine.Close()
-	return db.idx.Close()
+	return db.store.Close()
 }
 
 // ParseSPARQL parses a SPARQL query and returns its basic graph pattern

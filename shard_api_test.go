@@ -1,0 +1,142 @@
+package sama
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestShardedCreateOpenQuery exercises the sharded layout through the
+// public API: Create with WithShards, query, reopen without the option
+// (the layout on disk decides), query again.
+func TestShardedCreateOpenQuery(t *testing.T) {
+	g, err := LoadNTriples(strings.NewReader(govtrackNT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(t.TempDir(), "sharded")
+	db, err := Create(base, g, WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Shards() != 3 {
+		t.Fatalf("Shards() = %d, want 3", db.Shards())
+	}
+
+	const q = `SELECT ?v1 ?v2 WHERE {
+		<CarlaBunes> <sponsor> ?v1 .
+		?v1 <aTo> ?v2 .
+		?v2 <subject> "Health Care" .
+	}`
+	res, err := db.QuerySPARQL(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) == 0 || !res.Answers[0].Exact() {
+		t.Fatalf("sharded query answers = %v", res.Answers)
+	}
+	stats := db.Stats()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with no options: Open must detect the sharded layout.
+	db2, err := Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Shards() != 3 {
+		t.Fatalf("reopened Shards() = %d, want 3", db2.Shards())
+	}
+	if db2.Stats().Paths != stats.Paths {
+		t.Fatalf("paths after reopen: %d vs %d", db2.Stats().Paths, stats.Paths)
+	}
+	res2, err := db2.QuerySPARQL(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Answers) != len(res.Answers) {
+		t.Fatalf("reopened answers = %d, want %d", len(res2.Answers), len(res.Answers))
+	}
+	for i := range res.Answers {
+		if res2.Answers[i].Score != res.Answers[i].Score {
+			t.Fatalf("answer %d score %v, want %v", i, res2.Answers[i].Score, res.Answers[i].Score)
+		}
+	}
+}
+
+// TestShardedMatchesMonolithAPI checks the public-API equivalence
+// claim: WithShards(N) and the monolithic default return identical
+// ranked answers.
+func TestShardedMatchesMonolithAPI(t *testing.T) {
+	mono := newTestDB(t)
+	sharded := newTestDB(t, WithShards(4))
+	for _, q := range []string{
+		`SELECT ?x WHERE { ?x <gender> "Male" }`,
+		`SELECT ?v1 ?v2 WHERE { <CarlaBunes> <sponsor> ?v1 . ?v1 <aTo> ?v2 . ?v2 <subject> "Politics" . }`,
+	} {
+		want, err := mono.QuerySPARQL(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sharded.QuerySPARQL(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Answers) != len(want.Answers) {
+			t.Fatalf("%s: %d answers sharded, %d monolithic", q, len(got.Answers), len(want.Answers))
+		}
+		for i := range want.Answers {
+			if got.Answers[i].Score != want.Answers[i].Score {
+				t.Fatalf("%s answer %d: score %v vs %v", q, i, got.Answers[i].Score, want.Answers[i].Score)
+			}
+		}
+	}
+}
+
+// TestShardedInsertAndMaintenance drives the maintenance surface of a
+// sharded DB: Insert, Flush, CompactIncremental, DropCache.
+func TestShardedInsertAndMaintenance(t *testing.T) {
+	db := newTestDB(t, WithShards(2))
+	before := db.Stats().Paths
+	if err := db.Insert([]Triple{
+		{S: NewIRI("NewSenator"), P: NewIRI("sponsor"), O: NewIRI("B1432")},
+		{S: NewIRI("NewSenator"), P: NewIRI("gender"), O: NewLiteral("Female")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().Paths <= before {
+		t.Fatalf("paths did not grow after insert: %d -> %d", before, db.Stats().Paths)
+	}
+	res, err := db.QuerySPARQL(`SELECT ?x WHERE { ?x <gender> "Female" }`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range res.Answers {
+		if x, ok := a.Subst["x"]; ok && x.Value == "NewSenator" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inserted subject not found by query")
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CompactIncremental(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := db.QuerySPARQL(`SELECT ?x WHERE { ?x <gender> "Female" }`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Answers) != len(res.Answers) {
+		t.Fatalf("answers after compact: %d, want %d", len(res2.Answers), len(res.Answers))
+	}
+}
