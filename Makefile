@@ -36,11 +36,12 @@ race:
 	$(GO) test -race ./...
 
 # race-hot re-runs the packages where caching, epoch invalidation,
-# request coalescing, WAL group commit, incremental compaction and the
-# event ring's subscriber fan-out interleave — a second -count pass
-# varies goroutine scheduling beyond what one ./... sweep exercises.
+# request coalescing, WAL group commit, incremental compaction, the
+# event ring's subscriber fan-out and the signature pre-rank's
+# probe-mask lookups interleave — a second -count pass varies
+# goroutine scheduling beyond what one ./... sweep exercises.
 race-hot:
-	$(GO) test -race -count=2 ./internal/cache ./internal/core ./internal/server ./internal/storage ./internal/index ./internal/obs ./internal/shard
+	$(GO) test -race -count=2 ./internal/cache ./internal/core ./internal/server ./internal/storage ./internal/index ./internal/obs ./internal/shard ./internal/textindex
 
 # crash re-runs the durability suites on their own: the crash-matrix
 # kill points (torn WAL tails, mid-checkpoint and mid-compaction

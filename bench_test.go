@@ -31,6 +31,7 @@ import (
 	"sama/internal/eval"
 	"sama/internal/experiments"
 	"sama/internal/index"
+	"sama/internal/obs"
 	"sama/internal/paths"
 	"sama/internal/rdf"
 	"sama/internal/shard"
@@ -472,6 +473,25 @@ type benchShardReport struct {
 	Rows    []benchShardRow `json:"per_shard_count"`
 }
 
+// benchClusterV2Report records the rebuilt cluster read path against
+// the legacy lane on the Fig. 7(a) configuration (LUBM, query Q4):
+// cluster phase medians old (compat pre-rank probing postings per
+// candidate, aligning the whole frontier) vs new (signature-gated
+// pre-rank, threshold-pruned alignment), plus the observed signature
+// rejection and bound-prune rates over the new lane's explain plans.
+// Answers only diverge where the legacy frontier cut was wrong — the
+// two pre-rank bugs the satellites fixed; TestClusterCompatMatchesWithoutCut
+// pins equality whenever no cut fires.
+type benchClusterV2Report struct {
+	Triples            int     `json:"triples"`
+	Query              string  `json:"query"`
+	OldClusterMedianNS int64   `json:"old_cluster_median_ns"`
+	NewClusterMedianNS int64   `json:"new_cluster_median_ns"`
+	Speedup            float64 `json:"speedup"`
+	SigRejectionRate   float64 `json:"sig_rejection_rate"`
+	BoundPruneRate     float64 `json:"bound_prune_rate"`
+}
+
 // benchPhaseReport is the file schema for results/bench_latest.json.
 type benchPhaseReport struct {
 	Dataset    string                 `json:"dataset"`
@@ -479,6 +499,7 @@ type benchPhaseReport struct {
 	Queries    []benchPhaseRow        `json:"queries"`
 	Cache      *benchCacheReport      `json:"cache,omitempty"`
 	Parallel   *benchParallelReport   `json:"parallel,omitempty"`
+	ClusterV2  *benchClusterV2Report  `json:"cluster_v2,omitempty"`
 	Shard      *benchShardReport      `json:"shard,omitempty"`
 	Durability *benchDurabilityReport `json:"durability,omitempty"`
 }
@@ -642,6 +663,10 @@ func BenchmarkPhaseBreakdown(b *testing.B) {
 	report.Parallel = pr
 	b.ReportMetric(pr.ClusterSpeedup, "parallel-cluster-speedup")
 
+	report.ClusterV2 = measureClusterV2(b)
+	b.ReportMetric(report.ClusterV2.Speedup, "cluster-v2-speedup")
+	b.ReportMetric(report.ClusterV2.SigRejectionRate, "sig-rejection-rate")
+
 	report.Shard = measureSharding(b)
 	for _, row := range report.Shard.Rows {
 		b.ReportMetric(float64(row.ClusterMedianNS), fmt.Sprintf("shard%d-cluster-ns", row.Shards))
@@ -662,6 +687,84 @@ func BenchmarkPhaseBreakdown(b *testing.B) {
 	if err := os.WriteFile(filepath.Join("results", "bench_latest.json"), append(buf, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// sumPlanAttr totals a named attribute over a plan subtree.
+func sumPlanAttr(n *obs.PlanNode, key string) int64 {
+	if n == nil {
+		return 0
+	}
+	s := n.Attrs[key]
+	for _, c := range n.Children {
+		s += sumPlanAttr(c, key)
+	}
+	return s
+}
+
+// measureClusterV2 runs the Fig. 7(a) configuration (LUBM 8k triples,
+// query Q4) through the legacy cluster lane (ClusterCompat: postings
+// probes per candidate, every frontier survivor aligned) and the
+// rebuilt one (signature pre-rank, λ-bound pruning), reading cluster
+// phase medians from the traces and the rejection/prune rates from the
+// new lane's explain plans.
+func measureClusterV2(b *testing.B) *benchClusterV2Report {
+	b.Helper()
+	const triples = 8_000
+	g := datasets.LUBM{}.Generate(triples, 1)
+	ix, err := index.Build(filepath.Join(b.TempDir(), "v2"), g, index.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ix.Close()
+	q := workload.LUBMQueries()[3] // Q4, the Fig. 7(a) query
+	rep := &benchClusterV2Report{Triples: triples, Query: q.ID}
+
+	// The legacy lane also disables the alignment memo: pre-PR engines
+	// defaulted to AlignCacheMB 0 = off, so a memo-warm compat lane would
+	// understate what the rebuild actually buys over the old defaults.
+	oldEng := core.New(ix, core.Options{ClusterCompat: true, AlignCacheMB: -1})
+	newEng := core.New(ix, core.Options{})
+	defer oldEng.Close()
+	defer newEng.Close()
+
+	const reps = 9
+	var oldCluster, newCluster []time.Duration
+	var retrieved, sigRejected, preranked, pruned int64
+	for i := 0; i < reps; i++ {
+		_, st, err := oldEng.QueryWithStats(q.Pattern, experiments.TopK)
+		if err != nil {
+			b.Fatal(err)
+		}
+		oldCluster = append(oldCluster, st.Trace.PhaseDuration("cluster"))
+	}
+	for i := 0; i < reps; i++ {
+		_, st, err := newEng.QueryWithStats(q.Pattern, experiments.TopK)
+		if err != nil {
+			b.Fatal(err)
+		}
+		newCluster = append(newCluster, st.Trace.PhaseDuration("cluster"))
+		for _, ph := range st.Plan().Phases {
+			if ph.Name != "cluster" {
+				continue
+			}
+			retrieved += sumPlanAttr(ph, "retrieved")
+			sigRejected += sumPlanAttr(ph, "sig_rejected")
+			preranked += sumPlanAttr(ph, "preranked")
+			pruned += sumPlanAttr(ph, "bound_pruned")
+		}
+	}
+	rep.OldClusterMedianNS = medianDuration(oldCluster)
+	rep.NewClusterMedianNS = medianDuration(newCluster)
+	if rep.NewClusterMedianNS > 0 {
+		rep.Speedup = float64(rep.OldClusterMedianNS) / float64(rep.NewClusterMedianNS)
+	}
+	if retrieved > 0 {
+		rep.SigRejectionRate = float64(sigRejected) / float64(retrieved)
+	}
+	if preranked > 0 {
+		rep.BoundPruneRate = float64(pruned) / float64(preranked)
+	}
+	return rep
 }
 
 // measureSharding runs the Fig. 7(a) configuration (LUBM, Q4) through

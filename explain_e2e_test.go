@@ -84,6 +84,13 @@ func TestExplainCLIServerParity(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The local run above warmed the alignment memo; reset to cold so
+	// the server's run sees the same engine state and produces the same
+	// plan counters (aligned vs memo_hits).
+	if err := db.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+
 	srv := httptest.NewServer(db.Handler(sama.ServerOptions{}))
 	defer srv.Close()
 	resp, err := srv.Client().Post(srv.URL+"/query?k=5&explain=1", "application/sparql-query", strings.NewReader(obsTestQuery))

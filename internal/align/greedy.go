@@ -76,7 +76,10 @@ func (g *GreedyAligner) Align(p, q paths.Path) *Alignment {
 	core := func(t int) *Alignment {
 		return g.alignPairs(p.Nodes[t], q.Sink(), g.pp[len(g.pp)-t:], g.qp)
 	}
-	return alignBestWindow(core, p, q, g.Params)
+	costAt := func(t int) float64 {
+		return g.costPairs(p.Nodes[t], q.Sink(), g.pp[len(g.pp)-t:], g.qp)
+	}
+	return alignBestWindowCosted(core, costAt, p, q, g.Params)
 }
 
 // alignAnchored is the sink-to-sink backward scan (allocating variant;
@@ -109,7 +112,13 @@ func (g *GreedyAligner) alignAnchored(p, q paths.Path) *Alignment {
 // sequences, anchored at the given sink labels.
 func (g *GreedyAligner) alignPairs(pSink, qSink rdf.Term, pp, qp []pair) *Alignment {
 	par := g.Params
-	al := &Alignment{Subst: rdf.Substitution{}}
+	// Worst case the scan emits one op per element of each side plus the
+	// sink anchor; sizing Ops up front keeps the winner materialisation
+	// out of append's regrowth path.
+	al := &Alignment{
+		Ops:   make([]Op, 0, 2*(len(pp)+len(qp))+1),
+		Subst: rdf.Substitution{},
+	}
 
 	// Anchor at the sinks.
 	al.record(nodeStep(pSink, qSink), qSink, pSink)
@@ -174,6 +183,59 @@ func (g *GreedyAligner) alignPairs(pSink, qSink rdf.Term, pp, qp []pair) *Alignm
 	return al
 }
 
+// costPairs prices the §4.3 backward scan without materialising it: the
+// branch structure mirrors alignPairs decision for decision, but only
+// the λ contribution accumulates — no op log, no substitution map, no
+// allocation at all. The window sweep prices every anchor with this and
+// materialises a full Alignment only for the winners, which is where
+// the aligner's time used to go (an Ops slice and a Subst map per
+// discarded anchor).
+func (g *GreedyAligner) costPairs(pSink, qSink rdf.Term, pp, qp []pair) float64 {
+	par := g.Params
+	cost := nodeStepCost(pSink, qSink, par)
+	i, j := 0, 0
+	indel := par.B + par.D
+	drop := par.A + par.C
+	for i < len(pp) || j < len(qp) {
+		switch {
+		case i >= len(pp):
+			cost += drop // the remaining query pair is unmet
+			j++
+		case j >= len(qp):
+			i++ // surplus before the query's source: free context
+		default:
+			sub := pairCost(pp[i], qp[j], par)
+			if sub == 0 {
+				i++
+				j++
+				continue
+			}
+			surplus := (len(pp) - i) - (len(qp) - j)
+			insertWins := false
+			if surplus > 0 && i+1 < len(pp) {
+				insertWins = indel+pairCost(pp[i+1], qp[j], par) < sub
+			}
+			dropWins := false
+			if surplus < 0 && j+1 < len(qp) {
+				dropWins = drop+pairCost(pp[i], qp[j+1], par) < sub
+			}
+			switch {
+			case insertWins:
+				cost += indel
+				i++
+			case dropWins:
+				cost += drop
+				j++
+			default:
+				cost += sub
+				i++
+				j++
+			}
+		}
+	}
+	return cost
+}
+
 func minf(a, b float64) float64 {
 	if a < b {
 		return a
@@ -192,45 +254,64 @@ func minf(a, b float64) float64 {
 // multi-edge queries: a one-node window cannot carry a structural
 // match.
 func alignBestWindow(core func(t int) *Alignment, p, q paths.Path, par Params) *Alignment {
-	best := core(len(p.Nodes) - 1)
+	return alignBestWindowCosted(core, func(t int) float64 { return core(t).Cost }, p, q, par)
+}
+
+// alignBestWindowCosted is alignBestWindow split into a pricing sweep
+// and a materialisation step: costAt(t) must return exactly core(t).Cost
+// without the allocation (context past the anchor is free, so the
+// trimmed scan's cost is already final). The sweep walks the same
+// anchors in the same order as the one-pass loop did — sinkward first,
+// stopping at the first free alignment — and collects the anchors that
+// tie the winning price; only those are materialised, and ties resolve
+// by window affinity with the earlier anchor winning equal scores,
+// reproducing the one-pass selection decision for decision.
+func alignBestWindowCosted(core func(t int) *Alignment, costAt func(t int) float64, p, q paths.Path, par Params) *Alignment {
+	last := len(p.Nodes) - 1
 	if len(q.Nodes) == 0 || len(p.Nodes) < 2 {
-		return best
+		return core(last)
 	}
-	bestAffinity := -1 // computed lazily on the first tie
 	minT := 1
 	if len(q.Nodes) == 1 {
 		minT = 0
 	}
-	for t := len(p.Nodes) - 2; t >= minT; t-- {
-		if best.Cost == 0 {
-			break // a free alignment has no mismatches to improve
-		}
-		alt := core(t)
-		if alt.Cost > best.Cost {
+	bestT := last
+	bestCost := costAt(last)
+	var ties []int
+	for t := last - 1; t >= minT && bestCost != 0; t-- {
+		c := costAt(t)
+		if c > bestCost {
 			continue
 		}
-		if alt.Cost == best.Cost {
-			// Equal price: prefer the window whose mismatches are
-			// token-related to the query (teaches ↔ teacherOf beats
-			// teaches ↔ type).
-			if bestAffinity < 0 {
-				bestAffinity = windowAffinity(best)
-			}
-			if windowAffinity(alt) <= bestAffinity {
-				continue
+		if c == bestCost {
+			ties = append(ties, t)
+			continue
+		}
+		bestCost, bestT, ties = c, t, ties[:0]
+	}
+	best := core(bestT)
+	if len(ties) > 0 {
+		// Equal price: prefer the window whose mismatches are
+		// token-related to the query (teaches ↔ teacherOf beats
+		// teaches ↔ type).
+		bestAffinity := windowAffinity(best)
+		for _, t := range ties {
+			alt := core(t)
+			if a := windowAffinity(alt); a > bestAffinity {
+				best, bestT, bestAffinity = alt, t, a
 			}
 		}
-		// The suffix p[t+1:] (and its edges) lies past the query's
+	}
+	if bestT < last {
+		// The suffix p[bestT+1:] (and its edges) lies past the query's
 		// endpoint — free context.
-		for e := t; e < len(p.Edges); e++ {
-			alt.record(OpEdgeContext, rdf.Term{}, p.Edges[e])
+		for e := bestT; e < len(p.Edges); e++ {
+			best.record(OpEdgeContext, rdf.Term{}, p.Edges[e])
 		}
-		for n := t + 1; n < len(p.Nodes); n++ {
-			alt.record(OpNodeContext, rdf.Term{}, p.Nodes[n])
+		for n := bestT + 1; n < len(p.Nodes); n++ {
+			best.record(OpNodeContext, rdf.Term{}, p.Nodes[n])
 		}
-		alt.addCost(par)
-		bestAffinity = windowAffinity(alt)
-		best = alt
+		best.addCost(par)
 	}
 	return best
 }

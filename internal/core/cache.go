@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
-	"strconv"
+	"encoding/binary"
 	"strings"
 
 	"sama/internal/align"
@@ -38,8 +38,12 @@ type cachedAnswer struct {
 	queryPaths int
 }
 
-// memoItem is one alignment-memo value.
+// memoItem is one alignment-memo value. sig is the full query-path
+// signature the entry was stored under: memo keys carry only a 64-bit
+// fingerprint of it, so hits re-verify the signature and a fingerprint
+// collision degrades to a miss instead of a wrong alignment.
 type memoItem struct {
+	sig  string
 	path paths.Path
 	al   *align.Alignment
 }
@@ -64,11 +68,64 @@ func (e *Engine) answerCacheKey(q *rdf.QueryGraph, k int) string {
 	return b.String()
 }
 
-// memoKey identifies one (query-path signature, data path) alignment.
-// Params are not part of the key: the memo lives inside one engine,
-// whose params are fixed at construction.
-func memoKey(qsig string, id index.PathID) string {
-	return qsig + "\x00" + strconv.FormatUint(uint64(id), 10)
+// memoRef addresses one cluster build's memo entries: the query-path
+// signature plus its 64-bit FNV-1a fingerprint, hashed once per build.
+// Keys embed only the fingerprint (a fixed 17-byte string), so the
+// per-candidate probe hashes 17 bytes instead of rescanning the full
+// signature; hits verify memoItem.sig against qsig before use. Params
+// are not part of the key: the memo lives inside one engine, whose
+// params are fixed at construction.
+type memoRef struct {
+	qsig string
+	pfx  uint64
+}
+
+func memoRefFor(qsig string) memoRef { return memoRef{qsig: qsig, pfx: fnv64(qsig)} }
+
+// key returns the cache key for one (query-path shape, data path)
+// pair. The leading 'a' keeps alignment keys disjoint from the
+// intersection-memo keys (interKey), which share the cache.
+func (r memoRef) key(id index.PathID) string {
+	var b [17]byte
+	b[0] = 'a'
+	binary.BigEndian.PutUint64(b[1:9], r.pfx)
+	binary.BigEndian.PutUint64(b[9:], uint64(id))
+	return string(b[:])
+}
+
+// memoGet is alignMemo.Get plus the signature check. Callers must hold
+// a non-nil alignMemo.
+func (e *Engine) memoGet(r memoRef, id index.PathID, epoch uint64) (*memoItem, bool) {
+	v, ok := e.alignMemo.Get(r.key(id), epoch)
+	if !ok {
+		return nil, false
+	}
+	mi := v.(*memoItem)
+	if mi.sig != r.qsig {
+		return nil, false
+	}
+	return mi, true
+}
+
+// memoPut stores one aligned candidate under r's fingerprint.
+func (e *Engine) memoPut(r memoRef, id index.PathID, epoch uint64, p paths.Path, al *align.Alignment) {
+	e.alignMemo.Put(r.key(id), epoch,
+		&memoItem{sig: r.qsig, path: p, al: al}, memoSize(p, al)+len(r.qsig))
+}
+
+// interKey is the cache key of one query-path shape's exact label
+// intersection (see pathsByAllLabelsCached). The leading 'i' keeps the
+// space disjoint from memoRef.key's 'a' keys.
+func interKey(qsig string) string { return "i" + qsig }
+
+// fnv64 is 64-bit FNV-1a over s.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // memoSize estimates the bytes a memo item pins, for the byte budget.

@@ -268,7 +268,9 @@ func TestCacheMetricsExposed(t *testing.T) {
 // counters around the query, so concurrent traffic bled into every
 // trace.
 func TestIOAttributionConcurrent(t *testing.T) {
-	e := newTestEngine(t, Options{})
+	// Memo off: every run must actually read pages for the attribution
+	// comparison to be non-trivial.
+	e := newTestEngine(t, Options{AlignCacheMB: -1})
 	// Warm the pool, then measure one solo execution.
 	if _, err := e.Query(queryQ1(), 5); err != nil {
 		t.Fatal(err)

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
+	"slices"
 	"sort"
 	"sync"
 
@@ -135,84 +137,88 @@ func (e *Engine) buildCluster(ctx context.Context, qi int, q paths.Path, sp *obs
 		return Cluster{QueryIndex: qi, Query: q}, nil
 	}
 	retrieved := len(ids)
-	ids = e.preRank(ids, q)
-	sp.Set("preranked", int64(len(ids)))
-	var qsig string
+	cands, err := e.preRank(ids, q, sp)
+	if err != nil {
+		return Cluster{}, fmt.Errorf("core: cluster for query path %d: %w", qi, err)
+	}
+	sp.Set("preranked", int64(len(cands)))
+	var ref memoRef
 	var epoch uint64
 	if e.alignMemo != nil {
 		// Epoch before the reads: a write racing this loop makes the
 		// entries stored below stale, never the reverse.
 		epoch = e.back.Epoch()
-		qsig = q.Key()
+		ref = memoRefFor(q.Key())
 	}
 
-	// Positional staging: staged[i] belongs to ids[i] no matter which
+	// Positional staging: staged[i] belongs to cands[i] no matter which
 	// worker computes it, keeping the cluster deterministic.
-	staged := make([]ClusterItem, len(ids))
-	var missIdx []int
-	var missIDs []index.PathID
-	for i, id := range ids {
+	staged := make([]ClusterItem, len(cands))
+	var miss []missCand
+	for i, c := range cands {
 		if e.alignMemo != nil {
-			if v, ok := e.alignMemo.Get(memoKey(qsig, id), epoch); ok {
-				mi := v.(*memoItem)
-				staged[i] = ClusterItem{ID: id, Path: mi.path, Alignment: mi.al}
+			if mi, ok := e.memoGet(ref, c.id, epoch); ok {
+				staged[i] = ClusterItem{ID: c.id, Path: mi.path, Alignment: mi.al}
 				continue
 			}
 		}
-		missIdx = append(missIdx, i)
-		missIDs = append(missIDs, id)
+		miss = append(miss, missCand{pos: i, id: c.id, bound: c.bound})
 	}
-	sp.Set("memo_hits", int64(len(ids)-len(missIDs)))
-	sp.Set("aligned", int64(len(missIDs)))
+	sp.Set("memo_hits", int64(len(cands)-len(miss)))
 
-	if len(missIDs) > 0 {
-		// The batched read runs under its own tally: sibling clusters
-		// share the query's tally concurrently, so a before/after diff on
-		// it would charge this span a neighbour's pages and the explain
-		// plan would stop being deterministic. The local counts are folded
-		// back into the query's tally afterwards.
-		local := &storage.IOTally{}
-		ps, err := e.back.ReadPathsBatched(storage.WithTally(ctx, local), missIDs)
-		sp.Set("batched_pages", int64(local.BatchedPages()))
-		storage.TallyFrom(ctx).Merge(local)
-		if err != nil && ctx.Err() == nil {
-			return Cluster{}, fmt.Errorf("core: cluster for query path %d: %w", qi, err)
+	// Threshold pruning: the misses are aligned cheapest-bound-first in
+	// waves of the cluster cap, and between waves the next candidate's λ
+	// lower bound is compared against the cap'th best full-length cost
+	// staged so far. Once the bound exceeds it, every remaining miss
+	// would rank past the cap (λ ≥ bound for each, and the bound-sorted
+	// order makes the check transitive), so the loop stops without
+	// reading or aligning them. The bound is only consulted once at
+	// least cap full-length items are staged — below that the cap is
+	// unsaturated and the shorter-path fallback could still be live —
+	// which is why pruning can only skip work the cap would discard and
+	// the ranked answers stay bit-identical.
+	prune := e.pruneEnabled()
+	wave := len(miss)
+	if prune {
+		sortMissCands(miss)
+		wave = e.opts.maxCandidates()
+		if wave < minAlignChunk {
+			wave = minAlignChunk
 		}
-		if ps == nil {
-			// Cancelled before anything was materialised.
-			ps = make([]paths.Path, len(missIDs))
-		}
-		workers := e.pool.size
-		// Aim for a few chunks per worker so a straggler chunk cannot
-		// serialise the tail, with a floor that keeps tiny clusters from
-		// paying coordination overhead.
-		chunk := (len(missIDs) + 4*workers - 1) / (4 * workers)
-		if chunk < minAlignChunk {
-			chunk = minAlignChunk
-		}
-		nchunks := (len(missIDs) + chunk - 1) / chunk
-		e.alignParallel(nchunks, func(al *align.GreedyAligner, c int) {
-			lo, hi := c*chunk, (c+1)*chunk
-			if hi > len(missIDs) {
-				hi = len(missIDs)
+	}
+	qlen := q.Length()
+	capN := e.opts.maxCandidates()
+	aligned, pruned := 0, 0
+	var pages int64
+	var scratch []float64
+	for start := 0; start < len(miss); {
+		if prune {
+			var kth float64
+			var ok bool
+			scratch, kth, ok = kthFullCost(staged, qlen, capN, scratch)
+			if ok && miss[start].bound > kth {
+				pruned = len(miss) - start
+				break
 			}
-			for m := lo; m < hi; m++ {
-				if ctx.Err() != nil {
-					return // unaligned entries stay nil and are dropped
-				}
-				p := ps[m]
-				if len(p.Nodes) == 0 {
-					continue // not materialised: batch read was cancelled
-				}
-				id := missIDs[m]
-				item := ClusterItem{ID: id, Path: p, Alignment: al.Align(p, q)}
-				staged[missIdx[m]] = item
-				if e.alignMemo != nil {
-					e.alignMemo.Put(memoKey(qsig, id), epoch,
-						&memoItem{path: p, al: item.Alignment}, memoSize(p, item.Alignment))
-				}
-			}
-		})
+		}
+		end := start + wave
+		if end > len(miss) {
+			end = len(miss)
+		}
+		wp, werr := e.alignWave(ctx, q, miss[start:end], staged, ref, epoch)
+		pages += wp
+		if werr != nil {
+			return Cluster{}, fmt.Errorf("core: cluster for query path %d: %w", qi, werr)
+		}
+		aligned += end - start
+		start = end
+	}
+	if aligned > 0 {
+		sp.Set("batched_pages", pages)
+	}
+	sp.Set("aligned", int64(aligned))
+	if pruned > 0 {
+		sp.Set("bound_pruned", int64(pruned))
 	}
 
 	items := make([]ClusterItem, 0, len(staged))
@@ -239,12 +245,7 @@ func (e *Engine) buildCluster(ctx context.Context, qi int, q paths.Path, sp *obs
 			sp.Set("shorter_fallback", int64(len(shorter)))
 		}
 	}
-	sort.SliceStable(items, func(i, j int) bool {
-		if items[i].Alignment.Cost != items[j].Alignment.Cost {
-			return items[i].Alignment.Cost < items[j].Alignment.Cost
-		}
-		return items[i].ID < items[j].ID
-	})
+	sortClusterItems(items)
 	if max := e.opts.maxCandidates(); len(items) > max {
 		sp.Set("cap_dropped", int64(len(items)-max))
 		items = items[:max]
@@ -257,47 +258,369 @@ func (e *Engine) buildCluster(ctx context.Context, qi int, q paths.Path, sp *obs
 	}, nil
 }
 
-// preRank bounds the candidates that get materialised and aligned. When
-// the index returns far more paths than the cluster will keep, only the
-// most promising are worth a disk read. Promise is estimated from the
-// in-memory tables only: primarily how many of the query path's
-// constant labels the candidate contains (each absent label forces a
-// mismatch or deletion), secondarily the length deficit (paths shorter
-// than the query pay deletions; surplus length is free context). The
-// frontier is cut at twice the cluster cap.
-func (e *Engine) preRank(ids []index.PathID, q paths.Path) []index.PathID {
-	budget := 2 * e.opts.maxCandidates()
-	if len(ids) <= budget {
-		return ids
-	}
-	var constants []string
+// queryConstant is one constant element of the query path together
+// with the signature probe mask a lookup for its label would consult
+// (exact key, tokens, and thesaurus expansions — the same precision
+// levels retrieval admits candidates under).
+type queryConstant struct {
+	label string
+	mask  uint64
+	node  bool
+}
+
+// clusterCand is one pre-ranked candidate: the path ID plus a sound
+// lower bound on λ(p, q). bound never exceeds the true alignment cost,
+// so "bound exceeds the cap'th best cost" proves the candidate cannot
+// enter the capped cluster.
+type clusterCand struct {
+	id    index.PathID
+	bound float64
+}
+
+// missCand is a memo-missing candidate queued for materialisation: its
+// position in the staging slice, its ID, and its λ lower bound.
+type missCand struct {
+	pos   int
+	id    index.PathID
+	bound float64
+}
+
+// pruneEnabled reports whether the cluster phase may stop aligning once
+// the remaining candidates' lower bounds exceed the cap'th best staged
+// cost. Compat mode computes no bounds at all, so it never prunes.
+func (e *Engine) pruneEnabled() bool {
+	return !e.opts.ClusterCompat && !e.opts.DisableClusterPruning
+}
+
+// queryConstants collects the query path's constant labels with their
+// probe masks, node and edge kinds kept apart because they price
+// differently (A vs C) in the λ lower bound.
+func (e *Engine) queryConstants(q paths.Path) []queryConstant {
+	var out []queryConstant
 	for _, n := range q.Nodes {
 		if n.IsConstant() {
-			constants = append(constants, n.Label())
+			out = append(out, queryConstant{label: n.Label(), mask: e.back.LabelProbeMask(n.Label()), node: true})
 		}
 	}
 	for _, eLbl := range q.Edges {
 		if eLbl.IsConstant() {
-			constants = append(constants, eLbl.Label())
+			out = append(out, queryConstant{label: eLbl.Label(), mask: e.back.LabelProbeMask(eLbl.Label()), node: false})
 		}
 	}
+	return out
+}
+
+// pathsByAllLabelsCached returns the exact label intersection for one
+// query path, memoised per query-path shape in the alignment memo (the
+// intersection depends only on the query path's constants and the
+// index state, so the entry shares the memo's epoch validation).
+// Re-running the galloping intersect per query was the single largest
+// warm-path cost in preRank.
+func (e *Engine) pathsByAllLabelsCached(q paths.Path, labels []string) []index.PathID {
+	if e.alignMemo == nil {
+		return e.back.PathsByAllLabels(labels)
+	}
+	epoch := e.back.Epoch()
+	key := interKey(q.Key())
+	if v, ok := e.alignMemo.Get(key, epoch); ok {
+		return v.([]index.PathID)
+	}
+	inter := e.back.PathsByAllLabels(labels)
+	e.alignMemo.Put(key, epoch, inter, 48+len(key)+8*len(inter))
+	return inter
+}
+
+// preRank bounds the candidates that get materialised and aligned, and
+// attaches a sound λ lower bound to each survivor for the threshold
+// pruning downstream. When the index returns far more paths than the
+// cluster will keep, only the most promising are worth a disk read.
+//
+// Promise is estimated from the in-memory summaries only — one batched
+// read of (length, signature) pairs under a single lock, zero postings
+// probes, zero disk reads. A candidate whose signature shares no bit
+// with a constant's probe mask provably lacks that label at every
+// precision level retrieval admits (exact, token, thesaurus synonym) —
+// the signature's error is one-sided, so a synonym-expanded candidate
+// is never charged for a constant it matches approximately. Because the
+// fingerprints are the same deterministic hash everywhere, the ranking
+// is identical at every parallelism and shard count.
+//
+// The lower bound per candidate: each definitely-missing constant node
+// forces a node mismatch or deletion (≥ A each) and each missing
+// constant edge ≥ C, while a length deficit d independently forces ≥ d
+// node and ≥ d edge deletions; a missing constant may itself be one of
+// the deleted elements, so the sound combination per kind is max, not
+// sum:
+//
+//	bound = A·max(missingNodes, d) + C·max(missingEdges, d)
+//
+// The ranking key orders by total missing constants first and deficit
+// second, with the deficit field wide enough (16 bits, saturated) that
+// no deficit can outrank a missing constant.
+//
+// When the frontier must be cut, the exact expansion intersection
+// (every-constant leapfrog over the compressed postings) refines the
+// fingerprint counts: a candidate outside it truly misses at least one
+// constant, so a colliding signature that hid every miss is bumped back
+// to missing ≥ 1 and its bound raised to the cheapest single-miss cost.
+// Membership can only raise counts back toward the truth — collisions
+// fake containment, never absence — so the refinement keeps the bound
+// sound and the cut deterministic.
+//
+// Summaries fails with index.ErrStaleRead when a concurrent compaction
+// invalidated an ID; the error propagates to the engine's restart loop,
+// which re-runs the query against the fresh state.
+func (e *Engine) preRank(ids []index.PathID, q paths.Path, sp *obs.Span) ([]clusterCand, error) {
+	if e.opts.ClusterCompat {
+		return e.preRankCompat(ids, q), nil
+	}
+	sums, err := e.back.Summaries(ids)
+	if err != nil {
+		return nil, err
+	}
+	consts := e.queryConstants(q)
+	budget := 2 * e.opts.maxCandidates()
+	cutting := len(ids) > budget
+
+	var inter []index.PathID
+	anyNode, anyEdge := false, false
+	for _, c := range consts {
+		if c.node {
+			anyNode = true
+		} else {
+			anyEdge = true
+		}
+	}
+	if cutting && len(consts) > 0 {
+		labels := make([]string, len(consts))
+		for i, c := range consts {
+			labels[i] = c.label
+		}
+		inter = e.pathsByAllLabelsCached(q, labels)
+	}
+	// Cheapest cost of one truly-missing constant of unknown kind, used
+	// when the intersection proves a miss the fingerprints hid.
+	par := e.par
+	floor := 0.0
+	switch {
+	case anyNode && anyEdge:
+		floor = math.Min(par.A, par.C)
+	case anyNode:
+		floor = par.A
+	case anyEdge:
+		floor = par.C
+	}
+
 	qlen := q.Length()
-	keys := make(map[index.PathID]int, len(ids))
-	for _, id := range ids {
-		missing := 0
-		for _, c := range constants {
-			if !e.back.ContainsLabel(id, c) {
-				missing++
+	cands := make([]clusterCand, len(ids))
+	keys := make([]uint64, len(ids))
+	// ids arrive ascending (postings order), so the intersection probe
+	// is a linear merge walk — one forward pointer over inter for the
+	// whole batch instead of a binary search per candidate. The reset
+	// guard keeps the walk correct for an unsorted caller (it never
+	// fires on the engine's own retrieval paths).
+	ii := 0
+	var prevID index.PathID
+	for i, id := range ids {
+		missN, missE := 0, 0
+		for _, c := range consts {
+			if sums[i].Sig&c.mask == 0 {
+				if c.node {
+					missN++
+				} else {
+					missE++
+				}
 			}
 		}
 		deficit := 0
-		if plen := e.back.PathLength(id); plen < qlen {
+		if plen := int(sums[i].Len); plen < qlen {
 			deficit = qlen - plen
 		}
-		keys[id] = missing*64 + deficit
+		d := float64(deficit)
+		bound := par.A*math.Max(float64(missN), d) + par.C*math.Max(float64(missE), d)
+		missing := missN + missE
+		if inter != nil && missing == 0 {
+			if id < prevID {
+				ii = 0
+			}
+			for ii < len(inter) && inter[ii] < id {
+				ii++
+			}
+			if ii == len(inter) || inter[ii] != id {
+				missing = 1
+				if bound < floor {
+					bound = floor
+				}
+			}
+		}
+		prevID = id
+		dk := uint64(deficit)
+		if dk > 0xffff {
+			dk = 0xffff
+		}
+		keys[i] = uint64(missing)<<16 | dk
+		cands[i] = clusterCand{id: id, bound: bound}
 	}
-	sort.SliceStable(ids, func(i, j int) bool { return keys[ids[i]] < keys[ids[j]] })
-	return ids[:budget]
+	if !cutting {
+		return cands, nil
+	}
+	// Stable counting cut: the key space is tiny (missing ≤ |constants|,
+	// deficit small in practice), so bucket offsets over the distinct
+	// keys replace the comparison sort — two passes over the candidates,
+	// no permutation slice. Buckets fill in input order, reproducing the
+	// stable sort's frontier element for element.
+	counts := make(map[uint64]int, 64)
+	for _, k := range keys {
+		counts[k]++
+	}
+	distinct := make([]uint64, 0, len(counts))
+	for k := range counts {
+		distinct = append(distinct, k)
+	}
+	slices.Sort(distinct)
+	offset := make(map[uint64]int, len(counts))
+	total := 0
+	for _, k := range distinct {
+		offset[k] = total
+		total += counts[k]
+	}
+	out := make([]clusterCand, budget)
+	for i, k := range keys {
+		pos := offset[k]
+		offset[k] = pos + 1
+		if pos < budget {
+			out[pos] = cands[i]
+		}
+	}
+	sp.Set("sig_rejected", int64(len(cands)-budget))
+	return out, nil
+}
+
+// preRankCompat is the legacy pre-rank, kept verbatim behind
+// Options.ClusterCompat for old-vs-new benchmarking: per-candidate
+// exact-containment postings probes (synonym matches charged as
+// missing), the narrow missing*64+deficit key (deficits ≥ 64 outrank a
+// missing constant), and no λ bounds, so downstream pruning never
+// fires.
+func (e *Engine) preRankCompat(ids []index.PathID, q paths.Path) []clusterCand {
+	budget := 2 * e.opts.maxCandidates()
+	if len(ids) > budget {
+		var constants []string
+		for _, n := range q.Nodes {
+			if n.IsConstant() {
+				constants = append(constants, n.Label())
+			}
+		}
+		for _, eLbl := range q.Edges {
+			if eLbl.IsConstant() {
+				constants = append(constants, eLbl.Label())
+			}
+		}
+		qlen := q.Length()
+		keys := make(map[index.PathID]int, len(ids))
+		for _, id := range ids {
+			missing := 0
+			for _, c := range constants {
+				if !e.back.ContainsLabel(id, c) {
+					missing++
+				}
+			}
+			deficit := 0
+			if plen := e.back.PathLength(id); plen < qlen {
+				deficit = qlen - plen
+			}
+			keys[id] = missing*64 + deficit
+		}
+		sort.SliceStable(ids, func(i, j int) bool { return keys[ids[i]] < keys[ids[j]] })
+		ids = ids[:budget]
+	}
+	out := make([]clusterCand, len(ids))
+	for i, id := range ids {
+		out[i].id = id
+	}
+	return out
+}
+
+// kthFullCost returns the k-th smallest alignment cost among the staged
+// full-length items (length ≥ qlen), reusing scratch for the cost
+// collection. The bound is only usable once at least k full-length
+// items are staged: with fewer, the cap is not yet saturated and any
+// candidate can still enter the cluster; with none at all, skipping
+// candidates could also flip the shorter-path fallback — ok gates both.
+func kthFullCost(staged []ClusterItem, qlen, k int, scratch []float64) ([]float64, float64, bool) {
+	costs := scratch[:0]
+	for i := range staged {
+		if staged[i].Alignment == nil || staged[i].Path.Length() < qlen {
+			continue
+		}
+		costs = append(costs, staged[i].Alignment.Cost)
+	}
+	if len(costs) < k {
+		return costs, 0, false
+	}
+	sort.Float64s(costs)
+	return costs, costs[k-1], true
+}
+
+// alignWave materialises one bound-ordered wave of memo misses in a
+// single page-locality batched read and aligns it across the engine's
+// worker pool, staging results positionally. It returns the pages the
+// batched read touched. Cancellation mid-wave leaves the wave's
+// unmaterialised entries nil (dropped later), mirroring the serial
+// loop's partial best-so-far semantics.
+func (e *Engine) alignWave(ctx context.Context, q paths.Path, wave []missCand, staged []ClusterItem, ref memoRef, epoch uint64) (int64, error) {
+	// The batched read runs under its own tally: sibling clusters share
+	// the query's tally concurrently, so a before/after diff on it would
+	// charge this span a neighbour's pages and the explain plan would
+	// stop being deterministic. The local counts are folded back into
+	// the query's tally afterwards.
+	ids := make([]index.PathID, len(wave))
+	for i, m := range wave {
+		ids[i] = m.id
+	}
+	local := &storage.IOTally{}
+	ps, err := e.back.ReadPathsBatched(storage.WithTally(ctx, local), ids)
+	pages := int64(local.BatchedPages())
+	storage.TallyFrom(ctx).Merge(local)
+	if err != nil {
+		if ctx.Err() == nil {
+			return pages, err
+		}
+		err = nil // cancelled: align what was materialised, if anything
+	}
+	if ps == nil {
+		ps = make([]paths.Path, len(ids))
+	}
+	workers := e.pool.size
+	// Aim for a few chunks per worker so a straggler chunk cannot
+	// serialise the tail, with a floor that keeps tiny waves from paying
+	// coordination overhead.
+	chunk := (len(ids) + 4*workers - 1) / (4 * workers)
+	if chunk < minAlignChunk {
+		chunk = minAlignChunk
+	}
+	nchunks := (len(ids) + chunk - 1) / chunk
+	e.alignParallel(nchunks, func(al *align.GreedyAligner, c int) {
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		for m := lo; m < hi; m++ {
+			if ctx.Err() != nil {
+				return // unaligned entries stay nil and are dropped
+			}
+			p := ps[m]
+			if len(p.Nodes) == 0 {
+				continue // not materialised: batch read was cancelled
+			}
+			item := ClusterItem{ID: ids[m], Path: p, Alignment: al.Align(p, q)}
+			staged[wave[m].pos] = item
+			if e.alignMemo != nil {
+				e.memoPut(ref, ids[m], epoch, p, item.Alignment)
+			}
+		}
+	})
+	return pages, nil
 }
 
 // retrieve returns the candidate path IDs for one query path. The

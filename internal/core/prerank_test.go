@@ -1,0 +1,276 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"sama/internal/index"
+	"sama/internal/paths"
+	"sama/internal/rdf"
+	"sama/internal/textindex"
+)
+
+// synthQuery builds a query path of n nodes whose first node is the
+// given constant and whose remaining nodes and edges are variables.
+func synthQuery(first rdf.Term, n int) paths.Path {
+	q := paths.Path{Nodes: make([]rdf.Term, n), Edges: make([]rdf.Term, n-1)}
+	q.Nodes[0] = first
+	for i := 1; i < n; i++ {
+		q.Nodes[i] = vr(fmt.Sprintf("v%d", i))
+	}
+	for i := range q.Edges {
+		q.Edges[i] = vr(fmt.Sprintf("e%d", i))
+	}
+	return q
+}
+
+// allIDs returns every live path ID in ascending order, classified by a
+// predicate over the materialised path.
+func allIDs(t *testing.T, ix *index.Index) []index.PathID {
+	t.Helper()
+	ids := make([]index.PathID, 0, ix.NumPaths())
+	for i := 0; i < ix.NumPaths(); i++ {
+		if ix.Live(index.PathID(i)) {
+			ids = append(ids, index.PathID(i))
+		}
+	}
+	return ids
+}
+
+func findPath(t *testing.T, ix *index.Index, pred func(paths.Path) bool) index.PathID {
+	t.Helper()
+	for _, id := range allIDs(t, ix) {
+		p, err := ix.Path(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred(p) {
+			return id
+		}
+	}
+	t.Fatal("no path matches predicate")
+	return 0
+}
+
+func hasCand(cands []clusterCand, id index.PathID) bool {
+	for _, c := range cands {
+		if c.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPreRankDeficitCannotOutrankMissing is the regression for the old
+// promise key missing*64 + deficit: once a candidate's length deficit
+// reached 64 it outranked candidates that were actually missing a
+// constant, inverting the documented order and evicting a
+// contains-everything candidate from the frontier. The widened key
+// (missing<<16 | saturated deficit) keeps any deficit below one missing
+// constant.
+func TestPreRankDeficitCannotOutrankMissing(t *testing.T) {
+	g := rdf.NewGraph()
+	// The good candidate: short (deficit 65 against the query) but
+	// containing the query's only constant.
+	g.AddTriple(rdf.Triple{S: iri("Alpha"), P: iri("rel"), O: iri("Omega")})
+	// Two 68-node chains: full-length (deficit 0) but missing Alpha.
+	for _, root := range []string{"B", "C"} {
+		for i := 0; i < 67; i++ {
+			g.AddTriple(rdf.Triple{
+				S: iri(fmt.Sprintf("%s%02d", root, i)),
+				P: iri("next"),
+				O: iri(fmt.Sprintf("%s%02d", root, i+1)),
+			})
+		}
+	}
+	base := filepath.Join(t.TempDir(), "deep")
+	ix, err := index.Build(base, g, index.Options{
+		Paths: paths.Config{MaxLength: 80, MaxPerRoot: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+
+	good := findPath(t, ix, func(p paths.Path) bool { return p.ContainsLabelText("Alpha") })
+	ids := allIDs(t, ix)
+	if len(ids) < 3 {
+		t.Fatalf("need ≥ 3 candidates to force a cut, have %d", len(ids))
+	}
+
+	q := synthQuery(iri("Alpha"), 67) // good's deficit: 67-2 = 65 > 64
+
+	// Cap 1 → frontier budget 2 → the three candidates force a cut.
+	e := New(ix, Options{MaxCandidatesPerCluster: 1})
+	defer e.Close()
+	cands, err := e.preRank(ids, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 2 {
+		t.Fatalf("frontier = %d candidates, want 2", len(cands))
+	}
+	if cands[0].id != good {
+		t.Errorf("candidate with every constant ranked %v, want first (got %v)", good, cands[0].id)
+	}
+
+	// The compat lane preserves the legacy inversion: deficit 65 ranks
+	// past the two missing-a-constant chains and the good candidate is
+	// cut. That asymmetry is exactly what the bugfix changed.
+	ce := New(ix, Options{MaxCandidatesPerCluster: 1, ClusterCompat: true})
+	defer ce.Close()
+	compat, err := ce.preRank(append([]index.PathID(nil), ids...), q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasCand(compat, good) {
+		t.Error("compat pre-rank kept the good candidate; legacy key regression no longer reproduces")
+	}
+}
+
+// TestPreRankSynonymSurvivesCut is the regression for the
+// expansion-mismatch bug: retrieval admits candidates through token and
+// thesaurus expansion, but the old pre-rank counted missing constants
+// with exact containment only, so a candidate matching "Professor" via
+// its synonym "Teacher" was charged a full missing constant and cut
+// from the frontier. The signature probe masks count under the same
+// expansion retrieval uses, so the synonym candidate now survives.
+func TestPreRankSynonymSurvivesCut(t *testing.T) {
+	th := textindex.NewThesaurus()
+	th.Add("professor", "teacher")
+	g := rdf.NewGraph()
+	// The synonym candidate: one node shorter than the query (deficit 1)
+	// and containing Teacher, a synonym of the query constant.
+	g.AddTriple(rdf.Triple{S: iri("Anna"), P: iri("is"), O: iri("Teacher")})
+	// Two full-length candidates containing no professor-related label.
+	g.AddTriple(rdf.Triple{S: iri("C1"), P: iri("a"), O: iri("C2")})
+	g.AddTriple(rdf.Triple{S: iri("C2"), P: iri("b"), O: iri("C3")})
+	g.AddTriple(rdf.Triple{S: iri("D1"), P: iri("a"), O: iri("D2")})
+	g.AddTriple(rdf.Triple{S: iri("D2"), P: iri("b"), O: iri("D3")})
+	base := filepath.Join(t.TempDir(), "syn")
+	ix, err := index.Build(base, g, index.Options{Thesaurus: th})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+
+	syn := findPath(t, ix, func(p paths.Path) bool { return p.ContainsLabelText("Teacher") })
+	// Keep only the synonym path and the two 3-node chains as candidates.
+	var ids []index.PathID
+	for _, id := range allIDs(t, ix) {
+		p, err := ix.Path(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id == syn || p.Length() == 3 {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) != 3 {
+		t.Fatalf("want the synonym path and two chains, have %d candidates", len(ids))
+	}
+
+	q := synthQuery(iri("Professor"), 3)
+
+	e := New(ix, Options{MaxCandidatesPerCluster: 1})
+	defer e.Close()
+	cands, err := e.preRank(append([]index.PathID(nil), ids...), q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 2 {
+		t.Fatalf("frontier = %d candidates, want 2", len(cands))
+	}
+	if cands[0].id != syn {
+		t.Errorf("synonym candidate ranked %v, want first (got %v)", syn, cands[0].id)
+	}
+
+	// Legacy counting charges the synonym match as missing (key 64+1)
+	// behind both exact-miss chains (key 64), cutting it.
+	ce := New(ix, Options{MaxCandidatesPerCluster: 1, ClusterCompat: true})
+	defer ce.Close()
+	compat, err := ce.preRank(append([]index.PathID(nil), ids...), q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasCand(compat, syn) {
+		t.Error("compat pre-rank kept the synonym candidate; legacy expansion mismatch no longer reproduces")
+	}
+}
+
+// TestPreRankRacesCompaction races the signature pre-rank (with IDs
+// captured before the mutation) against re-enumerating inserts and
+// one-path incremental compactions. Every call must either rank or
+// report index.ErrStaleRead — the error the engine's restart loop
+// absorbs — and never panic on an ID the shrunken tables no longer
+// cover. Run under -race (make check does) this pins the Summaries
+// lock discipline against the compaction swap.
+func TestPreRankRacesCompaction(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "fig1")
+	ix, err := index.Build(base, figure1Graph(), index.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	e := New(ix, Options{})
+	defer e.Close()
+
+	if err := ix.InsertTriples([]rdf.Triple{
+		{S: iri("CarlaBunes"), P: iri("sponsor"), O: iri("A9000")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	captured := make([]index.PathID, ix.NumPaths())
+	for i := range captured {
+		captured[i] = index.PathID(i)
+	}
+	q := e.Preprocess(queryQ1()).Paths[0]
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ids := append([]index.PathID(nil), captured...)
+				if _, err := e.preRank(ids, q, nil); err != nil && !errors.Is(err, index.ErrStaleRead) {
+					t.Errorf("preRank: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < 6; i++ {
+		if err := ix.InsertTriples([]rdf.Triple{
+			{S: iri("CarlaBunes"), P: iri("sponsor"), O: iri("A9001")},
+		}); err != nil {
+			t.Errorf("insert: %v", err)
+			break
+		}
+		if _, err := ix.CompactIncremental(context.Background(), 1); err != nil {
+			t.Errorf("compaction %d: %v", i, err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// After the dust settles the captured IDs are definitively stale
+	// (the space shrank); the batch must say so, not panic.
+	if ix.NumPaths() < len(captured) {
+		if _, err := e.preRank(captured, q, nil); !errors.Is(err, index.ErrStaleRead) {
+			t.Errorf("preRank(stale) err = %v, want ErrStaleRead", err)
+		}
+	}
+}

@@ -176,7 +176,10 @@ func buildFaultyEngine(t *testing.T) (*Engine, *storage.FaultInjector) {
 	if inj == nil {
 		t.Fatal("WrapIO hook never invoked")
 	}
-	return New(ix, Options{}), inj
+	// The alignment memo (on by default) would satisfy the repeat query
+	// without touching storage; these tests exist to drive the read path
+	// through faults, so it is disabled.
+	return New(ix, Options{AlignCacheMB: -1}), inj
 }
 
 func TestTransientReadFaultDuringClusteringIsRetried(t *testing.T) {

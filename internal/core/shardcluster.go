@@ -1,10 +1,11 @@
 package core
 
 import (
+	"cmp"
 	"container/heap"
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"sama/internal/align"
@@ -38,6 +39,50 @@ func (b shardBackend) PathLength(id index.PathID) int {
 func (b shardBackend) ContainsLabel(id index.PathID, label string) bool {
 	k, local := b.set.Locate(id)
 	return b.set.Shard(k).ContainsLabel(local, label)
+}
+
+// Summaries splits the global IDs by owning shard, fetches each shard's
+// summaries in one batch, and scatters them back positionally. Any
+// shard reporting ErrStaleRead fails the whole batch, matching the
+// monolithic semantics: the engine restarts the query, it never ranks
+// against a torn view.
+func (b shardBackend) Summaries(ids []index.PathID) ([]index.PathSummary, error) {
+	out := make([]index.PathSummary, len(ids))
+	n := b.set.NumShards()
+	pos := make([][]int, n)
+	locals := make([][]index.PathID, n)
+	for i, id := range ids {
+		k, local := b.set.Locate(id)
+		pos[k] = append(pos[k], i)
+		locals[k] = append(locals[k], local)
+	}
+	for k := 0; k < n; k++ {
+		if len(locals[k]) == 0 {
+			continue
+		}
+		sums, err := b.set.Shard(k).Summaries(locals[k])
+		if err != nil {
+			return nil, err
+		}
+		for i, s := range sums {
+			out[pos[k][i]] = s
+		}
+	}
+	return out, nil
+}
+
+// LabelProbeMask answers from shard 0: the mask depends only on the
+// tokenizer and the thesaurus, which every shard in a set shares, so
+// any shard gives the set-wide answer.
+func (b shardBackend) LabelProbeMask(label string) uint64 {
+	return b.set.Shard(0).LabelProbeMask(label)
+}
+
+// PathsByAllLabels intersects per shard and merges: the shards
+// partition the path set, so the union of per-shard intersections is
+// exactly the global intersection.
+func (b shardBackend) PathsByAllLabels(labels []string) []index.PathID {
+	return b.gather(func(sh shard.Shard) []index.PathID { return sh.PathsByAllLabels(labels) })
 }
 
 func (b shardBackend) PathsBySink(label string) []index.PathID {
@@ -254,78 +299,136 @@ func (e *Engine) buildClusterSharded(ctx context.Context, qi int, q paths.Path, 
 		return Cluster{QueryIndex: qi, Query: q}, nil
 	}
 	retrieved := len(ids)
-	ids = e.preRank(ids, q)
-	sp.Set("preranked", int64(len(ids)))
+	cands, err := e.preRank(ids, q, sp)
+	if err != nil {
+		return Cluster{}, fmt.Errorf("core: cluster for query path %d: %w", qi, err)
+	}
+	sp.Set("preranked", int64(len(cands)))
 
-	var qsig string
+	var ref memoRef
 	var epoch uint64
 	if e.alignMemo != nil {
 		epoch = e.back.Epoch()
-		qsig = q.Key()
+		ref = memoRefFor(q.Key())
 	}
 
-	// Memo probe on global IDs, then split the misses by owning shard.
-	// Staging stays positional in the merged candidate order, so the
-	// final per-shard split sees a deterministic sequence regardless of
-	// which worker aligned what.
-	staged := make([]ClusterItem, len(ids))
-	missPos := make([][]int, n)
-	missLocal := make([][]index.PathID, n)
-	missCount := 0
-	for i, gid := range ids {
+	// Memo probe on global IDs; misses queue for the wave loop. Staging
+	// stays positional in the merged candidate order, so the final
+	// per-shard split sees a deterministic sequence regardless of which
+	// worker aligned what.
+	staged := make([]ClusterItem, len(cands))
+	var miss []missCand
+	for i, c := range cands {
 		if e.alignMemo != nil {
-			if v, ok := e.alignMemo.Get(memoKey(qsig, gid), epoch); ok {
-				mi := v.(*memoItem)
-				staged[i] = ClusterItem{ID: gid, Path: mi.path, Alignment: mi.al}
+			if mi, ok := e.memoGet(ref, c.id, epoch); ok {
+				staged[i] = ClusterItem{ID: c.id, Path: mi.path, Alignment: mi.al}
 				continue
 			}
 		}
-		k, local := set.Locate(gid)
-		missPos[k] = append(missPos[k], i)
-		missLocal[k] = append(missLocal[k], local)
-		missCount++
+		miss = append(miss, missCand{pos: i, id: c.id, bound: c.bound})
 	}
-	sp.Set("memo_hits", int64(len(ids)-missCount))
-	sp.Set("aligned", int64(missCount))
+	sp.Set("memo_hits", int64(len(cands)-len(miss)))
 
-	// Gather: one goroutine per shard with misses, each running its own
-	// batched read and fanning alignment across the shared pool. Spans
-	// are created up front in shard order so the trace is deterministic.
+	// The same bound-ordered wave loop as the monolithic buildCluster,
+	// run over the merged global candidate list: the bound sort, the
+	// wave boundaries, and the prune decisions depend only on global
+	// IDs, summaries, and staged costs — all identical at every shard
+	// count — so the sharded engine prunes exactly the candidates the
+	// monolith would. Within a wave the misses split by owning shard,
+	// one goroutine per shard, each running its own batched read and
+	// fanning alignment across the shared pool. Shard spans are created
+	// up front in shard order so the trace is deterministic; their
+	// counters accumulate across waves and land on the spans at the end.
+	prune := e.pruneEnabled()
+	wave := len(miss)
+	if prune {
+		sortMissCands(miss)
+		wave = e.opts.maxCandidates()
+		if wave < minAlignChunk {
+			wave = minAlignChunk
+		}
+	}
 	shardSpans := make([]*obs.Span, n)
 	for k := 0; k < n; k++ {
 		shardSpans[k] = sp.Child(fmt.Sprintf("shard[%d]", k))
 	}
-	var wg sync.WaitGroup
-	errs := make([]error, n)
-	var pages int64
-	var pagesMu sync.Mutex
-	for k := 0; k < n; k++ {
-		if len(missLocal[k]) == 0 {
+	shardPages := make([]int64, n)
+	shardAligned := make([]int64, n)
+	endShardSpans := func() {
+		for k := 0; k < n; k++ {
+			if shardAligned[k] > 0 {
+				shardSpans[k].Set("batched_pages", shardPages[k])
+				shardSpans[k].Set("aligned", shardAligned[k])
+			}
 			shardSpans[k].End()
-			continue
 		}
-		wg.Add(1)
-		go func(k int) {
-			defer wg.Done()
-			defer shardSpans[k].End()
-			defer func() {
-				if r := recover(); r != nil {
-					errs[k] = fmt.Errorf("core: shard %d alignment panicked: %v", k, r)
-				}
-			}()
-			p, err := e.alignShardMisses(ctx, q, k, missLocal[k], missPos[k], staged, qsig, epoch, shardSpans[k])
-			pagesMu.Lock()
-			pages += p
-			pagesMu.Unlock()
-			errs[k] = err
-		}(k)
 	}
-	wg.Wait()
-	sp.Set("batched_pages", pages)
-	for k, err := range errs {
-		if err != nil {
-			return Cluster{}, fmt.Errorf("core: cluster for query path %d (shard %d): %w", qi, k, err)
+	qlen := q.Length()
+	capN := e.opts.maxCandidates()
+	alignedN, pruned := 0, 0
+	var scratch []float64
+	for start := 0; start < len(miss); {
+		if prune {
+			var kth float64
+			var ok bool
+			scratch, kth, ok = kthFullCost(staged, qlen, capN, scratch)
+			if ok && miss[start].bound > kth {
+				pruned = len(miss) - start
+				break
+			}
 		}
+		end := start + wave
+		if end > len(miss) {
+			end = len(miss)
+		}
+		missPos := make([][]int, n)
+		missLocal := make([][]index.PathID, n)
+		for _, m := range miss[start:end] {
+			k, local := set.Locate(m.id)
+			missPos[k] = append(missPos[k], m.pos)
+			missLocal[k] = append(missLocal[k], local)
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, n)
+		for k := 0; k < n; k++ {
+			if len(missLocal[k]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						errs[k] = fmt.Errorf("core: shard %d alignment panicked: %v", k, r)
+					}
+				}()
+				p, werr := e.alignShardMisses(ctx, q, k, missLocal[k], missPos[k], staged, ref, epoch)
+				shardPages[k] += p
+				shardAligned[k] += int64(len(missLocal[k]))
+				errs[k] = werr
+			}(k)
+		}
+		wg.Wait()
+		for k, werr := range errs {
+			if werr != nil {
+				endShardSpans()
+				return Cluster{}, fmt.Errorf("core: cluster for query path %d (shard %d): %w", qi, k, werr)
+			}
+		}
+		alignedN += end - start
+		start = end
+	}
+	endShardSpans()
+	var pages int64
+	for k := 0; k < n; k++ {
+		pages += shardPages[k]
+	}
+	if alignedN > 0 {
+		sp.Set("batched_pages", pages)
+	}
+	sp.Set("aligned", int64(alignedN))
+	if pruned > 0 {
+		sp.Set("bound_pruned", int64(pruned))
 	}
 
 	// Split per shard into full-length and shorter-than-query lists.
@@ -368,13 +471,14 @@ func (e *Engine) buildClusterSharded(ctx context.Context, qi int, q paths.Path, 
 	}, nil
 }
 
-// alignShardMisses materialises and aligns one shard's memo misses,
-// writing results into the shared positional staging slice. It returns
-// the pages its batched read touched (for the cluster-level counter;
-// the per-shard count also lands on the shard span).
+// alignShardMisses materialises and aligns one wave's worth of one
+// shard's memo misses, writing results into the shared positional
+// staging slice. It returns the pages its batched read touched; the
+// caller accumulates per-shard counters across waves and lands them on
+// the shard spans.
 func (e *Engine) alignShardMisses(ctx context.Context, q paths.Path, k int,
 	locals []index.PathID, pos []int, staged []ClusterItem,
-	qsig string, epoch uint64, sp *obs.Span) (int64, error) {
+	ref memoRef, epoch uint64) (int64, error) {
 	set := e.set
 	sh := set.Shard(k)
 	// Same tally isolation as the monolithic pass: sibling shards and
@@ -383,8 +487,6 @@ func (e *Engine) alignShardMisses(ctx context.Context, q paths.Path, k int,
 	local := &storage.IOTally{}
 	ps, err := sh.ReadPathsBatched(storage.WithTally(ctx, local), locals)
 	pages := int64(local.BatchedPages())
-	sp.Set("batched_pages", pages)
-	sp.Set("aligned", int64(len(locals)))
 	storage.TallyFrom(ctx).Merge(local)
 	if err != nil && ctx.Err() == nil {
 		return pages, err
@@ -415,8 +517,7 @@ func (e *Engine) alignShardMisses(ctx context.Context, q paths.Path, k int,
 			item := ClusterItem{ID: gid, Path: p, Alignment: al.Align(p, q)}
 			staged[pos[m]] = item
 			if e.alignMemo != nil {
-				e.alignMemo.Put(memoKey(qsig, gid), epoch,
-					&memoItem{path: p, al: item.Alignment}, memoSize(p, item.Alignment))
+				e.memoPut(ref, gid, epoch, p, item.Alignment)
 			}
 		}
 	})
@@ -428,11 +529,31 @@ func (e *Engine) alignShardMisses(ctx context.Context, q paths.Path, k int,
 // total order — IDs are unique — so per-shard sorting plus a heap
 // merge reproduces the global sort bit for bit.
 func sortClusterItems(items []ClusterItem) {
-	sort.SliceStable(items, func(i, j int) bool {
-		if items[i].Alignment.Cost != items[j].Alignment.Cost {
-			return items[i].Alignment.Cost < items[j].Alignment.Cost
+	// Unstable sort on purpose: (cost, ID) is a strict total order, so
+	// stability buys nothing and pdqsort saves the merge scratch.
+	slices.SortFunc(items, func(a, b ClusterItem) int {
+		if a.Alignment.Cost != b.Alignment.Cost {
+			if a.Alignment.Cost < b.Alignment.Cost {
+				return -1
+			}
+			return 1
 		}
-		return items[i].ID < items[j].ID
+		return cmp.Compare(a.ID, b.ID)
+	})
+}
+
+// sortMissCands orders memo misses by (λ lower bound, ID) — the
+// threshold-pruning order. Unstable for the same reason as
+// sortClusterItems: IDs are unique, so the key is a strict total order.
+func sortMissCands(miss []missCand) {
+	slices.SortFunc(miss, func(a, b missCand) int {
+		if a.bound != b.bound {
+			if a.bound < b.bound {
+				return -1
+			}
+			return 1
+		}
+		return cmp.Compare(a.id, b.id)
 	})
 }
 

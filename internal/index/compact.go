@@ -246,6 +246,7 @@ func (ix *Index) CompactIncremental(ctx context.Context, batch int) (cs CompactS
 		ix.store = re.store
 		ix.rids = re.rids
 		ix.lens = re.lens
+		ix.sigs = re.sigs
 		ix.sinks = re.sinks
 		ix.labels = re.labels
 		ix.sources = re.sources

@@ -118,6 +118,10 @@ type Index struct {
 	// lens caches each path's node count so the engine can pre-rank
 	// candidates without touching disk.
 	lens []uint16
+	// sigs caches each path's 64-bit label fingerprint (see
+	// signature.go), parallel to lens; the engine's pre-rank consults
+	// (lens, sigs) pairs through Summaries and never probes postings.
+	sigs []uint64
 	// sinks matches query sinks against path sinks; labels matches any
 	// constant label against the paths containing it; sources matches
 	// path source labels (used by incremental updates to find the paths
@@ -395,6 +399,7 @@ func (ix *Index) commitPath(p paths.Path, rid storage.RID) {
 		n = 0xffff
 	}
 	ix.lens = append(ix.lens, uint16(n))
+	ix.sigs = append(ix.sigs, pathSig(p))
 	ix.sinks.Add(p.Sink().Label(), uint32(id))
 	ix.sources.Add(p.Source().Label(), uint32(id))
 	for _, n := range p.Nodes {
@@ -488,11 +493,14 @@ func openIndex(base string, opts Options, attachWAL bool) (*Index, error) {
 	return ix, nil
 }
 
-// metaMagic is the current metadata format ("SAMAIDX4": adds the WAL
-// watermark and directory); metaMagicV3 is the previous format, still
-// readable.
+// metaMagic is the current metadata format ("SAMAIDX5": adds the
+// per-path signature table). The two previous formats stay readable:
+// V4 (WAL watermark and directory) and V3; both predate persisted
+// signatures, so opening them derives the table from the label
+// postings (deriveSigs) instead.
 var (
-	metaMagic   = [8]byte{'S', 'A', 'M', 'A', 'I', 'D', 'X', '4'}
+	metaMagic   = [8]byte{'S', 'A', 'M', 'A', 'I', 'D', 'X', '5'}
+	metaMagicV4 = [8]byte{'S', 'A', 'M', 'A', 'I', 'D', 'X', '4'}
 	metaMagicV3 = [8]byte{'S', 'A', 'M', 'A', 'I', 'D', 'X', '3'}
 )
 
@@ -570,6 +578,11 @@ func (ix *Index) writeMeta() error {
 			return err
 		}
 	}
+	for _, s := range ix.sigs {
+		if err := wu(s); err != nil {
+			return err
+		}
+	}
 	// Tombstone bitmap, one byte per 8 paths.
 	bitmap := make([]byte, (len(ix.deleted)+7)/8)
 	for i, del := range ix.deleted {
@@ -635,7 +648,7 @@ func (ix *Index) readMeta(thes *textindex.Thesaurus) error {
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return err
 	}
-	if magic != metaMagic && magic != metaMagicV3 {
+	if magic != metaMagic && magic != metaMagicV4 && magic != metaMagicV3 {
 		return fmt.Errorf("bad meta magic %q", magic)
 	}
 	ru := func() (uint64, error) { return binary.ReadUvarint(r) }
@@ -695,6 +708,14 @@ func (ix *Index) readMeta(thes *textindex.Thesaurus) error {
 		}
 		ix.lens[i] = uint16(v)
 	}
+	if magic == metaMagic {
+		ix.sigs = make([]uint64, n)
+		for i := range ix.sigs {
+			if ix.sigs[i], err = ru(); err != nil {
+				return err
+			}
+		}
+	}
 	bitmap := make([]byte, (n+7)/8)
 	if _, err := io.ReadFull(r, bitmap); err != nil {
 		return err
@@ -716,6 +737,11 @@ func (ix *Index) readMeta(thes *textindex.Thesaurus) error {
 		if ix.dict, err = ReadDictionary(r); err != nil {
 			return err
 		}
+	}
+	if ix.sigs == nil {
+		// Pre-V5 metadata: rebuild the signature table from the label
+		// postings just read — bit-identical to the persisted form.
+		ix.sigs = deriveSigs(ix.labels, int(n))
 	}
 	return nil
 }
@@ -744,30 +770,28 @@ func (ix *Index) Live(id PathID) bool {
 }
 
 // PathLength returns the number of nodes of the path, from the
-// in-memory length table (no disk access).
+// in-memory length table (no disk access). A stale ID — one captured
+// before a compaction shrank the ID space — returns 0 instead of
+// panicking; callers that need staleness surfaced as an error use
+// Summaries, which reports ErrStaleRead for the whole batch.
 func (ix *Index) PathLength(id PathID) int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	if int(id) >= len(ix.lens) {
+		return 0
+	}
 	return int(ix.lens[id])
 }
 
 // ContainsLabel reports whether the path contains an element whose
 // label normalises exactly to the given label, answered from the
-// in-memory postings (no disk access).
+// in-memory compressed postings (skip-table probe plus at most one
+// block scan; no disk access). Stale IDs are safe: an ID outside the
+// current space is simply absent from every postings list.
 func (ix *Index) ContainsLabel(id PathID, label string) bool {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	ps := ix.labels.LookupExact(label)
-	lo, hi := 0, len(ps)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if ps[mid] < uint32(id) {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo < len(ps) && ps[lo] == uint32(id)
+	return ix.labels.ContainsDoc(label, uint32(id))
 }
 
 // Stats returns the build statistics.

@@ -1,0 +1,93 @@
+package index
+
+import (
+	"fmt"
+
+	"sama/internal/paths"
+	"sama/internal/textindex"
+)
+
+// PathSummary is the per-path record the engine's pre-rank consults:
+// the node count and the 64-bit label fingerprint, both answered from
+// memory with zero postings probes and zero disk reads.
+type PathSummary struct {
+	// Len is the path's node count (saturated at 0xffff, like lens).
+	Len uint16
+	// Sig ORs textindex.SigBits over every node and edge label of the
+	// path. sig & probeMask == 0 proves the path cannot match the
+	// probed label at any precision level (exact, token, or thesaurus
+	// expansion); a shared bit proves nothing — the error is one-sided.
+	Sig uint64
+}
+
+// pathSig fingerprints one path: the OR of the signature bits of every
+// element label. Computed at commit time, so every registration route —
+// build, insert, WAL replay, compaction copy — maintains the table
+// through the same line in commitPath.
+func pathSig(p paths.Path) uint64 {
+	var s uint64
+	for _, n := range p.Nodes {
+		s |= textindex.SigBits(n.Label())
+	}
+	for _, e := range p.Edges {
+		s |= textindex.SigBits(e.Label())
+	}
+	return s
+}
+
+// deriveSigs rebuilds the signature table from the label postings: a
+// path's signature is exactly the OR of SigBit over the keys it is
+// indexed under (textindex.SigBits is defined to match), so metadata
+// written before signatures were persisted reconstructs an identical
+// table in one O(total postings) sweep at open.
+func deriveSigs(labels *textindex.Index, n int) []uint64 {
+	sigs := make([]uint64, n)
+	labels.ForEachPosting(func(key string, doc uint32) {
+		if int(doc) < n {
+			sigs[doc] |= textindex.SigBit(key)
+		}
+	})
+	return sigs
+}
+
+// Summaries returns the in-memory summaries for the given IDs under one
+// read lock. Unlike the scalar accessors it reports staleness instead
+// of degrading: an out-of-range ID (the space shrank under a
+// compaction) or a tombstoned one fails the whole batch with
+// ErrStaleRead, which the engine's restart loop turns into a re-run
+// against the fresh state.
+func (ix *Index) Summaries(ids []PathID) ([]PathSummary, error) {
+	out := make([]PathSummary, len(ids))
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for i, id := range ids {
+		if int(id) >= len(ix.lens) {
+			return nil, fmt.Errorf("index: path %d out of range (%d paths): %w", id, len(ix.lens), ErrStaleRead)
+		}
+		if ix.deleted[id] {
+			return nil, fmt.Errorf("index: path %d was invalidated by an update: %w", id, ErrStaleRead)
+		}
+		out[i] = PathSummary{Len: ix.lens[id], Sig: ix.sigs[id]}
+	}
+	return out, nil
+}
+
+// LabelProbeMask returns the signature bits a lookup for label would
+// consult under this index's thesaurus (see textindex.ProbeMask). A
+// path whose summary signature shares no bit with the mask cannot be
+// returned by PathsByLabel(label).
+func (ix *Index) LabelProbeMask(label string) uint64 {
+	return textindex.ProbeMask(ix.thes, label)
+}
+
+// PathsByAllLabels returns the IDs of the live paths containing ALL of
+// the given labels, each matched at any precision level — the
+// intersection of the PathsByLabel result sets, computed by a galloping
+// leapfrog over the compressed postings instead of materialising any of
+// the per-label expansions.
+func (ix *Index) PathsByAllLabels(labels []string) []PathID {
+	ix.mLabelLookups.Inc()
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.toPathIDs(ix.labels.LookupIntersect(labels))
+}

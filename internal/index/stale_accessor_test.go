@@ -1,0 +1,139 @@
+package index
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"sama/internal/rdf"
+)
+
+// TestAccessorsSurviveShrunkIDSpace pins the accessor contract for IDs
+// captured before a compaction shrank the ID space. The scalar
+// accessors degrade (zero / false / not live) instead of panicking —
+// PathLength used to index straight into the length table and crash —
+// while Summaries surfaces the staleness as ErrStaleRead so the
+// engine's restart loop re-runs the query.
+func TestAccessorsSurviveShrunkIDSpace(t *testing.T) {
+	ix := buildTestIndex(t, Options{})
+
+	// Re-enumerating CarlaBunes tombstones its old paths.
+	if err := ix.InsertTriples([]rdf.Triple{
+		{S: iri("CarlaBunes"), P: iri("sponsor"), O: iri("A9999")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before := ix.NumPaths()
+
+	// A tombstoned in-range ID already fails Summaries before compaction.
+	dead, found := PathID(0), false
+	for id := 0; id < before; id++ {
+		if !ix.Live(PathID(id)) {
+			dead, found = PathID(id), true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("re-enumeration left no tombstoned path")
+	}
+	if _, err := ix.Summaries([]PathID{dead}); !errors.Is(err, ErrStaleRead) {
+		t.Fatalf("Summaries(tombstoned) err = %v, want ErrStaleRead", err)
+	}
+
+	if _, err := ix.CompactIncremental(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	after := ix.NumPaths()
+	if after >= before {
+		t.Fatalf("compaction did not shrink the ID space: %d -> %d", before, after)
+	}
+
+	stale := PathID(before - 1) // out of range in the compacted space
+	if int(stale) < after {
+		t.Fatalf("test setup: %d still in range (%d paths)", stale, after)
+	}
+	if got := ix.PathLength(stale); got != 0 {
+		t.Errorf("PathLength(stale) = %d, want 0", got)
+	}
+	if ix.ContainsLabel(stale, "Health Care") {
+		t.Error("ContainsLabel(stale) = true, want false")
+	}
+	if ix.Live(stale) {
+		t.Error("Live(stale) = true, want false")
+	}
+	if _, err := ix.Summaries([]PathID{0, stale}); !errors.Is(err, ErrStaleRead) {
+		t.Fatalf("Summaries(out of range) err = %v, want ErrStaleRead", err)
+	}
+
+	// Fresh IDs still answer, and the signature table survived the
+	// compaction swap in lockstep with the length table.
+	sums, err := ix.Summaries([]PathID{0})
+	if err != nil {
+		t.Fatalf("Summaries(live) err = %v", err)
+	}
+	if int(sums[0].Len) != ix.PathLength(0) {
+		t.Errorf("summary Len %d != PathLength %d", sums[0].Len, ix.PathLength(0))
+	}
+	if sums[0].Sig == 0 {
+		t.Error("summary signature is zero for a labelled path")
+	}
+}
+
+// TestSummariesRaceCompaction hammers the summary batch and the scalar
+// accessors with pre-captured (increasingly stale) IDs while one-path
+// incremental compactions and re-enumerating inserts churn the ID
+// space. Every call must either answer or report ErrStaleRead — no
+// panic, no torn read. Run under -race (make check does) this also pins
+// the lock discipline of Summaries against the compaction swap.
+func TestSummariesRaceCompaction(t *testing.T) {
+	ix := buildTestIndex(t, Options{})
+	if err := ix.InsertTriples([]rdf.Triple{
+		{S: iri("CarlaBunes"), P: iri("sponsor"), O: iri("A9000")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	captured := make([]PathID, ix.NumPaths())
+	for i := range captured {
+		captured[i] = PathID(i)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := ix.Summaries(captured); err != nil && !errors.Is(err, ErrStaleRead) {
+					t.Errorf("Summaries: %v", err)
+					return
+				}
+				for _, id := range captured {
+					ix.PathLength(id)
+					ix.ContainsLabel(id, "Health Care")
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < 6; i++ {
+		if err := ix.InsertTriples([]rdf.Triple{
+			{S: iri("CarlaBunes"), P: iri("sponsor"), O: iri("A9001")},
+		}); err != nil {
+			t.Errorf("insert: %v", err)
+			break
+		}
+		if _, err := ix.CompactIncremental(context.Background(), 1); err != nil {
+			t.Errorf("compaction %d: %v", i, err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -5,17 +5,21 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 )
 
 // Index is an inverted index from labels to document IDs (the caller
 // decides what a document is — the path index stores path IDs). Lookups
 // run at three precision levels: exact normalised label, token, and
-// thesaurus-expanded token. Index is not safe for concurrent mutation;
-// concurrent lookups after construction are fine.
+// thesaurus-expanded token. Postings are held compressed (delta-varint
+// blocks with skip pointers, see postings.go), so membership probes and
+// intersections never decode more than one block per list. Index is not
+// safe for concurrent mutation; concurrent lookups after construction
+// are fine.
 type Index struct {
-	exact  map[string][]uint32
-	tokens map[string][]uint32
+	exact  map[string]*Postings
+	tokens map[string]*Postings
 	thes   *Thesaurus
 	docs   int
 }
@@ -24,8 +28,8 @@ type Index struct {
 // lookups (nil disables expansion).
 func New(thes *Thesaurus) *Index {
 	return &Index{
-		exact:  make(map[string][]uint32),
-		tokens: make(map[string][]uint32),
+		exact:  make(map[string]*Postings),
+		tokens: make(map[string]*Postings),
 		thes:   thes,
 	}
 }
@@ -34,52 +38,61 @@ func New(thes *Thesaurus) *Index {
 // added repeatedly; postings are deduplicated.
 func (ix *Index) Add(label string, doc uint32) {
 	key := Normalize(label)
-	ix.exact[key] = appendPosting(ix.exact[key], doc)
+	postingFor(ix.exact, key).Add(doc)
 	for _, tok := range Tokenize(label) {
 		// Single-character tokens (the "B" of "B1432") match far too
 		// widely to be useful; they are indexed only via the exact key.
 		if tok == key || len(tok) < 2 {
 			continue
 		}
-		ix.tokens[tok] = appendPosting(ix.tokens[tok], doc)
+		postingFor(ix.tokens, tok).Add(doc)
 	}
 	ix.docs++
 }
 
-// appendPosting keeps postings sorted and deduplicated. Documents are
-// typically added in increasing order, making this O(1) amortised.
-func appendPosting(ps []uint32, doc uint32) []uint32 {
-	if n := len(ps); n > 0 {
-		if ps[n-1] == doc {
-			return ps
-		}
-		if ps[n-1] < doc {
-			return append(ps, doc)
-		}
-		i := sort.Search(n, func(i int) bool { return ps[i] >= doc })
-		if i < n && ps[i] == doc {
-			return ps
-		}
-		ps = append(ps, 0)
-		copy(ps[i+1:], ps[i:])
-		ps[i] = doc
-		return ps
+func postingFor(m map[string]*Postings, key string) *Postings {
+	p := m[key]
+	if p == nil {
+		p = &Postings{}
+		m[key] = p
 	}
-	return append(ps, doc)
+	return p
 }
 
-// LookupExact returns the postings of the normalised label. The returned
-// slice is owned by the index.
+// LookupExact returns the postings of the normalised label, decoded
+// into a fresh slice the caller owns (nil when the key is absent).
 func (ix *Index) LookupExact(label string) []uint32 {
-	return ix.exact[Normalize(label)]
+	p := ix.exact[Normalize(label)]
+	if p.Len() == 0 {
+		return nil
+	}
+	return p.AppendTo(make([]uint32, 0, p.Len()))
+}
+
+// ContainsDoc reports whether doc is indexed under the exact normalised
+// label: a skip-table binary search plus at most one block scan, with
+// no decoding or allocation.
+func (ix *Index) ContainsDoc(label string, doc uint32) bool {
+	return ix.exact[Normalize(label)].Contains(doc)
 }
 
 // Lookup returns the postings matching the label at any precision level:
 // the exact normalised label, each of its tokens, and each thesaurus
 // expansion of those tokens. The result is sorted and deduplicated.
 func (ix *Index) Lookup(label string) []uint32 {
-	var out []uint32
-	out = append(out, ix.exact[Normalize(label)]...)
+	// Each postings list decodes already sorted, so the union is a
+	// k-way merge of sorted runs rather than a concatenate-and-sort:
+	// O(N log k) with k = matching lists instead of O(N log N) over the
+	// combined length, which dominated retrieval on token-heavy labels.
+	var runs [][]uint32
+	total := 0
+	gather := func(p *Postings) {
+		if n := p.Len(); n > 0 {
+			runs = append(runs, p.AppendTo(make([]uint32, 0, n)))
+			total += n
+		}
+	}
+	gather(ix.exact[Normalize(label)])
 	seen := map[string]struct{}{}
 	consider := func(tok string) {
 		if len(tok) < 2 {
@@ -89,8 +102,8 @@ func (ix *Index) Lookup(label string) []uint32 {
 			return
 		}
 		seen[tok] = struct{}{}
-		out = append(out, ix.exact[tok]...)
-		out = append(out, ix.tokens[tok]...)
+		gather(ix.exact[tok])
+		gather(ix.tokens[tok])
 	}
 	for _, tok := range Tokenize(label) {
 		if ix.thes != nil {
@@ -101,14 +114,91 @@ func (ix *Index) Lookup(label string) []uint32 {
 			consider(tok)
 		}
 	}
-	return dedupSorted(out)
+	return unionRuns(runs, total)
+}
+
+// unionRuns merges ascending runs into one ascending deduplicated
+// slice. total is the combined run length, used to size the output.
+func unionRuns(runs [][]uint32, total int) []uint32 {
+	switch len(runs) {
+	case 0:
+		return nil
+	case 1:
+		return runs[0]
+	case 2:
+		return union2(runs[0], runs[1], total)
+	}
+	// Binary min-heap of run indices ordered by each run's current
+	// head; pos tracks how far each run has been consumed.
+	pos := make([]int, len(runs))
+	h := make([]int, len(runs))
+	for i := range h {
+		h[i] = i
+	}
+	headLess := func(a, b int) bool { return runs[a][pos[a]] < runs[b][pos[b]] }
+	siftDown := func(i int) {
+		for {
+			l := 2*i + 1
+			if l >= len(h) {
+				return
+			}
+			if r := l + 1; r < len(h) && headLess(h[r], h[l]) {
+				l = r
+			}
+			if !headLess(h[l], h[i]) {
+				return
+			}
+			h[i], h[l] = h[l], h[i]
+			i = l
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	out := make([]uint32, 0, total)
+	for len(h) > 0 {
+		r := h[0]
+		v := runs[r][pos[r]]
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+		pos[r]++
+		if pos[r] == len(runs[r]) {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		siftDown(0)
+	}
+	return out
+}
+
+// union2 is the two-run fast path of unionRuns.
+func union2(a, b []uint32, total int) []uint32 {
+	out := make([]uint32, 0, total)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 func dedupSorted(ps []uint32) []uint32 {
 	if len(ps) < 2 {
 		return ps
 	}
-	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	slices.Sort(ps) // radix-free pdqsort on the concrete type: no comparator calls
 	out := ps[:1]
 	for _, p := range ps[1:] {
 		if p != out[len(out)-1] {
@@ -141,7 +231,7 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	writeUvarint := func(v uint64) error {
 		return write(scratch[:binary.PutUvarint(scratch[:], v)])
 	}
-	writeMap := func(m map[string][]uint32) error {
+	writeMap := func(m map[string]*Postings) error {
 		keys := make([]string, 0, len(m))
 		for k := range m {
 			keys = append(keys, k)
@@ -150,6 +240,7 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		if err := writeUvarint(uint64(len(keys))); err != nil {
 			return err
 		}
+		var wire []byte
 		for _, k := range keys {
 			if err := writeUvarint(uint64(len(k))); err != nil {
 				return err
@@ -158,15 +249,16 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 				return err
 			}
 			ps := m[k]
-			if err := writeUvarint(uint64(len(ps))); err != nil {
+			if err := writeUvarint(uint64(ps.Len())); err != nil {
 				return err
 			}
-			prev := uint32(0)
-			for _, p := range ps {
-				if err := writeUvarint(uint64(p - prev)); err != nil { // delta coding
-					return err
-				}
-				prev = p
+			// The in-memory blocks already hold the globally-chained
+			// delta stream this format has always used; the tail is
+			// delta-encoded behind them. Byte-identical to the
+			// uncompressed writer.
+			wire = ps.appendWire(wire[:0])
+			if err := write(wire); err != nil {
+				return err
 			}
 		}
 		return nil
@@ -194,12 +286,12 @@ func ReadFrom(r io.Reader, thes *Thesaurus) (*Index, error) {
 	if magic != indexMagic {
 		return nil, fmt.Errorf("textindex: bad magic %q", magic)
 	}
-	readMap := func() (map[string][]uint32, error) {
+	readMap := func() (map[string]*Postings, error) {
 		nkeys, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, err
 		}
-		m := make(map[string][]uint32, nkeys)
+		m := make(map[string]*Postings, nkeys)
 		for i := uint64(0); i < nkeys; i++ {
 			klen, err := binary.ReadUvarint(br)
 			if err != nil {
@@ -213,15 +305,15 @@ func ReadFrom(r io.Reader, thes *Thesaurus) (*Index, error) {
 			if err != nil {
 				return nil, err
 			}
-			ps := make([]uint32, np)
+			ps := &Postings{}
 			prev := uint64(0)
-			for j := range ps {
+			for j := uint64(0); j < np; j++ {
 				d, err := binary.ReadUvarint(br)
 				if err != nil {
 					return nil, err
 				}
 				prev += d
-				ps[j] = uint32(prev)
+				ps.Add(uint32(prev)) // ascending: stays on the O(1) append path
 			}
 			m[string(kb)] = ps
 		}

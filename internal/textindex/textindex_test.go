@@ -167,12 +167,13 @@ func TestIndexPostingsDedup(t *testing.T) {
 
 func TestAppendPostingProperty(t *testing.T) {
 	// Property: postings stay sorted and deduplicated for any insertion
-	// order.
+	// order, Len matches, and Contains agrees with membership.
 	f := func(docs []uint32) bool {
-		var ps []uint32
+		var p Postings
 		for _, d := range docs {
-			ps = appendPosting(ps, d)
+			p.Add(d)
 		}
+		ps := p.AppendTo(nil)
 		if !sort.SliceIsSorted(ps, func(i, j int) bool { return ps[i] < ps[j] }) {
 			return false
 		}
@@ -185,7 +186,15 @@ func TestAppendPostingProperty(t *testing.T) {
 		for _, d := range docs {
 			want[d] = struct{}{}
 		}
-		return len(want) == len(ps)
+		if len(want) != len(ps) || p.Len() != len(ps) {
+			return false
+		}
+		for _, d := range docs {
+			if !p.Contains(d) {
+				return false
+			}
+		}
+		return true
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -258,10 +258,12 @@ func WithParallelism(n int) Option {
 	return func(c *config) { c.engine.Parallelism = n }
 }
 
-// WithAlignmentCache enables the alignment memo: per (query path, data
+// WithAlignmentCache sizes the alignment memo: per (query path, data
 // path) alignments are retained up to a byte budget of mb MiB (LRU) and
-// reused across queries sharing a path shape, skipping the edit-cost
-// computation. mb ≤ 0 leaves the memo disabled (the default).
+// reused across queries sharing a path shape, skipping the disk read
+// and the edit-cost computation. Entries are epoch-checked, so answers
+// are identical with the memo on or off. The memo defaults on (32 MiB);
+// mb < 0 disables it.
 func WithAlignmentCache(mb int) Option {
 	return func(c *config) { c.engine.AlignCacheMB = mb }
 }
@@ -870,11 +872,14 @@ func (db *DB) Serve(addr string, opts ServerOptions) (*QueryServer, error) {
 	return db.Handler(opts).Serve(addr)
 }
 
-// DropCache empties the buffer pool (cold-cache state).
+// DropCache empties the buffer pool and the engine's in-memory caches
+// (the answer cache and the alignment memo), returning the database to
+// a genuinely cold state.
 func (db *DB) DropCache() error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	db.engine.DropCaches()
 	return db.store.DropCache()
 }
 
