@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build bins test race race-hot crash bench serve-smoke route-smoke
+.PHONY: check fmt vet build bins test race race-hot crash bench profile serve-smoke route-smoke
 
 # check is the tier-1 gate: formatting, static analysis, a full build
 # (packages and both binaries), the race-enabled test suite with an
@@ -58,6 +58,15 @@ crash:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 	@echo "per-phase p50/p99 written to results/bench_latest.json"
+
+# profile captures a CPU profile of the warm Fig. 7(a)-style query mix
+# (BenchmarkSearchMix: Q2/Q4/Q10 over the shared LUBM instance) into
+# results/, keeping the test binary next to it for symbolisation.
+profile:
+	@mkdir -p results
+	$(GO) test -run '^$$' -bench 'BenchmarkSearchMix' -benchtime 20x \
+		-cpuprofile results/cpu.pprof -o results/bench.test .
+	@echo "inspect with: $(GO) tool pprof results/bench.test results/cpu.pprof"
 
 # route-smoke boots the multi-node path end-to-end: a 3-shard layout,
 # one samad per shard directory, a samad router fronting them, the

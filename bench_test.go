@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"sort"
 	"strings"
@@ -162,6 +163,32 @@ func BenchmarkFigure7a(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkSearchMix is the profiling workhorse behind `make profile`:
+// the Figure 7(a)-style warm query mix (Q2, Q4, Q10 — the Figure 6
+// latency subset) through one default engine over the shared LUBM
+// instance. The engine has no answer cache, so every iteration runs
+// the cluster and search phases for real; a warm-up lap keeps index
+// page reads out of the profile. Run it with -cpuprofile to see where
+// query time goes.
+func BenchmarkSearchMix(b *testing.B) {
+	_, sys := systems(b)
+	eng := sys.Engine()
+	queries := figure6Queries()
+	for _, q := range queries { // warm the page cache and memo
+		if _, err := eng.Query(q.Pattern, experiments.TopK); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			if _, err := eng.Query(q.Pattern, experiments.TopK); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 
@@ -492,6 +519,28 @@ type benchClusterV2Report struct {
 	BoundPruneRate     float64 `json:"bound_prune_rate"`
 }
 
+// benchSearchV2Row is one query's old-vs-new search-phase comparison:
+// the legacy SearchCompat lane against the v2 binding-vector frontier,
+// with the v2 lane's incremental reuse rate (pair evaluations skipped
+// because the parent combination's values carried over) and its peak
+// frontier size.
+type benchSearchV2Row struct {
+	Query             string  `json:"query"`
+	OldSearchMedianNS int64   `json:"old_search_median_ns"`
+	NewSearchMedianNS int64   `json:"new_search_median_ns"`
+	Speedup           float64 `json:"speedup"`
+	PsiMemoHitRate    float64 `json:"psi_memo_hit_rate"`
+	FrontierPeak      int64   `json:"frontier_peak"`
+}
+
+// benchSearchV2Report is the search_v2 section of
+// results/bench_latest.json. Answers are asserted bit-identical between
+// the lanes before any timing is reported.
+type benchSearchV2Report struct {
+	Triples int                `json:"triples"`
+	Rows    []benchSearchV2Row `json:"per_query"`
+}
+
 // benchPhaseReport is the file schema for results/bench_latest.json.
 type benchPhaseReport struct {
 	Dataset    string                 `json:"dataset"`
@@ -500,6 +549,7 @@ type benchPhaseReport struct {
 	Cache      *benchCacheReport      `json:"cache,omitempty"`
 	Parallel   *benchParallelReport   `json:"parallel,omitempty"`
 	ClusterV2  *benchClusterV2Report  `json:"cluster_v2,omitempty"`
+	SearchV2   *benchSearchV2Report   `json:"search_v2,omitempty"`
 	Shard      *benchShardReport      `json:"shard,omitempty"`
 	Durability *benchDurabilityReport `json:"durability,omitempty"`
 }
@@ -667,6 +717,11 @@ func BenchmarkPhaseBreakdown(b *testing.B) {
 	b.ReportMetric(report.ClusterV2.Speedup, "cluster-v2-speedup")
 	b.ReportMetric(report.ClusterV2.SigRejectionRate, "sig-rejection-rate")
 
+	report.SearchV2 = measureSearchV2(b)
+	for _, row := range report.SearchV2.Rows {
+		b.ReportMetric(row.Speedup, row.Query+"-search-v2-speedup")
+	}
+
 	report.Shard = measureSharding(b)
 	for _, row := range report.Shard.Rows {
 		b.ReportMetric(float64(row.ClusterMedianNS), fmt.Sprintf("shard%d-cluster-ns", row.Shards))
@@ -763,6 +818,89 @@ func measureClusterV2(b *testing.B) *benchClusterV2Report {
 	}
 	if preranked > 0 {
 		rep.BoundPruneRate = float64(pruned) / float64(preranked)
+	}
+	return rep
+}
+
+// measureSearchV2 runs the Figure 6 latency subset (Q2, Q4, Q10) over a
+// search-heavy LUBM instance through the legacy SearchCompat frontier
+// and the v2 lane (precompiled pair scoring, incremental deltas, tight
+// termination bound, interned join keys), reading search-phase medians
+// from the query traces and the reuse/frontier counters from the v2
+// explain spans. The ranked answers must match bit for bit — the v2
+// lane's contract — so the comparison times identical work.
+func measureSearchV2(b *testing.B) *benchSearchV2Report {
+	b.Helper()
+	const triples = 10_000
+	g := datasets.LUBM{}.Generate(triples, 7)
+	ix, err := index.Build(filepath.Join(b.TempDir(), "sv2"), g, index.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ix.Close()
+	oldEng := core.New(ix, core.Options{SearchCompat: true})
+	newEng := core.New(ix, core.Options{})
+	defer oldEng.Close()
+	defer newEng.Close()
+
+	rep := &benchSearchV2Report{Triples: triples}
+	const reps = 11
+	for _, q := range figure6Queries() {
+		want, _, err := oldEng.QueryWithStats(q.Pattern, experiments.TopK) // warm
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, _, err := newEng.QueryWithStats(q.Pattern, experiments.TopK) // warm
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(want) != len(got) {
+			b.Fatalf("%s: v2 lane returned %d answers, compat %d", q.ID, len(got), len(want))
+		}
+		for i := range want {
+			if want[i].Score != got[i].Score || want[i].Lambda != got[i].Lambda ||
+				want[i].Psi != got[i].Psi || want[i].Degree != got[i].Degree ||
+				!reflect.DeepEqual(want[i].Subst, got[i].Subst) {
+				b.Fatalf("%s: v2 answer %d diverges from the compat lane", q.ID, i)
+			}
+		}
+		row := benchSearchV2Row{Query: q.ID}
+		var oldSearch, newSearch []time.Duration
+		var memoHits, scored int64
+		// Interleave the lanes so both see the same allocator and GC
+		// background; block-ordered reps skew whichever lane runs
+		// second when the process carries heap from earlier benchmarks.
+		for i := 0; i < reps; i++ {
+			_, st, err := oldEng.QueryWithStats(q.Pattern, experiments.TopK)
+			if err != nil {
+				b.Fatal(err)
+			}
+			oldSearch = append(oldSearch, st.Trace.PhaseDuration("search"))
+			_, st, err = newEng.QueryWithStats(q.Pattern, experiments.TopK)
+			if err != nil {
+				b.Fatal(err)
+			}
+			newSearch = append(newSearch, st.Trace.PhaseDuration("search"))
+			for _, ph := range st.Plan().Phases {
+				if ph.Name != "search" {
+					continue
+				}
+				memoHits += ph.Attrs["psi_memo_hits"]
+				scored += ph.Attrs["psi_scored"]
+				if fp := ph.Attrs["frontier_peak"]; fp > row.FrontierPeak {
+					row.FrontierPeak = fp
+				}
+			}
+		}
+		row.OldSearchMedianNS = medianDuration(oldSearch)
+		row.NewSearchMedianNS = medianDuration(newSearch)
+		if row.NewSearchMedianNS > 0 {
+			row.Speedup = float64(row.OldSearchMedianNS) / float64(row.NewSearchMedianNS)
+		}
+		if memoHits+scored > 0 {
+			row.PsiMemoHitRate = float64(memoHits) / float64(memoHits+scored)
+		}
+		rep.Rows = append(rep.Rows, row)
 	}
 	return rep
 }

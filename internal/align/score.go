@@ -96,6 +96,37 @@ func ChiAligned(qi, qj paths.Path, si, sj rdf.Substitution, pi, pj paths.Path) i
 	return count
 }
 
+// PsiFromChi is ψ evaluated from precomputed χ values:
+//
+//	ψ = e·chiQ / chiA  when chiA > 0
+//	ψ = e·chiQ         when chiA = 0
+//
+// with chiQ = |χ(qi,qj)| and chiA the realised intersection count
+// (ChiAligned for the alignment-aware χ, |χ(pi,pj)| for the raw one).
+// Callers that precompile the pairwise structure (the search phase's
+// binding-vector scorer) evaluate ψ through this primitive so the
+// scoring semantics — including the exact floating-point expression,
+// which the cross-engine equivalence suite pins bit-for-bit — stay in
+// one place. PsiAligned is PsiFromChi over ChiAligned.
+func PsiFromChi(chiQ, chiA int, par Params) float64 {
+	if chiQ == 0 {
+		return 0
+	}
+	if chiA > 0 {
+		return par.E * float64(chiQ) / float64(chiA)
+	}
+	return par.E * float64(chiQ)
+}
+
+// PsiDegreeFromChi is the conformity degree chiA / chiQ from
+// precomputed χ values, with the chiQ = 0 ⇒ 1 convention of PsiDegree.
+func PsiDegreeFromChi(chiQ, chiA int) float64 {
+	if chiQ == 0 {
+		return 1
+	}
+	return float64(chiA) / float64(chiQ)
+}
+
 // PsiAligned is ψ computed with the alignment-aware χ of ChiAligned:
 //
 //	ψ = e·|χ(qi,qj)| / χa  when χa > 0
@@ -107,11 +138,7 @@ func PsiAligned(qi, qj paths.Path, si, sj rdf.Substitution, pi, pj paths.Path, p
 	if chiQ == 0 {
 		return 0
 	}
-	chiA := ChiAligned(qi, qj, si, sj, pi, pj)
-	if chiA > 0 {
-		return par.E * float64(chiQ) / float64(chiA)
-	}
-	return par.E * float64(chiQ)
+	return PsiFromChi(chiQ, ChiAligned(qi, qj, si, sj, pi, pj), par)
 }
 
 // PsiDegreeAligned is the conformity degree χa / |χ(qi,qj)| under the
@@ -122,7 +149,7 @@ func PsiDegreeAligned(qi, qj paths.Path, si, sj rdf.Substitution, pi, pj paths.P
 	if chiQ == 0 {
 		return 1
 	}
-	return float64(ChiAligned(qi, qj, si, sj, pi, pj)) / float64(chiQ)
+	return PsiDegreeFromChi(chiQ, ChiAligned(qi, qj, si, sj, pi, pj))
 }
 
 // Conformity computes Ψ(a, Q) = Σ_{qi,qj∈Q} ψ(qi, qj, pi, pj) over the

@@ -1,9 +1,9 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
-	"encoding/binary"
 	"strings"
 
 	"sama/internal/align"

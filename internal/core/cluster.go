@@ -162,7 +162,7 @@ func (e *Engine) buildCluster(ctx context.Context, qi int, q paths.Path, sp *obs
 				continue
 			}
 		}
-		miss = append(miss, missCand{pos: i, id: c.id, bound: c.bound})
+		miss = append(miss, missCand{pos: i, id: c.id, bound: c.bound, short: c.short})
 	}
 	sp.Set("memo_hits", int64(len(cands)-len(miss)))
 
@@ -188,11 +188,25 @@ func (e *Engine) buildCluster(ctx context.Context, qi int, q paths.Path, sp *obs
 	}
 	qlen := q.Length()
 	capN := e.opts.maxCandidates()
-	aligned, pruned := 0, 0
+	aligned, pruned, shortPruned := 0, 0, 0
 	var pages int64
 	var scratch []float64
 	for start := 0; start < len(miss); {
 		if prune {
+			// Short-candidate barrier: once any full-length item is
+			// staged, the shorter-path fallback below is dead and
+			// every shorter-than-query miss can be discarded outright.
+			// This arms off a single staged alignment — long before
+			// the λ-bound check below, which needs the cap saturated
+			// with full-length costs.
+			if anyFullStaged(staged, qlen) {
+				var d int
+				miss, d = dropShortMisses(miss, start)
+				shortPruned += d
+			}
+			if start >= len(miss) {
+				break
+			}
 			var kth float64
 			var ok bool
 			scratch, kth, ok = kthFullCost(staged, qlen, capN, scratch)
@@ -217,8 +231,11 @@ func (e *Engine) buildCluster(ctx context.Context, qi int, q paths.Path, sp *obs
 		sp.Set("batched_pages", pages)
 	}
 	sp.Set("aligned", int64(aligned))
-	if pruned > 0 {
-		sp.Set("bound_pruned", int64(pruned))
+	if shortPruned > 0 {
+		sp.Set("short_pruned", int64(shortPruned))
+	}
+	if pruned+shortPruned > 0 {
+		sp.Set("bound_pruned", int64(pruned+shortPruned))
 	}
 
 	items := make([]ClusterItem, 0, len(staged))
@@ -271,18 +288,23 @@ type queryConstant struct {
 // clusterCand is one pre-ranked candidate: the path ID plus a sound
 // lower bound on λ(p, q). bound never exceeds the true alignment cost,
 // so "bound exceeds the cap'th best cost" proves the candidate cannot
-// enter the capped cluster.
+// enter the capped cluster. short marks a candidate whose summary
+// length falls below the query path's — one only the shorter-path
+// fallback could keep.
 type clusterCand struct {
 	id    index.PathID
 	bound float64
+	short bool
 }
 
 // missCand is a memo-missing candidate queued for materialisation: its
-// position in the staging slice, its ID, and its λ lower bound.
+// position in the staging slice, its ID, its λ lower bound, and the
+// summary's shorter-than-query flag.
 type missCand struct {
 	pos   int
 	id    index.PathID
 	bound float64
+	short bool
 }
 
 // pruneEnabled reports whether the cluster phase may stop aligning once
@@ -459,7 +481,7 @@ func (e *Engine) preRank(ids []index.PathID, q paths.Path, sp *obs.Span) ([]clus
 			dk = 0xffff
 		}
 		keys[i] = uint64(missing)<<16 | dk
-		cands[i] = clusterCand{id: id, bound: bound}
+		cands[i] = clusterCand{id: id, bound: bound, short: deficit > 0}
 	}
 	if !cutting {
 		return cands, nil
@@ -539,6 +561,51 @@ func (e *Engine) preRankCompat(ids []index.PathID, q paths.Path) []clusterCand {
 		out[i].id = id
 	}
 	return out
+}
+
+// anyFullStaged reports whether some staged item has already aligned at
+// full length. One such item is enough to arm the short-candidate
+// barrier: the final assembly keeps shorter-than-query paths only when
+// NO full-length item exists (the fallback rule), and a staged
+// full-length item survives to that decision, so every
+// shorter-than-query candidate still waiting is provably discarded no
+// matter what its alignment would cost.
+func anyFullStaged(staged []ClusterItem, qlen int) bool {
+	for i := range staged {
+		if staged[i].Alignment != nil && staged[i].Path.Length() >= qlen {
+			return true
+		}
+	}
+	return false
+}
+
+// dropShortMisses compacts the shorter-than-query candidates out of
+// miss[start:], returning the filtered slice and the number dropped.
+// Callers arm it with anyFullStaged — unlike the λ-bound barrier below,
+// which needs the cap saturated with full-length costs, this one fires
+// off a single staged full-length alignment, which is what lets the
+// prune engage while the cap is still unsaturated.
+func dropShortMisses(miss []missCand, start int) ([]missCand, int) {
+	has := false
+	for _, m := range miss[start:] {
+		if m.short {
+			has = true
+			break
+		}
+	}
+	if !has {
+		return miss, 0
+	}
+	kept := miss[:start]
+	dropped := 0
+	for _, m := range miss[start:] {
+		if m.short {
+			dropped++
+			continue
+		}
+		kept = append(kept, m)
+	}
+	return kept, dropped
 }
 
 // kthFullCost returns the k-th smallest alignment cost among the staged

@@ -207,6 +207,188 @@ func TestThresholdPruningFiresAndPreservesAnswers(t *testing.T) {
 	}
 }
 
+// findPlanAttr returns the first value of the attribute found on the
+// node or any descendant.
+func findPlanAttr(n *obs.PlanNode, key string) (int64, bool) {
+	if n == nil {
+		return 0, false
+	}
+	if v, ok := n.Attrs[key]; ok {
+		return v, true
+	}
+	for _, c := range n.Children {
+		if v, ok := findPlanAttr(c, key); ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// TestShortCandidateBarrierFiresAndPreservesAnswers pins the
+// short-candidate barrier on a graph where the λ-bound barrier cannot
+// arm: sixteen full-length exact matches and eight shorter-than-query
+// decoys, under a cap of 20. The first wave aligns the sixteen fulls
+// plus four shorts (bound order), leaving only 16 < 20 full-length
+// costs staged — the kth-cost barrier stays dark — yet one staged
+// full-length item is enough to prove the shorter-path fallback dead,
+// so the remaining four short misses are dropped unaligned. The plan
+// must show it (short_pruned = 4, aligned = 20) and the answers must
+// be bit-identical to the unpruned engine's, on the monolith and on a
+// two-shard build alike.
+func TestShortCandidateBarrierFiresAndPreservesAnswers(t *testing.T) {
+	g := rdf.NewGraph()
+	for i := 0; i < 16; i++ {
+		a := iri(fmt.Sprintf("A%02d", i))
+		g.AddTriple(rdf.Triple{S: a, P: iri("r"), O: iri("Hub")})
+	}
+	g.AddTriple(rdf.Triple{S: iri("Hub"), P: iri("s"), O: iri("Sink")})
+	for j := 0; j < 8; j++ {
+		x := iri(fmt.Sprintf("X%02d", j))
+		g.AddTriple(rdf.Triple{S: x, P: iri("s"), O: iri("Sink")})
+	}
+	base := filepath.Join(t.TempDir(), "short")
+	ix, err := index.Build(base, g, index.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	set, err := shard.Build(filepath.Join(t.TempDir(), "shards"), g, shard.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+
+	// ?v -r-> Hub -s-> Sink (three nodes). Sink retrieval returns all 24
+	// paths; the 16 A→Hub→Sink paths bound to 0, the 8 two-node X→Sink
+	// paths carry a deficit-1 bound and sort after them.
+	q := rdf.NewQueryGraph()
+	q.AddTriple(rdf.Triple{S: vr("v"), P: iri("r"), O: iri("Hub")})
+	q.AddTriple(rdf.Triple{S: iri("Hub"), P: iri("s"), O: iri("Sink")})
+
+	plain := New(ix, Options{MaxCandidatesPerCluster: 20, DisableClusterPruning: true})
+	defer plain.Close()
+	want, _, err := plain.QueryWithStats(q, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	engines := []struct {
+		name string
+		e    *Engine
+	}{
+		{"monolith", New(ix, Options{MaxCandidatesPerCluster: 20})},
+		{"sharded", NewSharded(set, Options{MaxCandidatesPerCluster: 20})},
+	}
+	for _, v := range engines {
+		defer v.e.Close()
+	}
+	for _, v := range engines {
+		got, st, err := v.e.QueryWithStats(q, 16)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		assertSameAnswers(t, v.name, "crafted", want, got)
+		var cluster *obs.PlanNode
+		for _, ph := range st.Plan().Phases {
+			if ph.Name == "cluster" {
+				cluster = ph
+			}
+		}
+		if cluster == nil {
+			t.Fatalf("%s: no cluster phase in the plan", v.name)
+		}
+		if sp, ok := findPlanAttr(cluster, "short_pruned"); !ok || sp != 4 {
+			t.Errorf("%s: short_pruned = %d (found %v), want 4", v.name, sp, ok)
+		}
+		if al, ok := findPlanAttr(cluster, "aligned"); !ok || al != 20 {
+			t.Errorf("%s: aligned = %d (found %v), want 20", v.name, al, ok)
+		}
+		if bp, ok := findPlanAttr(cluster, "bound_pruned"); !ok || bp != 4 {
+			t.Errorf("%s: bound_pruned = %d (found %v), want 4", v.name, bp, ok)
+		}
+	}
+}
+
+// TestSearchEquivalenceAcrossEngines is the equivalence suite for the
+// v2 search lane: over the Figure 7 LUBM workload mix, the
+// binding-vector frontier (precompiled pair scoring, incremental
+// (λ, ψ, degree) deltas, tight termination bound, interned join keys)
+// must return ranked answers bit-identical to the legacy SearchCompat
+// lane, sweeping SearchCompat on/off × parallelism (1, 8) × shards
+// (1, 4). The tight cluster cap keeps per-cluster frontiers rich so
+// the search loop, the tie horizon, and the join pass all engage.
+// Runs under -race via make check's race-hot pass.
+func TestSearchEquivalenceAcrossEngines(t *testing.T) {
+	g := datasets.LUBM{}.Generate(6000, 7)
+	base := filepath.Join(t.TempDir(), "lubm")
+	ix, err := index.Build(base, g, index.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	sets := map[int]*shard.Set{}
+	for _, n := range []int{1, 4} {
+		s, err := shard.Build(filepath.Join(t.TempDir(), fmt.Sprintf("s%d", n)), g, shard.Options{Shards: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		sets[n] = s
+	}
+
+	const cap = 16
+	ref := New(ix, Options{Parallelism: 1, MaxCandidatesPerCluster: cap, SearchCompat: true})
+	defer ref.Close()
+
+	variants := []struct {
+		name string
+		e    *Engine
+	}{
+		{"v2 par=1", New(ix, Options{Parallelism: 1, MaxCandidatesPerCluster: cap})},
+		{"v2 par=8", New(ix, Options{Parallelism: 8, MaxCandidatesPerCluster: cap})},
+		{"compat par=8", New(ix, Options{Parallelism: 8, MaxCandidatesPerCluster: cap, SearchCompat: true})},
+		{"v2 shards=1", NewSharded(sets[1], Options{Parallelism: 1, MaxCandidatesPerCluster: cap})},
+		{"v2 shards=4 par=8", NewSharded(sets[4], Options{Parallelism: 8, MaxCandidatesPerCluster: cap})},
+		{"compat shards=4 par=8", NewSharded(sets[4], Options{Parallelism: 8, MaxCandidatesPerCluster: cap, SearchCompat: true})},
+	}
+	for _, v := range variants {
+		defer v.e.Close()
+	}
+
+	deltasSeen := false
+	for _, q := range workload.LUBMQueries() {
+		want, err := ref.Query(q.Pattern, 10)
+		if err != nil {
+			t.Fatalf("%s reference: %v", q.ID, err)
+		}
+		for _, v := range variants {
+			got, err := v.e.Query(q.Pattern, 10)
+			if err != nil {
+				t.Fatalf("%s %s: %v", q.ID, v.name, err)
+			}
+			assertSameAnswers(t, v.name, q.ID, want, got)
+		}
+		// Confirm the incremental scorer actually reused parent pair
+		// values somewhere in the mix, so the equivalence is not
+		// exercising an empty frontier.
+		_, st, err := variants[0].e.QueryWithStats(q.Pattern, 10)
+		if err != nil {
+			t.Fatalf("%s explain: %v", q.ID, err)
+		}
+		for _, ph := range st.Plan().Phases {
+			if ph.Name != "search" {
+				continue
+			}
+			if ph.Attrs["psi_memo_hits"] > 0 && ph.Attrs["frontier_peak"] > 0 {
+				deltasSeen = true
+			}
+		}
+	}
+	if !deltasSeen {
+		t.Error("no query in the mix reused incremental pair values; the search equivalence test is vacuous")
+	}
+}
+
 // TestClusterCompatMatchesWithoutCut pins the no-cut contract between
 // the legacy compat lane and the new engine: when the frontier is never
 // cut (a cap large enough that every retrieved candidate is aligned),

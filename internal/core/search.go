@@ -42,14 +42,25 @@ func (e *Engine) SearchContext(ctx context.Context, pre *Preprocessed, clusters 
 // (the Λ-ordered frontier expansion plus the hash-join completion pass)
 // and "assemble" (materialising the surviving combinations into
 // answers). A nil trace records nothing.
+//
+// Two lanes produce bit-identical ranked answers (pinned by the
+// cross-engine equivalence suite): the default binding-vector lane
+// (searchv2.go) and the legacy lane below, kept behind
+// Options.SearchCompat for old-vs-new benchmarking. RawChi routes to
+// the legacy lane: the v2 scorer precompiles the alignment-aware χ
+// only.
 func (e *Engine) searchTraced(ctx context.Context, pre *Preprocessed, clusters []Cluster, k int, tr *obs.Trace) []Answer {
-	sp := tr.Phase("search")
-	// Split effective clusters (with candidates) from missed query
-	// paths, which contribute a fixed deletion penalty to Λ and a fixed
-	// non-conformity penalty to Ψ.
-	var eff []Cluster
-	var missing []paths.Path
-	missed := make(map[int]bool)
+	if e.opts.SearchCompat || e.opts.RawChi {
+		return e.searchCompat(ctx, pre, clusters, k, tr)
+	}
+	return e.searchV2(ctx, pre, clusters, k, tr)
+}
+
+// splitEffective separates the clusters with candidates (the frontier's
+// dimensions) from the missed query paths, which contribute a fixed
+// deletion penalty to Λ and a fixed non-conformity penalty to Ψ.
+func splitEffective(clusters []Cluster) (eff []Cluster, missing []paths.Path, missed map[int]bool) {
+	missed = make(map[int]bool)
 	for _, cl := range clusters {
 		if len(cl.Items) == 0 {
 			missing = append(missing, cl.Query)
@@ -58,6 +69,62 @@ func (e *Engine) searchTraced(ctx context.Context, pre *Preprocessed, clusters [
 		}
 		eff = append(eff, cl)
 	}
+	return eff, missing, missed
+}
+
+// scored is one ranked combination.
+type scored struct {
+	idx         []int
+	lambda      float64
+	psi, degree float64
+	score       float64
+}
+
+// resultList keeps the top-k combinations sorted by (score asc, degree
+// desc). Both search lanes rank through it, so admission and eviction
+// are identical by construction.
+type resultList struct {
+	k       int
+	results []scored
+}
+
+// worst returns the k-th best total so far, or -1 while the list is
+// not full (or unbounded).
+func (rl *resultList) worst() float64 {
+	if rl.k <= 0 || len(rl.results) < rl.k {
+		return -1
+	}
+	return rl.results[rl.k-1].score
+}
+
+// add inserts sorted by (score asc, degree desc) and returns the index
+// slice the top-k cut displaced (s's own when it did not qualify), for
+// the caller's free list — nil when nothing was displaced.
+func (rl *resultList) add(s scored) []int {
+	pos := sort.Search(len(rl.results), func(i int) bool {
+		if rl.results[i].score != s.score {
+			return rl.results[i].score > s.score
+		}
+		return rl.results[i].degree < s.degree
+	})
+	if rl.k > 0 && len(rl.results) >= rl.k && pos >= rl.k {
+		return s.idx
+	}
+	rl.results = append(rl.results, scored{})
+	copy(rl.results[pos+1:], rl.results[pos:])
+	rl.results[pos] = s
+	if rl.k > 0 && len(rl.results) > rl.k {
+		evicted := rl.results[rl.k].idx
+		rl.results = rl.results[:rl.k]
+		return evicted
+	}
+	return nil
+}
+
+// searchCompat is the legacy search lane (see searchTraced).
+func (e *Engine) searchCompat(ctx context.Context, pre *Preprocessed, clusters []Cluster, k int, tr *obs.Trace) []Answer {
+	sp := tr.Phase("search")
+	eff, missing, missed := splitEffective(clusters)
 	basePenalty := e.missPenalty(pre, missing, missed)
 	if len(eff) == 0 {
 		sp.End()
@@ -91,45 +158,11 @@ func (e *Engine) searchTraced(ctx context.Context, pre *Preprocessed, clusters [
 		return make([]int, len(eff))
 	}
 
-	type scored struct {
-		idx         []int
-		lambda      float64
-		psi, degree float64
-		score       float64
-	}
-	var results []scored
-	worst := func() float64 { // k-th best total so far
-		if k <= 0 || len(results) < k {
-			return -1
-		}
-		return results[k-1].score
-	}
-	// addResult inserts sorted by (score asc, degree desc) and returns
-	// the index slice the top-k cut displaced (s's own when it did not
-	// qualify), for the free list — nil when nothing was displaced.
-	addResult := func(s scored) []int {
-		pos := sort.Search(len(results), func(i int) bool {
-			if results[i].score != s.score {
-				return results[i].score > s.score
-			}
-			return results[i].degree < s.degree
-		})
-		if k > 0 && len(results) >= k && pos >= k {
-			return s.idx
-		}
-		results = append(results, scored{})
-		copy(results[pos+1:], results[pos:])
-		results[pos] = s
-		if k > 0 && len(results) > k {
-			evicted := results[k].idx
-			results = results[:k]
-			return evicted
-		}
-		return nil
-	}
+	rl := resultList{k: k}
 
 	visited := 0
 	tieVisits := 0
+	frontierPeak := frontier.Len()
 	maxVisits := e.opts.maxCombinations()
 	maxTies := e.opts.maxTieVisits()
 	cancelled := false
@@ -139,7 +172,7 @@ func (e *Engine) searchTraced(ctx context.Context, pre *Preprocessed, clusters [
 			break
 		}
 		c := heap.Pop(frontier).(combo)
-		if w := worst(); w >= 0 {
+		if w := rl.worst(); w >= 0 {
 			lb := c.lambda + psiMin
 			if lb > w {
 				// No unseen combination can reach the top k.
@@ -176,9 +209,12 @@ func (e *Engine) searchTraced(ctx context.Context, pre *Preprocessed, clusters [
 			next.lambda = e.comboLambda(eff, next.idx) + basePenalty
 			heap.Push(frontier, next)
 		}
+		if n := frontier.Len(); n > frontierPeak {
+			frontierPeak = n
+		}
 
 		psi, degree := sc.score(c.idx)
-		if recycled := addResult(scored{
+		if recycled := rl.add(scored{
 			idx:    c.idx,
 			lambda: c.lambda,
 			psi:    psi,
@@ -207,7 +243,7 @@ func (e *Engine) searchTraced(ctx context.Context, pre *Preprocessed, clusters [
 			joined++
 			lambda := e.comboLambda(eff, idx) + basePenalty
 			psi, degree := sc.score(idx)
-			if recycled := addResult(scored{
+			if recycled := rl.add(scored{
 				idx: idx, lambda: lambda, psi: psi, degree: degree, score: lambda + psi,
 			}); recycled != nil {
 				idxFree = append(idxFree, recycled)
@@ -216,6 +252,8 @@ func (e *Engine) searchTraced(ctx context.Context, pre *Preprocessed, clusters [
 	}
 	sp.Set("visited", int64(visited))
 	sp.Set("joined", int64(joined))
+	sp.Set("psi_memo_hits", sc.hits)
+	sp.Set("frontier_peak", int64(frontierPeak))
 	if cancelled {
 		sp.Set("cancelled", 1)
 	}
@@ -223,8 +261,8 @@ func (e *Engine) searchTraced(ctx context.Context, pre *Preprocessed, clusters [
 
 	// Materialise only the surviving combinations.
 	spA := tr.Phase("assemble")
-	answers := make([]Answer, len(results))
-	for i, s := range results {
+	answers := make([]Answer, len(rl.results))
+	for i, s := range rl.results {
 		answers[i] = e.buildAnswer(eff, s.idx, missing, s.lambda, s.psi, s.degree)
 	}
 	spA.Set("answers", int64(len(answers)))
@@ -232,57 +270,65 @@ func (e *Engine) searchTraced(ctx context.Context, pre *Preprocessed, clusters [
 	return answers
 }
 
+// Join-pass budgets, shared by both lanes: seeds per intersection-graph
+// pair, seeds per query, and items inspected per cluster while greedily
+// extending a seed.
+const (
+	maxSeedsPerPair = 48
+	maxTotalSeeds   = 192
+	maxChecksPerCol = 512
+)
+
+// joinCompatible reports whether an item's substitution agrees with the
+// bindings accumulated so far.
+func joinCompatible(bound map[string]rdf.Term, item ClusterItem) bool {
+	for name, val := range item.Alignment.Subst {
+		if prev, ok := bound[name]; ok && prev != val {
+			return false
+		}
+	}
+	return true
+}
+
+// joinExtend completes a partial combo over the remaining clusters,
+// greedily taking the best-cost compatible item per cluster.
+func joinExtend(eff []Cluster, idx []int, have map[int]bool, bound map[string]rdf.Term) bool {
+	for ci := range eff {
+		if have[ci] {
+			continue
+		}
+		found := -1
+		checks := len(eff[ci].Items)
+		if checks > maxChecksPerCol {
+			checks = maxChecksPerCol
+		}
+		for ii := 0; ii < checks; ii++ {
+			if joinCompatible(bound, eff[ci].Items[ii]) {
+				found = ii
+				break
+			}
+		}
+		if found < 0 {
+			return false
+		}
+		idx[ci] = found
+		for name, val := range eff[ci].Items[found].Alignment.Subst {
+			if _, dup := bound[name]; !dup {
+				bound[name] = val
+			}
+		}
+	}
+	return true
+}
+
 // joinCombos builds combinations whose per-path substitutions agree on
 // the shared query variables: a hash-join over each intersection-graph
 // pair (probe one cluster's shared-variable bindings into the other's),
 // with each match greedily extended to the remaining clusters.
 func (e *Engine) joinCombos(eff []Cluster, sc *comboScorer) [][]int {
-	const (
-		maxSeedsPerPair = 48
-		maxTotalSeeds   = 192
-		maxChecksPerCol = 512
-	)
 	if len(eff) < 2 || len(sc.pairs) == 0 {
 		return nil
 	}
-	compatible := func(bound map[string]rdf.Term, item ClusterItem) bool {
-		for name, val := range item.Alignment.Subst {
-			if prev, ok := bound[name]; ok && prev != val {
-				return false
-			}
-		}
-		return true
-	}
-	// extend completes a partial combo over the remaining clusters.
-	extend := func(idx []int, have map[int]bool, bound map[string]rdf.Term) bool {
-		for ci := range eff {
-			if have[ci] {
-				continue
-			}
-			found := -1
-			checks := len(eff[ci].Items)
-			if checks > maxChecksPerCol {
-				checks = maxChecksPerCol
-			}
-			for ii := 0; ii < checks; ii++ {
-				if compatible(bound, eff[ci].Items[ii]) {
-					found = ii
-					break
-				}
-			}
-			if found < 0 {
-				return false
-			}
-			idx[ci] = found
-			for name, val := range eff[ci].Items[found].Alignment.Subst {
-				if _, dup := bound[name]; !dup {
-					bound[name] = val
-				}
-			}
-		}
-		return true
-	}
-
 	var out [][]int
 	for _, pr := range sc.pairs {
 		if len(out) >= maxTotalSeeds {
@@ -347,7 +393,7 @@ func (e *Engine) joinCombos(eff []Cluster, sc *comboScorer) [][]int {
 					bound[name] = val
 				}
 			}
-			if extend(idx, map[int]bool{probe: true, build: true}, bound) {
+			if joinExtend(eff, idx, map[int]bool{probe: true, build: true}, bound) {
 				out = append(out, idx)
 				seeds++
 			}
@@ -384,6 +430,9 @@ type comboScorer struct {
 	set  []uint64
 	// Sparse fallback (huge key spaces), keyed by the linear index.
 	memo map[uint64][2]float64
+	// hits counts memoised pair lookups served without re-scoring, for
+	// the search span's psi_memo_hits attribute.
+	hits int64
 }
 
 // denseMemoEntries bounds the dense memo: past 2^20 (ψ, degree) slots
@@ -446,11 +495,13 @@ func (sc *comboScorer) score(idx []int) (float64, float64) {
 		key := sc.off[pi] + ii*sc.stride[pi] + jj
 		if sc.vals != nil {
 			if sc.set[key>>6]&(1<<(uint(key)&63)) != 0 {
+				sc.hits++
 				psi += sc.vals[2*key]
 				degree += sc.vals[2*key+1]
 				continue
 			}
 		} else if v, ok := sc.memo[uint64(key)]; ok {
+			sc.hits++
 			psi += v[0]
 			degree += v[1]
 			continue
@@ -533,10 +584,19 @@ func (e *Engine) buildAnswer(eff []Cluster, idx []int, missing []paths.Path, lam
 	return ans
 }
 
-// combo is one combination of per-cluster candidate indices.
+// combo is one combination of per-cluster candidate indices. The
+// legacy lane fills idx and lambda only; the v2 lane additionally
+// carries the combination's conformity sums and the per-pair (ψ,
+// degree) values they were summed from (pv, interleaved), so a
+// successor re-scores only the pairs incident to its bumped cluster.
+// Both lanes heap-order by λ alone and push successors in the same
+// cluster order, so their pop sequences are identical.
 type combo struct {
 	idx    []int
 	lambda float64
+
+	psi, degree float64
+	pv          []float64
 }
 
 // hashIdx identifies a combination by the 64-bit FNV-1a hash of its

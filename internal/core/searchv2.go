@@ -1,0 +1,1053 @@
+package core
+
+import (
+	"context"
+	"math/bits"
+	"sync"
+
+	"sama/internal/align"
+	"sama/internal/obs"
+	"sama/internal/paths"
+	"sama/internal/rdf"
+)
+
+// This file is the default search lane: the same Λ-ordered frontier as
+// searchCompat, rebuilt so scoring a combination touches no maps and no
+// allocations. Ranked answers are bit-identical to the legacy lane —
+// the equivalence suite pins that — via four invariants:
+//
+//  1. Pair values are identical floats. χa is evaluated from
+//     precompiled binding vectors (interned term IDs per shared
+//     variable, a containment bitmask per shared constant) that
+//     reproduce align.ChiAligned exactly, and ψ/degree go through
+//     align.PsiFromChi / align.PsiDegreeFromChi — the same expressions
+//     PsiAligned evaluates.
+//  2. Sums are re-folded in canonical order. A successor's (ψ, degree)
+//     could be maintained as ψ' = ψ − old + new, but float addition is
+//     not associative: on non-dyadic pair values (χa = 3 gives ψ =
+//     E·χQ/3) the running sum drifts ulps away from the legacy lane's
+//     fold. Instead the combo carries its per-pair values (combo.pv);
+//     a successor copies the parent's vector, re-scores only the
+//     pairs incident to the bumped cluster (the incremental part), and
+//     re-folds the sum in pair order — the exact fold searchCompat
+//     performs. λ is likewise re-folded over a flat cost array in
+//     cluster order.
+//  3. The tighter termination bound only skips guaranteed rejects.
+//     psiLB = Σ_p bound_p is a sound lower bound on any combination's
+//     Ψ (see pairBound), so a popped combo with λ + psiLB > worst
+//     has score > worst — the legacy lane visits it, scores it, and
+//     discards it; pops are in non-decreasing λ, so every later combo
+//     is also a reject and the loop can break. Combinations that tie
+//     the k-th score are never skipped: such a combo has λ + Ψ = worst
+//     and Ψ ≥ psiLB, hence λ + psiLB ≤ worst. The uniform-bound tie
+//     accounting runs verbatim after the tight check, so the tie
+//     horizon matches the legacy lane's.
+//  4. The frontier structures replicate the legacy lane's decisions.
+//     The handle heap reimplements container/heap's sift (ordered by λ
+//     alone, same strict comparisons), successors push in the same
+//     cluster order, and the open-addressing visited set keys the same
+//     64-bit hashIdx values — so the pop sequence, dedup, and
+//     tie-visit accounting all match.
+type pairScorer struct {
+	par align.Params
+	eff []Cluster
+	// pairs mirrors comboScorer.pairs: the intersection-graph edges
+	// whose endpoints both have an effective cluster, in the same
+	// deterministic order (pre.IG is index-ordered).
+	pairs []v2Pair
+	// incident[ci] lists the indices of the pairs touching effective
+	// cluster ci.
+	incident [][]int32
+	// costs[ci][ii] = eff[ci].Items[ii].Cost(), flattened so λ re-sums
+	// stay on a dense array instead of chasing Alignment pointers.
+	costs [][]float64
+	// psiLB = Σ_p bound_p, the precomputed Ψ lower bound; always ≥ the
+	// uniform E·|pairs| when E ≥ 0 (each bound_p = E·χQ/χcap ≥ E).
+	psiLB float64
+	// in is the term interner the binding columns were compiled with;
+	// the join pass reuses it for its substitution tables.
+	in *termInterner
+	// jt is the join pass's flattened view of every item's substitution,
+	// compiled during the same sweep as the binding columns (nil when
+	// the query cannot join: fewer than two effective clusters or no
+	// pairs).
+	jt *joinTables
+	// scoredPairs / reusedPairs count fresh pair evaluations and
+	// parent-carried values reused by successors, for the search span
+	// (psi_memo_hits mirrors the legacy lane's memo-hit attribute).
+	scoredPairs, reusedPairs int64
+}
+
+type v2Pair struct {
+	ci, cj int
+	// chiQ = |χ(qi, qj)|.
+	chiQ int
+	// sharedVars are the variable names of χ(qi, qj) in CommonNodes
+	// order (the join pass keys on them in this order).
+	sharedVars []string
+	// varsA[s][ii] is the interned ID of eff[ci].Items[ii]'s binding
+	// for sharedVars[s] (0 = unbound); varsB indexes eff[cj] likewise.
+	// Interned IDs are term-identity (kind-sensitive), matching the
+	// Term equality ChiAligned applies to bindings.
+	varsA, varsB [][]uint32
+	// conA[ii] has bit s set when eff[ci].Items[ii]'s path contains the
+	// s-th shared constant; conB likewise. χa's constant contribution
+	// is popcount(conA[ii] & conB[jj]). Nil when the pair shares no
+	// constant.
+	conA, conB []uint64
+	// bound is this pair's precomputed ψ lower bound.
+	bound float64
+}
+
+// maxSharedConsts bounds the constant-containment bitmask width. A
+// query-path pair sharing more constants than this falls back to the
+// legacy lane (it cannot arise from the path extractor, whose MaxLen
+// keeps paths an order of magnitude shorter than 64 nodes).
+const maxSharedConsts = 64
+
+// termInterner assigns stable uint32 IDs to terms under full Term
+// equality (the equality ChiAligned applies to bindings). Keys hash by
+// Value only — one string hash instead of four — with full-term
+// verification inside the bucket, so distinct kinds sharing a label
+// still get distinct IDs.
+type termInterner struct {
+	byValue map[string][]internedTerm
+	// terms[id-1] is the term assigned id, for reverse lookups (the
+	// join pass derives label keys from term IDs).
+	terms []rdf.Term
+	n     uint32
+}
+
+type internedTerm struct {
+	t  rdf.Term
+	id uint32
+}
+
+func (in *termInterner) id(t rdf.Term) uint32 {
+	bucket := in.byValue[t.Value]
+	for _, e := range bucket {
+		if e.t == t {
+			return e.id
+		}
+	}
+	in.n++
+	in.byValue[t.Value] = append(bucket, internedTerm{t: t, id: in.n})
+	in.terms = append(in.terms, t)
+	return in.n
+}
+
+// newPairScorer precompiles the pairwise structure the legacy scorer
+// re-derives per memo miss: CommonNodes(qi, qj), χQ, the shared
+// variable list, and per-item binding vectors / containment masks.
+// ok is false when some pair exceeds maxSharedConsts.
+func newPairScorer(e *Engine, pre *Preprocessed, eff []Cluster) (*pairScorer, bool) {
+	byQueryIndex := make(map[int]int, len(eff))
+	for i, cl := range eff {
+		byQueryIndex[cl.QueryIndex] = i
+	}
+	ps := &pairScorer{par: e.par, eff: eff}
+
+	// Pass 1: enumerate the pairs and the variable names each cluster
+	// must compile columns for.
+	type pairSeed struct {
+		ci, cj int
+		common []rdf.Term
+	}
+	var seeds []pairSeed
+	needVars := make([][]string, len(eff)) // deduped, per cluster
+	needVar := func(ci int, name string) {
+		for _, n := range needVars[ci] {
+			if n == name {
+				return
+			}
+		}
+		needVars[ci] = append(needVars[ci], name)
+	}
+	for qi, edges := range pre.IG {
+		ci, ok := byQueryIndex[qi]
+		if !ok {
+			continue
+		}
+		for _, edge := range edges {
+			if edge.To < qi {
+				continue
+			}
+			cj, ok := byQueryIndex[edge.To]
+			if !ok {
+				continue
+			}
+			common := paths.CommonNodes(pre.Paths[qi], pre.Paths[edge.To])
+			nc := 0
+			for _, x := range common {
+				if x.Kind == rdf.Var {
+					needVar(ci, x.Value)
+					needVar(cj, x.Value)
+				} else {
+					nc++
+				}
+			}
+			if nc > maxSharedConsts {
+				return nil, false
+			}
+			seeds = append(seeds, pairSeed{ci: ci, cj: cj, common: common})
+		}
+	}
+
+	// Pass 2: compile each cluster's binding columns in one sweep over
+	// its items — iterate the (small) substitution map once per item
+	// instead of one lookup per (item, var). One interner for every
+	// binding: equal terms get equal IDs across clusters, so
+	// cross-column comparison is exact Term equality.
+	in := &termInterner{byValue: make(map[string][]internedTerm)}
+	ps.in = in
+	if len(eff) >= 2 && len(seeds) > 0 {
+		ps.jt = &joinTables{
+			in:       in,
+			eff:      eff,
+			ready:    make([]bool, len(eff)),
+			off:      make([][]int32, len(eff)),
+			names:    make([][]int32, len(eff)),
+			terms:    make([][]uint32, len(eff)),
+			nameID:   make(map[string]int32),
+			labelIDs: make(map[string]uint32),
+		}
+	}
+	cols := make([]map[string][]uint32, len(eff))
+	for ci := range eff {
+		names := needVars[ci]
+		if len(names) == 0 {
+			continue
+		}
+		items := eff[ci].Items
+		byName := make(map[string][]uint32, len(names))
+		flat := make([]uint32, len(names)*len(items))
+		for s, name := range names {
+			byName[name] = flat[s*len(items) : (s+1)*len(items)]
+		}
+		cols[ci] = byName
+		for ii := range items {
+			for name, val := range items[ii].Alignment.Subst {
+				if col, ok := byName[name]; ok {
+					col[ii] = in.id(val)
+				}
+			}
+		}
+	}
+
+	// Pass 3: assemble the pairs, constant masks, and ψ lower bounds.
+	for _, sd := range seeds {
+		pr := v2Pair{ci: sd.ci, cj: sd.cj, chiQ: len(sd.common)}
+		var consts []rdf.Term
+		for _, x := range sd.common {
+			if x.Kind == rdf.Var {
+				pr.sharedVars = append(pr.sharedVars, x.Value)
+				pr.varsA = append(pr.varsA, cols[sd.ci][x.Value])
+				pr.varsB = append(pr.varsB, cols[sd.cj][x.Value])
+			} else {
+				consts = append(consts, x)
+			}
+		}
+		if len(consts) > 0 {
+			pr.conA = constMasks(eff[sd.ci].Items, consts)
+			pr.conB = constMasks(eff[sd.cj].Items, consts)
+		}
+		pr.bound = pairBound(&pr, e.par,
+			len(eff[sd.ci].Items), len(eff[sd.cj].Items))
+		ps.pairs = append(ps.pairs, pr)
+		ps.psiLB += pr.bound
+	}
+
+	ps.incident = make([][]int32, len(eff))
+	for pi := range ps.pairs {
+		pr := &ps.pairs[pi]
+		ps.incident[pr.ci] = append(ps.incident[pr.ci], int32(pi))
+		if pr.cj != pr.ci {
+			ps.incident[pr.cj] = append(ps.incident[pr.cj], int32(pi))
+		}
+	}
+	ps.costs = make([][]float64, len(eff))
+	for ci := range eff {
+		col := make([]float64, len(eff[ci].Items))
+		for ii := range eff[ci].Items {
+			col[ii] = eff[ci].Items[ii].Cost()
+		}
+		ps.costs[ci] = col
+	}
+	return ps, true
+}
+
+// constMasks builds the containment bitmask column for one cluster
+// side: bit s of the ii-th mask ⇔ items[ii].Path contains consts[s].
+func constMasks(items []ClusterItem, consts []rdf.Term) []uint64 {
+	masks := make([]uint64, len(items))
+	for ii := range items {
+		var m uint64
+		for s, c := range consts {
+			if items[ii].Path.ContainsNode(c) {
+				m |= 1 << uint(s)
+			}
+		}
+		masks[ii] = m
+	}
+	return masks
+}
+
+// pairBound computes the pair's ψ lower bound: χa(ii, jj) ≤
+// min(cap_i(ii), cap_j(jj)) ≤ χcap := min(max_ii cap_i, max_jj cap_j),
+// where an item's cap counts the pair's shared variables it binds plus
+// the shared constants its path contains. ψ is non-increasing in χa
+// (ψ(0) = E·χQ ≥ E·χQ/χa for any χa ≥ 1), so ψ ≥ PsiFromChi(χQ, χcap)
+// for every item pair — the per-pair bound summed into psiLB.
+func pairBound(pr *v2Pair, par align.Params, nA, nB int) float64 {
+	maxCap := func(vars [][]uint32, con []uint64, n int) int {
+		best := 0
+		for ii := 0; ii < n; ii++ {
+			c := 0
+			for s := range vars {
+				if vars[s][ii] != 0 {
+					c++
+				}
+			}
+			if con != nil {
+				c += bits.OnesCount64(con[ii])
+			}
+			if c > best {
+				best = c
+			}
+		}
+		return best
+	}
+	capA := maxCap(pr.varsA, pr.conA, nA)
+	capB := maxCap(pr.varsB, pr.conB, nB)
+	chiCap := capA
+	if capB < chiCap {
+		chiCap = capB
+	}
+	return align.PsiFromChi(pr.chiQ, chiCap, par)
+}
+
+// scorePair evaluates one pair's (ψ, degree) for the items (ii, jj) —
+// an allocation-free array comparison reproducing ChiAligned.
+func (ps *pairScorer) scorePair(pi int, ii, jj int) (float64, float64) {
+	pr := &ps.pairs[pi]
+	chiA := 0
+	for s := range pr.varsA {
+		a := pr.varsA[s][ii]
+		if a != 0 && a == pr.varsB[s][jj] {
+			chiA++
+		}
+	}
+	if pr.conA != nil {
+		chiA += bits.OnesCount64(pr.conA[ii] & pr.conB[jj])
+	}
+	ps.scoredPairs++
+	return align.PsiFromChi(pr.chiQ, chiA, ps.par), align.PsiDegreeFromChi(pr.chiQ, chiA)
+}
+
+// fillPairVals scores every pair of the combination into pv
+// (interleaved ψ, degree).
+func (ps *pairScorer) fillPairVals(idx []int, pv []float64) {
+	for pi := range ps.pairs {
+		pr := &ps.pairs[pi]
+		pv[2*pi], pv[2*pi+1] = ps.scorePair(pi, idx[pr.ci], idx[pr.cj])
+	}
+}
+
+// patchPairVals re-scores only the pairs incident to the bumped
+// cluster; the rest of pv carries over from the parent.
+func (ps *pairScorer) patchPairVals(idx []int, bumped int, pv []float64) {
+	for _, pi := range ps.incident[bumped] {
+		pr := &ps.pairs[pi]
+		pv[2*pi], pv[2*pi+1] = ps.scorePair(int(pi), idx[pr.ci], idx[pr.cj])
+	}
+	ps.reusedPairs += int64(len(ps.pairs) - len(ps.incident[bumped]))
+}
+
+// sumPairVals folds pv in pair order — the exact fold the legacy
+// scorer's score() performs, so the sums are bitwise identical.
+func (ps *pairScorer) sumPairVals(pv []float64) (psi, degree float64) {
+	for pi := range ps.pairs {
+		psi += pv[2*pi]
+		degree += pv[2*pi+1]
+	}
+	return psi, degree
+}
+
+// comboLambda re-folds the selected items' costs in cluster order over
+// the flat cost columns — the fold (*Engine).comboLambda performs on
+// Items, on the same floats in the same order.
+func (ps *pairScorer) comboLambda(idx []int) float64 {
+	var sum float64
+	for ci, ii := range idx {
+		sum += ps.costs[ci][ii]
+	}
+	return sum
+}
+
+// v2Frontier is the Λ-ordered priority queue of the v2 lane: combos
+// live in an arena addressed by int32 handles, and the heap orders
+// handles with container/heap's exact sift algorithm (strict less on
+// λ). Pushing moves 4 bytes instead of boxing a 64-byte combo into an
+// interface (container/heap's Push(any) allocates per call), and
+// recycled handles carry their pv buffers with them.
+type v2Frontier struct {
+	arena []combo
+	free  []int32
+	heap  []int32
+	// idxBlock / pvBlock are bump-allocation pools the entries' buffers
+	// are carved from — one make per frontierBlockEntries entries
+	// instead of two per entry.
+	idxBlock []int
+	pvBlock  []float64
+}
+
+// frontierBlockEntries is how many entries' buffers one pool block
+// holds.
+const frontierBlockEntries = 128
+
+func (q *v2Frontier) len() int { return len(q.heap) }
+
+// newIdx carves an index buffer from the pool.
+func (q *v2Frontier) newIdx(nEff int) []int {
+	if len(q.idxBlock) < nEff {
+		q.idxBlock = make([]int, frontierBlockEntries*nEff)
+	}
+	idx := q.idxBlock[:nEff:nEff]
+	q.idxBlock = q.idxBlock[nEff:]
+	return idx
+}
+
+// alloc returns a handle whose entry has idx and pv buffers ready
+// (recycled or freshly carved).
+func (q *v2Frontier) alloc(nEff, nPairVals int) int32 {
+	if n := len(q.free); n > 0 {
+		h := q.free[n-1]
+		q.free = q.free[:n-1]
+		if q.arena[h].idx == nil {
+			q.arena[h].idx = q.newIdx(nEff)
+		}
+		return h
+	}
+	if len(q.pvBlock) < nPairVals {
+		q.pvBlock = make([]float64, frontierBlockEntries*nPairVals)
+	}
+	pv := q.pvBlock[:nPairVals:nPairVals]
+	q.pvBlock = q.pvBlock[nPairVals:]
+	q.arena = append(q.arena, combo{idx: q.newIdx(nEff), pv: pv})
+	return int32(len(q.arena) - 1)
+}
+
+// release returns a handle to the free list. The entry keeps its pv
+// buffer; idx has been handed off to the result list (takeIdx).
+func (q *v2Frontier) release(h int32) { q.free = append(q.free, h) }
+
+// takeIdx detaches the entry's index slice (ownership moves to the
+// result list, which recycles it independently).
+func (q *v2Frontier) takeIdx(h int32) []int {
+	idx := q.arena[h].idx
+	q.arena[h].idx = nil
+	return idx
+}
+
+// giveIdx hands a recycled index slice to a free-listed entry.
+func (q *v2Frontier) giveIdx(idx []int) {
+	for i := len(q.free) - 1; i >= 0; i-- {
+		if q.arena[q.free[i]].idx == nil {
+			q.arena[q.free[i]].idx = idx
+			return
+		}
+	}
+}
+
+func (q *v2Frontier) less(i, j int) bool {
+	return q.arena[q.heap[i]].lambda < q.arena[q.heap[j]].lambda
+}
+
+func (q *v2Frontier) swap(i, j int) { q.heap[i], q.heap[j] = q.heap[j], q.heap[i] }
+
+// push and pop replicate container/heap.Push / container/heap.Pop on
+// the handle slice: identical comparison sequences give an identical
+// heap layout, hence the same pop order as the legacy comboHeap.
+func (q *v2Frontier) push(h int32) {
+	q.heap = append(q.heap, h)
+	q.up(len(q.heap) - 1)
+}
+
+func (q *v2Frontier) pop() int32 {
+	n := len(q.heap) - 1
+	q.swap(0, n)
+	q.down(0, n)
+	h := q.heap[n]
+	q.heap = q.heap[:n]
+	return h
+}
+
+func (q *v2Frontier) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !q.less(j, i) {
+			break
+		}
+		q.swap(i, j)
+		j = i
+	}
+}
+
+func (q *v2Frontier) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && q.less(j2, j1) {
+			j = j2
+		}
+		if !q.less(j, i) {
+			break
+		}
+		q.swap(i, j)
+		i = j
+	}
+}
+
+// u64Set is an open-addressing membership set over the frontier's
+// 64-bit combination hashes: same keys as the legacy map[uint64]
+// visited set, without per-insert hashing of the (already mixed) key.
+type u64Set struct {
+	slots   []uint64
+	mask    uint64
+	n       int
+	hasZero bool
+}
+
+func newU64Set() *u64Set {
+	return &u64Set{slots: make([]uint64, 1024), mask: 1023}
+}
+
+// u64SetPool recycles visited sets across searches: a recycled set
+// keeps its grown capacity, so steady-state queries never pay the
+// rehash cascade from the initial size (clearing is a sequential
+// memclr, far cheaper than rehashing the same entries).
+var u64SetPool = sync.Pool{New: func() any { return newU64Set() }}
+
+func getU64Set() *u64Set {
+	s := u64SetPool.Get().(*u64Set)
+	clear(s.slots)
+	s.n = 0
+	s.hasZero = false
+	return s
+}
+
+// add inserts k and reports whether it was absent.
+func (s *u64Set) add(k uint64) bool {
+	if k == 0 {
+		if s.hasZero {
+			return false
+		}
+		s.hasZero = true
+		return true
+	}
+	if 2*(s.n+1) > len(s.slots) {
+		s.grow()
+	}
+	i := k & s.mask
+	for {
+		v := s.slots[i]
+		if v == 0 {
+			s.slots[i] = k
+			s.n++
+			return true
+		}
+		if v == k {
+			return false
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+func (s *u64Set) grow() {
+	old := s.slots
+	s.slots = make([]uint64, 2*len(old))
+	s.mask = uint64(len(s.slots) - 1)
+	for _, v := range old {
+		if v == 0 {
+			continue
+		}
+		i := v & s.mask
+		for s.slots[i] != 0 {
+			i = (i + 1) & s.mask
+		}
+		s.slots[i] = v
+	}
+}
+
+// searchV2 is the default search lane (see searchTraced and the file
+// comment for the equivalence argument).
+func (e *Engine) searchV2(ctx context.Context, pre *Preprocessed, clusters []Cluster, k int, tr *obs.Trace) []Answer {
+	sp := tr.Phase("search")
+	eff, missing, missed := splitEffective(clusters)
+	basePenalty := e.missPenalty(pre, missing, missed)
+	if len(eff) == 0 {
+		sp.End()
+		return nil // nothing matched at all
+	}
+
+	ps, ok := newPairScorer(e, pre, eff)
+	if !ok {
+		// A pair shares more than maxSharedConsts constants — beyond
+		// what extracted paths can produce, but synthetic inputs could;
+		// the legacy lane has no mask-width limit.
+		sp.End()
+		return e.searchCompat(ctx, pre, clusters, k, tr)
+	}
+	psiMinU := e.par.E * float64(len(ps.pairs))
+
+	nPairVals := 2 * len(ps.pairs)
+	frontier := &v2Frontier{}
+	start := frontier.alloc(len(eff), nPairVals)
+	{
+		c := &frontier.arena[start]
+		c.lambda = ps.comboLambda(c.idx) + basePenalty
+		ps.fillPairVals(c.idx, c.pv)
+		c.psi, c.degree = ps.sumPairVals(c.pv)
+	}
+	frontier.push(start)
+	visitedSet := getU64Set()
+	defer u64SetPool.Put(visitedSet)
+	visitedSet.add(hashIdx(frontier.arena[start].idx, -1))
+
+	rl := resultList{k: k}
+
+	visited := 0
+	tieVisits := 0
+	frontierPeak := frontier.len()
+	maxVisits := e.opts.maxCombinations()
+	maxTies := e.opts.maxTieVisits()
+	cancelled := false
+	boundBreak := false
+	for frontier.len() > 0 && visited < maxVisits {
+		if ctx.Err() != nil {
+			cancelled = true
+			break
+		}
+		h := frontier.pop()
+		cLambda := frontier.arena[h].lambda
+		if w := rl.worst(); w >= 0 {
+			if cLambda+ps.psiLB > w {
+				// Tighter bound: this combo — and, pops being in
+				// non-decreasing λ, every later one — scores > w.
+				boundBreak = true
+				frontier.release(h)
+				break
+			}
+			lb := cLambda + psiMinU
+			if lb > w {
+				// Uniform bound, kept for pathological params where
+				// psiLB < psiMinU (negative E).
+				frontier.release(h)
+				break
+			}
+			if lb == w {
+				// Ties can still win on the conformity-degree
+				// tie-break; explore a bounded number of them.
+				tieVisits++
+				if tieVisits > maxTies {
+					frontier.release(h)
+					break
+				}
+			}
+		}
+		visited++
+
+		// Expand successors before handing the entry's idx to the
+		// result list. All arena access is re-indexed after alloc: the
+		// arena may grow while successors are created.
+		for ci := 0; ci < len(eff); ci++ {
+			if frontier.arena[h].idx[ci]+1 >= len(eff[ci].Items) {
+				continue
+			}
+			if !visitedSet.add(hashIdx(frontier.arena[h].idx, ci)) {
+				continue
+			}
+			nh := frontier.alloc(len(eff), nPairVals)
+			c, next := &frontier.arena[h], &frontier.arena[nh]
+			copy(next.idx, c.idx)
+			next.idx[ci]++
+			next.lambda = ps.comboLambda(next.idx) + basePenalty
+			copy(next.pv, c.pv)
+			ps.patchPairVals(next.idx, ci, next.pv)
+			next.psi, next.degree = ps.sumPairVals(next.pv)
+			frontier.push(nh)
+		}
+		if n := frontier.len(); n > frontierPeak {
+			frontierPeak = n
+		}
+
+		c := &frontier.arena[h]
+		s := scored{
+			idx:    frontier.takeIdx(h),
+			lambda: c.lambda,
+			psi:    c.psi,
+			degree: c.degree,
+			score:  c.lambda + c.psi,
+		}
+		frontier.release(h)
+		if recycled := rl.add(s); recycled != nil {
+			frontier.giveIdx(recycled)
+		}
+	}
+
+	// Join pass — same construction as the legacy lane with interned
+	// integer keys; see joinCombosV2. Skipped on cancellation.
+	joined := 0
+	if !cancelled {
+		pv := make([]float64, nPairVals)
+		for _, idx := range e.joinCombosV2(eff, ps) {
+			if !visitedSet.add(hashIdx(idx, -1)) {
+				continue
+			}
+			joined++
+			lambda := ps.comboLambda(idx) + basePenalty
+			ps.fillPairVals(idx, pv)
+			psi, degree := ps.sumPairVals(pv)
+			rl.add(scored{
+				idx: idx, lambda: lambda, psi: psi, degree: degree, score: lambda + psi,
+			})
+		}
+	}
+	sp.Set("visited", int64(visited))
+	sp.Set("joined", int64(joined))
+	sp.Set("psi_memo_hits", ps.reusedPairs)
+	sp.Set("psi_scored", ps.scoredPairs)
+	sp.Set("frontier_peak", int64(frontierPeak))
+	if boundBreak {
+		sp.Set("bound_break", 1)
+	}
+	if cancelled {
+		sp.Set("cancelled", 1)
+	}
+	sp.End()
+
+	spA := tr.Phase("assemble")
+	answers := make([]Answer, len(rl.results))
+	for i, s := range rl.results {
+		answers[i] = e.buildAnswer(eff, s.idx, missing, s.lambda, s.psi, s.degree)
+	}
+	spA.Set("answers", int64(len(answers)))
+	spA.End()
+	return answers
+}
+
+// joinTables is the join pass's compiled view of the clusters: an
+// item's full substitution flattened into parallel (name ID, term ID)
+// arrays, so the extension phase's repeated compatibility checks are
+// linear scans over small integer slices instead of map iterations.
+// Term IDs come from the scorer's interner (full Term equality); name
+// IDs from a local string interner; label IDs (the legacy lane's
+// join-key equivalence, Label() equality) are derived per term ID on
+// demand.
+type joinTables struct {
+	in  *termInterner
+	eff []Cluster
+	// ready[ci] marks clusters whose arrays are filled. Clusters
+	// flatten lazily on first touch by the extension phase — seed keys
+	// never need the tables (they read the scorer's binding columns),
+	// so a query whose seeds all fail key matching flattens nothing.
+	ready []bool
+	// Per effective cluster: off[ci][ii]..off[ci][ii+1] indexes item
+	// ii's entries in names[ci]/terms[ci].
+	off   [][]int32
+	names [][]int32
+	terms [][]uint32
+	// nameID interns substitution variable names (1-based).
+	nameID map[string]int32
+	// labelOf[tid] is the interned Label() of term tid (0 = not yet
+	// derived); labelIDs interns the label strings.
+	labelOf  []uint32
+	labelIDs map[string]uint32
+	// bound is the accumulated-bindings scratch shared by the seed
+	// loop: parallel (name ID, term ID), first binding wins.
+	boundNames []int32
+	boundTerms []uint32
+}
+
+// name interns a substitution variable name (1-based).
+func (jt *joinTables) name(s string) int32 {
+	id, ok := jt.nameID[s]
+	if !ok {
+		id = int32(len(jt.nameID) + 1)
+		jt.nameID[s] = id
+	}
+	return id
+}
+
+// ensure flattens cluster ci's substitutions if pass 2 did not.
+func (jt *joinTables) ensure(ci int) {
+	if jt.ready[ci] {
+		return
+	}
+	jt.ready[ci] = true
+	items := jt.eff[ci].Items
+	off := make([]int32, len(items)+1)
+	var ns []int32
+	var ts []uint32
+	for ii := range items {
+		for name, val := range items[ii].Alignment.Subst {
+			ns = append(ns, jt.name(name))
+			ts = append(ts, jt.in.id(val))
+		}
+		off[ii+1] = int32(len(ns))
+	}
+	jt.off[ci], jt.names[ci], jt.terms[ci] = off, ns, ts
+}
+
+// label derives (and caches) the interned Label() of a term ID.
+func (jt *joinTables) label(tid uint32) uint32 {
+	if int(tid) >= len(jt.labelOf) {
+		grown := make([]uint32, jt.in.n+1)
+		copy(grown, jt.labelOf)
+		jt.labelOf = grown
+	}
+	if l := jt.labelOf[tid]; l != 0 {
+		return l
+	}
+	s := jt.in.terms[tid-1].Label()
+	l, ok := jt.labelIDs[s]
+	if !ok {
+		l = uint32(len(jt.labelIDs) + 1)
+		jt.labelIDs[s] = l
+	}
+	jt.labelOf[tid] = l
+	return l
+}
+
+// keyFromCols fills the item's label-key vector straight from the
+// scorer's binding columns (vars[s][ii] is the interned binding for the
+// pair's s-th shared variable); false when the item does not bind every
+// shared variable (column 0 ⇔ the Subst lookup the legacy lane
+// performs misses).
+func (jt *joinTables) keyFromCols(vars [][]uint32, ii int, kv []uint32) bool {
+	for s := range vars {
+		tid := vars[s][ii]
+		if tid == 0 {
+			return false
+		}
+		kv[s] = jt.label(tid)
+	}
+	return true
+}
+
+// mergeSubst folds an item's bindings into the scratch directly from
+// its substitution map (used for the two seed items — a handful per
+// seed, unlike the extension phase's hundreds of candidate checks);
+// first binding wins.
+func (jt *joinTables) mergeSubst(item ClusterItem) {
+	for name, val := range item.Alignment.Subst {
+		nid := jt.name(name)
+		dup := false
+		for _, bn := range jt.boundNames {
+			if bn == nid {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			jt.boundNames = append(jt.boundNames, nid)
+			jt.boundTerms = append(jt.boundTerms, jt.in.id(val))
+		}
+	}
+}
+
+// compatible reports whether the item's substitution agrees with the
+// accumulated bindings — joinCompatible over the compiled arrays.
+func (jt *joinTables) compatible(ci, ii int) bool {
+	lo, hi := jt.off[ci][ii], jt.off[ci][ii+1]
+	names, terms := jt.names[ci], jt.terms[ci]
+	for t := lo; t < hi; t++ {
+		for b, bn := range jt.boundNames {
+			if bn == names[t] {
+				if jt.boundTerms[b] != terms[t] {
+					return false
+				}
+				break
+			}
+		}
+	}
+	return true
+}
+
+// merge folds the item's bindings into the scratch, first binding wins.
+func (jt *joinTables) merge(ci, ii int) {
+	lo, hi := jt.off[ci][ii], jt.off[ci][ii+1]
+	names, terms := jt.names[ci], jt.terms[ci]
+	for t := lo; t < hi; t++ {
+		dup := false
+		for _, bn := range jt.boundNames {
+			if bn == names[t] {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			jt.boundNames = append(jt.boundNames, names[t])
+			jt.boundTerms = append(jt.boundTerms, terms[t])
+		}
+	}
+}
+
+// extend completes a partial combo over the remaining clusters —
+// joinExtend over the compiled arrays, same greedy first-compatible
+// choice and maxChecksPerCol budget.
+func (jt *joinTables) extend(eff []Cluster, idx []int, have []bool) bool {
+	for ci := range eff {
+		if have[ci] {
+			continue
+		}
+		jt.ensure(ci)
+		found := -1
+		checks := len(eff[ci].Items)
+		if checks > maxChecksPerCol {
+			checks = maxChecksPerCol
+		}
+		for ii := 0; ii < checks; ii++ {
+			if jt.compatible(ci, ii) {
+				found = ii
+				break
+			}
+		}
+		if found < 0 {
+			return false
+		}
+		idx[ci] = found
+		jt.merge(ci, found)
+	}
+	return true
+}
+
+// joinCombosV2 is joinCombos over the precompiled pair structure: the
+// shared-variable list comes from the scorer instead of a fresh
+// CommonNodes call, binding keys are label-interned uint32 vectors
+// hashed as integers with exact vector verification on both build and
+// probe (no per-item string assembly, and hash collisions cannot merge
+// distinct keys), and the greedy extension runs on flattened
+// substitution tables instead of per-item map iteration. Keys intern
+// Label() — not term identity — to reproduce the legacy lane's join
+// keys exactly; the compatibility checks use full Term identity, as
+// joinCompatible does.
+func (e *Engine) joinCombosV2(eff []Cluster, ps *pairScorer) [][]int {
+	if len(eff) < 2 || len(ps.pairs) == 0 || ps.jt == nil {
+		return nil
+	}
+	jt := ps.jt
+	have := make([]bool, len(eff))
+
+	var out [][]int
+	var kvArena []uint32
+	for pi := range ps.pairs {
+		if len(out) >= maxTotalSeeds {
+			break
+		}
+		pr := &ps.pairs[pi]
+		nv := len(pr.sharedVars)
+		if nv == 0 {
+			continue
+		}
+		// Build side: the smaller cluster of the pair; first item per
+		// key wins (items are cost-sorted).
+		build, probe := pr.ci, pr.cj
+		buildVars, probeVars := pr.varsA, pr.varsB
+		if len(eff[probe].Items) < len(eff[build].Items) {
+			build, probe = probe, build
+			buildVars, probeVars = probeVars, buildVars
+		}
+		type entry struct {
+			kv []uint32
+			ii int
+		}
+		buckets := make(map[uint64][]entry, len(eff[build].Items))
+		if need := nv * len(eff[build].Items); cap(kvArena) < need {
+			kvArena = make([]uint32, need)
+		}
+		for ii := range eff[build].Items {
+			kv := kvArena[ii*nv : (ii+1)*nv]
+			if !jt.keyFromCols(buildVars, ii, kv) {
+				continue
+			}
+			h := hashU32s(kv)
+			dup := false
+			for _, en := range buckets[h] {
+				if equalU32s(en.kv, kv) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				buckets[h] = append(buckets[h], entry{kv: kv, ii: ii})
+			}
+		}
+		seeds := 0
+		kv := make([]uint32, nv)
+		for ii := range eff[probe].Items {
+			if seeds >= maxSeedsPerPair || len(out) >= maxTotalSeeds {
+				break
+			}
+			if !jt.keyFromCols(probeVars, ii, kv) {
+				continue
+			}
+			jj := -1
+			for _, en := range buckets[hashU32s(kv)] {
+				if equalU32s(en.kv, kv) {
+					jj = en.ii
+					break
+				}
+			}
+			if jj < 0 {
+				continue
+			}
+			idx := make([]int, len(eff))
+			idx[probe], idx[build] = ii, jj
+			jt.boundNames = jt.boundNames[:0]
+			jt.boundTerms = jt.boundTerms[:0]
+			jt.mergeSubst(eff[probe].Items[ii])
+			jt.mergeSubst(eff[build].Items[jj])
+			for ci := range have {
+				have[ci] = ci == probe || ci == build
+			}
+			if jt.extend(eff, idx, have) {
+				out = append(out, idx)
+				seeds++
+			}
+		}
+	}
+	return out
+}
+
+// hashU32s is 64-bit FNV-1a over the vector's little-endian bytes.
+func hashU32s(kv []uint32) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for _, v := range kv {
+		h = (h ^ uint64(v&0xff)) * fnvPrime
+		h = (h ^ uint64((v>>8)&0xff)) * fnvPrime
+		h = (h ^ uint64((v>>16)&0xff)) * fnvPrime
+		h = (h ^ uint64(v>>24)) * fnvPrime
+	}
+	return h
+}
+
+func equalU32s(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"sama/internal/index"
+	"sama/internal/rdf"
+)
+
+// TestIncrementalPairDeltasMatchScratch is the randomized property test
+// for the v2 frontier's incremental scoring: over seeded random graphs
+// and star queries, it replays random successor walks and asserts that
+// patching only the pairs incident to the bumped cluster leaves the
+// pair-value vector bit-identical to a from-scratch fill, and that the
+// folded (λ, ψ, degree) equal the legacy comboScorer's recomputation
+// exactly — not approximately. Any divergence here would break the v2
+// lane's bit-identicality contract long before it showed up in ranked
+// answers.
+func TestIncrementalPairDeltasMatchScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	const rounds = 8
+	pairsSeen, stepsRun := 0, 0
+	for round := 0; round < rounds; round++ {
+		g := rdf.NewGraph()
+		// Random bipartite-ish data: entities linking to two shared hubs
+		// and two constants, plus noise edges, so the two-to-four query
+		// paths cluster with overlapping variable bindings.
+		nEnt := 8 + rng.Intn(12)
+		for i := 0; i < nEnt; i++ {
+			e := iri(fmt.Sprintf("E%02d", i))
+			if rng.Intn(2) == 0 {
+				g.AddTriple(rdf.Triple{S: e, P: iri("p1"), O: iri("Hub")})
+			}
+			if rng.Intn(2) == 0 {
+				g.AddTriple(rdf.Triple{S: e, P: iri("p2"), O: iri("Hub")})
+			}
+			if rng.Intn(2) == 0 {
+				g.AddTriple(rdf.Triple{S: e, P: iri("p3"), O: iri("C1")})
+			}
+			if rng.Intn(3) == 0 {
+				g.AddTriple(rdf.Triple{S: e, P: iri("p4"), O: iri("C2")})
+			}
+			if rng.Intn(3) == 0 {
+				g.AddTriple(rdf.Triple{S: iri(fmt.Sprintf("N%02d", rng.Intn(nEnt))), P: iri("p5"), O: e})
+			}
+		}
+		base := filepath.Join(t.TempDir(), fmt.Sprintf("g%d", round))
+		ix, err := index.Build(base, g, index.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := New(ix, Options{})
+
+		// A random star query over ?x / ?y: every pattern pair shares a
+		// variable or the Hub constant, so the intersection graph is
+		// dense and every cluster is incident to several pairs.
+		q := rdf.NewQueryGraph()
+		q.AddTriple(rdf.Triple{S: vr("x"), P: iri("p1"), O: iri("Hub")})
+		q.AddTriple(rdf.Triple{S: vr("x"), P: iri("p3"), O: iri("C1")})
+		if rng.Intn(2) == 0 {
+			q.AddTriple(rdf.Triple{S: vr("y"), P: iri("p2"), O: iri("Hub")})
+		}
+		if rng.Intn(2) == 0 {
+			q.AddTriple(rdf.Triple{S: vr("y"), P: iri("p4"), O: iri("C2")})
+		}
+
+		pre := e.Preprocess(q)
+		clusters, err := e.Cluster(pre)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eff, _, _ := splitEffective(clusters)
+		if len(eff) < 2 {
+			ix.Close()
+			e.Close()
+			continue
+		}
+		ps, ok := newPairScorer(e, pre, eff)
+		if !ok {
+			t.Fatalf("round %d: newPairScorer declined a %d-cluster query", round, len(eff))
+		}
+		sc := newComboScorer(e, pre, eff)
+		if len(ps.pairs) > 0 {
+			pairsSeen++
+		}
+
+		idx := make([]int, len(eff))
+		pv := make([]float64, 2*len(ps.pairs))
+		scratch := make([]float64, 2*len(ps.pairs))
+		ps.fillPairVals(idx, pv)
+		for step := 0; step < 200; step++ {
+			// Bump a random cluster that still has a successor, exactly
+			// the move the frontier expansion makes.
+			ci := rng.Intn(len(eff))
+			moved := false
+			for off := 0; off < len(eff); off++ {
+				c := (ci + off) % len(eff)
+				if idx[c]+1 < len(eff[c].Items) {
+					idx[c]++
+					ps.patchPairVals(idx, c, pv)
+					moved = true
+					break
+				}
+			}
+			if !moved {
+				break
+			}
+			stepsRun++
+
+			ps.fillPairVals(idx, scratch)
+			for i := range pv {
+				if pv[i] != scratch[i] {
+					t.Fatalf("round %d step %d: pair value %d drifted: patched %v, scratch %v (idx %v)",
+						round, step, i, pv[i], scratch[i], idx)
+				}
+			}
+			psi, degree := ps.sumPairVals(pv)
+			wantPsi, wantDeg := sc.score(idx)
+			if psi != wantPsi || degree != wantDeg {
+				t.Fatalf("round %d step %d: folded (ψ %v, deg %v) != legacy scorer (ψ %v, deg %v) at idx %v",
+					round, step, psi, degree, wantPsi, wantDeg, idx)
+			}
+			if l1, l2 := ps.comboLambda(idx), e.comboLambda(eff, idx); l1 != l2 {
+				t.Fatalf("round %d step %d: flat λ %v != legacy λ %v at idx %v", round, step, l1, l2, idx)
+			}
+		}
+		ix.Close()
+		e.Close()
+	}
+	if pairsSeen == 0 || stepsRun == 0 {
+		t.Fatalf("vacuous run: %d rounds with pairs, %d walk steps", pairsSeen, stepsRun)
+	}
+}

@@ -325,7 +325,7 @@ func (e *Engine) buildClusterSharded(ctx context.Context, qi int, q paths.Path, 
 				continue
 			}
 		}
-		miss = append(miss, missCand{pos: i, id: c.id, bound: c.bound})
+		miss = append(miss, missCand{pos: i, id: c.id, bound: c.bound, short: c.short})
 	}
 	sp.Set("memo_hits", int64(len(cands)-len(miss)))
 
@@ -365,10 +365,24 @@ func (e *Engine) buildClusterSharded(ctx context.Context, qi int, q paths.Path, 
 	}
 	qlen := q.Length()
 	capN := e.opts.maxCandidates()
-	alignedN, pruned := 0, 0
+	alignedN, pruned, shortPruned := 0, 0, 0
 	var scratch []float64
 	for start := 0; start < len(miss); {
 		if prune {
+			// Short-candidate barrier, identical to the monolith's: a
+			// staged full-length item kills the shorter-path fallback,
+			// so shorter-than-query misses are discardable regardless
+			// of cost. The decision reads only staged costs and global
+			// summaries, so it fires on the same wave at every shard
+			// count.
+			if anyFullStaged(staged, qlen) {
+				var d int
+				miss, d = dropShortMisses(miss, start)
+				shortPruned += d
+			}
+			if start >= len(miss) {
+				break
+			}
 			var kth float64
 			var ok bool
 			scratch, kth, ok = kthFullCost(staged, qlen, capN, scratch)
@@ -427,8 +441,11 @@ func (e *Engine) buildClusterSharded(ctx context.Context, qi int, q paths.Path, 
 		sp.Set("batched_pages", pages)
 	}
 	sp.Set("aligned", int64(alignedN))
-	if pruned > 0 {
-		sp.Set("bound_pruned", int64(pruned))
+	if shortPruned > 0 {
+		sp.Set("short_pruned", int64(shortPruned))
+	}
+	if pruned+shortPruned > 0 {
+		sp.Set("bound_pruned", int64(pruned+shortPruned))
 	}
 
 	// Split per shard into full-length and shorter-than-query lists.

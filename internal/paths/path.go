@@ -120,9 +120,19 @@ func (p Path) Triples() []rdf.Triple {
 	return ts
 }
 
+// smallPathNodes bounds the linear-scan fast path of CommonNodes and
+// Intersects: when both paths have at most this many nodes, a nested
+// scan beats building the membership map (no allocations, and real
+// paths are short — the extractor's MaxLen defaults keep them well
+// under this). The map path remains for longer synthetic paths.
+const smallPathNodes = 8
+
 // CommonNodes implements χ: the set of node labels shared by two paths,
 // in first-path order. Variables are compared by name like any label.
 func CommonNodes(a, b Path) []rdf.Term {
+	if len(a.Nodes) <= smallPathNodes && len(b.Nodes) <= smallPathNodes {
+		return commonNodesSmall(a, b)
+	}
 	inB := make(map[rdf.Term]struct{}, len(b.Nodes))
 	for _, n := range b.Nodes {
 		inB[n] = struct{}{}
@@ -140,8 +150,46 @@ func CommonNodes(a, b Path) []rdf.Term {
 	return out
 }
 
+// commonNodesSmall is CommonNodes by nested linear scans: dedup by
+// first occurrence within a, membership by scan of b. Output is
+// element-for-element identical to the map path (first-path order,
+// duplicates dropped); the only allocation is the result slice, and
+// only when the intersection is non-empty.
+func commonNodesSmall(a, b Path) []rdf.Term {
+	var out []rdf.Term
+	for i, n := range a.Nodes {
+		dup := false
+		for j := 0; j < i; j++ {
+			if a.Nodes[j] == n {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		for _, m := range b.Nodes {
+			if m == n {
+				out = append(out, n)
+				break
+			}
+		}
+	}
+	return out
+}
+
 // Intersects reports whether two paths share at least one node label.
 func Intersects(a, b Path) bool {
+	if len(a.Nodes) <= smallPathNodes && len(b.Nodes) <= smallPathNodes {
+		for _, n := range a.Nodes {
+			for _, m := range b.Nodes {
+				if m == n {
+					return true
+				}
+			}
+		}
+		return false
+	}
 	inB := make(map[rdf.Term]struct{}, len(b.Nodes))
 	for _, n := range b.Nodes {
 		inB[n] = struct{}{}
